@@ -1,0 +1,40 @@
+//! Criterion: the OPT-tree dynamic program.
+//!
+//! Verifies the paper's complexity claim operationally: Algorithm 2.1 is
+//! O(k) (time per table roughly linear in k), while the exhaustive reference
+//! is O(k²).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_opt_table(c: &mut Criterion) {
+    let mut g = c.benchmark_group("opt_table_incremental");
+    for k in [64usize, 256, 1024, 4096, 16384] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| mtree::opt::opt_table(black_box(250), black_box(1000), k))
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("opt_table_reference_quadratic");
+    for k in [64usize, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| mtree::opt::opt_table_reference(black_box(250), black_box(1000), k))
+        });
+    }
+    g.finish();
+}
+
+fn bench_schedule_build(c: &mut Criterion) {
+    let mut g = c.benchmark_group("schedule_build");
+    for k in [32usize, 256, 2048] {
+        let strat = mtree::SplitStrategy::opt(250, 1000, k);
+        g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| mtree::Schedule::build(k, k / 3, black_box(&strat), 250, 1000))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_opt_table, bench_schedule_build);
+criterion_main!(benches);

@@ -1,0 +1,59 @@
+//! Criterion: full flit-level multicast runs — the workhorse of every
+//! figure.  One benchmark per (algorithm × network), fixed placement, so
+//! regressions in the simulator core are visible in isolation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use flitsim::SimConfig;
+use optmc::{experiments::random_placement, run_multicast, Algorithm};
+use topo::{Bmin, Mesh, Topology, UpPolicy};
+
+fn bench_mesh_multicast(c: &mut Criterion) {
+    let mesh = Mesh::new(&[16, 16]);
+    let cfg = SimConfig::paragon_like();
+    let parts = random_placement(256, 32, 42);
+    let src = parts[0];
+    let mut g = c.benchmark_group("mesh16x16_32n_4k");
+    for alg in Algorithm::PAPER_SET {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(alg.display_name(&mesh)),
+            &alg,
+            |b, &alg| b.iter(|| run_multicast(&mesh, &cfg, alg, &parts, src, 4096)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_bmin_multicast(c: &mut Criterion) {
+    let bmin = Bmin::new(7, UpPolicy::Straight);
+    let cfg = SimConfig::paragon_like();
+    let parts = random_placement(128, 32, 42);
+    let src = parts[0];
+    let mut g = c.benchmark_group("bmin128_32n_4k");
+    for alg in Algorithm::PAPER_SET {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(alg.display_name(&bmin)),
+            &alg,
+            |b, &alg| b.iter(|| run_multicast(&bmin, &cfg, alg, &parts, src, 4096)),
+        );
+    }
+    g.finish();
+}
+
+fn bench_message_size_scaling(c: &mut Criterion) {
+    // Engine cost must stay event-bound, not cycle-bound: simulated time
+    // grows with message size but wall time should grow far slower.
+    let mesh = Mesh::new(&[16, 16]);
+    let cfg = SimConfig::paragon_like();
+    let parts = random_placement(256, 32, 7);
+    let src = parts[0];
+    let mut g = c.benchmark_group("optmesh_msg_scaling");
+    for bytes in [1024u64, 16384, 65536] {
+        g.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |b, &bytes| {
+            b.iter(|| run_multicast(&mesh, &cfg, Algorithm::OptArch, &parts, src, bytes))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mesh_multicast, bench_bmin_multicast, bench_message_size_scaling);
+criterion_main!(benches);

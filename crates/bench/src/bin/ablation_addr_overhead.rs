@@ -1,0 +1,63 @@
+//! ABL3 — the address-field cost the model hides.
+//!
+//! Algorithm 3.1's messages carry the address list `D` of the delegated
+//! range, so early sends (large ranges) are physically *longer* than late
+//! ones.  The parameterized model prices every send identically; this
+//! ablation sweeps the per-address byte cost and measures how far the
+//! flit-level latency drifts from the model bound — the fidelity gap of the
+//! "addresses are free" approximation.
+//!
+//! ```text
+//! cargo run --release -p optmc-bench --bin ablation_addr_overhead \
+//!     [--nodes 64] [--bytes 1024] [--trials 16] [--seed 1997]
+//! ```
+
+use flitsim::SimConfig;
+use optmc::experiments::run_trials;
+use optmc::Algorithm;
+use optmc_bench::{arg_value, Figure, Series, PAPER_TRIALS};
+use topo::Mesh;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let k: usize = arg_value(&args, "--nodes").map_or(64, |v| v.parse().expect("--nodes"));
+    let bytes: u64 = arg_value(&args, "--bytes").map_or(1024, |v| v.parse().expect("--bytes"));
+    let trials: usize =
+        arg_value(&args, "--trials").map_or(PAPER_TRIALS, |v| v.parse().expect("--trials"));
+    let seed: u64 = arg_value(&args, "--seed").map_or(1997, |v| v.parse().expect("--seed"));
+
+    let mesh = Mesh::new(&[16, 16]);
+    println!(
+        "Address-list overhead: OPT-mesh, {k} nodes, {bytes}-byte payload, 16x16 mesh\n"
+    );
+    println!(
+        "{:>12} {:>14} {:>14} {:>12}",
+        "addr bytes", "latency", "model bound", "model err %"
+    );
+    let mut points = Vec::new();
+    for addr_bytes in [0u64, 2, 4, 8, 16] {
+        let mut cfg = SimConfig::paragon_like();
+        cfg.addr_bytes = addr_bytes;
+        let s = run_trials(&mesh, &cfg, Algorithm::OptArch, k, bytes, trials, seed);
+        let err = 100.0 * (s.mean_latency - s.mean_analytic) / s.mean_analytic;
+        println!(
+            "{:>12} {:>14.1} {:>14.1} {:>11.2}%",
+            addr_bytes, s.mean_latency, s.mean_analytic, err
+        );
+        points.push((addr_bytes as f64, err));
+    }
+    Figure {
+        id: "abl3_addr_overhead".into(),
+        title: format!("model error vs address bytes (OPT-mesh, k={k}, {bytes}B)"),
+        x_label: "addr bytes".into(),
+        y_label: "model error %".into(),
+        series: vec![Series { label: "err_pct".into(), points }],
+    }
+    .write_csv()
+    .expect("write csv");
+    println!(
+        "\nReading: the model's 'addresses are free' approximation costs a few\n\
+         percent at realistic address sizes — the early, list-heavy sends sit\n\
+         on the multicast's critical path."
+    );
+}

@@ -1,0 +1,65 @@
+//! ABL5 — buffer-depth ablation: wormhole → virtual cut-through.
+//!
+//! With single-flit buffers (pure wormhole, the paper's regime) a blocked
+//! worm sprawls across `L` channels and contention cascades; with buffers
+//! deep enough to swallow whole messages (virtual cut-through) a blocked
+//! worm collapses into one switch and bothers nobody.  This ablation sweeps
+//! the buffer depth and measures how much of the untuned OPT-tree's
+//! contention penalty is really a *wormhole* phenomenon — i.e. how much of
+//! the paper's motivation evaporates on a VCT machine.
+//!
+//! ```text
+//! cargo run --release -p optmc-bench --bin ablation_buffers \
+//!     [--nodes 64] [--bytes 16384] [--trials 16] [--seed 1997]
+//! ```
+
+use flitsim::SimConfig;
+use optmc::experiments::run_trials;
+use optmc_bench::{arg_value, paper_algorithms, Figure, Series, PAPER_TRIALS};
+use topo::Mesh;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let k: usize = arg_value(&args, "--nodes").map_or(64, |v| v.parse().expect("--nodes"));
+    let bytes: u64 = arg_value(&args, "--bytes").map_or(16384, |v| v.parse().expect("--bytes"));
+    let trials: usize =
+        arg_value(&args, "--trials").map_or(PAPER_TRIALS, |v| v.parse().expect("--trials"));
+    let seed: u64 = arg_value(&args, "--seed").map_or(1997, |v| v.parse().expect("--seed"));
+
+    let mesh = Mesh::new(&[16, 16]);
+    let depths = [1u64, 4, 16, 64, 4096];
+    println!(
+        "Buffer-depth ablation: {k}-node, {bytes}-byte multicast, 16x16 mesh\n\
+         (depth 1 = wormhole, the paper's regime; 4096 ≈ virtual cut-through)\n"
+    );
+    println!("{:>8} {:>12} {:>12} {:>14} {:>14}", "depth", "OPT-tree", "OPT-mesh", "tree blocked", "gap %");
+    let mut points = Vec::new();
+    for depth in depths {
+        let mut cfg = SimConfig::paragon_like();
+        cfg.buffer_flits = depth;
+        let algs = paper_algorithms(&mesh);
+        let tree = run_trials(&mesh, &cfg, algs[1].0, k, bytes, trials, seed);
+        let mesh_s = run_trials(&mesh, &cfg, algs[2].0, k, bytes, trials, seed);
+        let gap = 100.0 * (tree.mean_latency - mesh_s.mean_latency) / mesh_s.mean_latency;
+        println!(
+            "{:>8} {:>12.1} {:>12.1} {:>14.1} {:>13.2}%",
+            depth, tree.mean_latency, mesh_s.mean_latency, tree.mean_blocked, gap
+        );
+        points.push((depth as f64, gap));
+    }
+    Figure {
+        id: "abl5_buffers".into(),
+        title: format!("OPT-tree penalty vs buffer depth (k={k}, {bytes}B)"),
+        x_label: "buffer flits".into(),
+        y_label: "gap %".into(),
+        series: vec![Series { label: "opt_tree_gap_pct".into(), points }],
+    }
+    .write_csv()
+    .expect("write csv");
+    println!(
+        "\nReading: deep buffers shrink a blocked worm's footprint, so the\n\
+         contention penalty of the untuned OPT-tree shrinks with depth —\n\
+         the paper's architecture-dependent ordering matters *because*\n\
+         wormhole switching holds whole paths."
+    );
+}

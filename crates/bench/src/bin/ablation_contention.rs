@@ -1,0 +1,56 @@
+//! ABL1 — anatomy of the contention overhead: for each algorithm, how much
+//! of the observed latency is the tree (analytic bound) and how much is
+//! blocking, as placement density varies.  The paper's Figures 2–3 only show
+//! totals; this ablation separates the two effects the paper's §5 narrates
+//! (U-mesh loses on tree *shape*; OPT-tree loses on *contention*).
+//!
+//! ```text
+//! cargo run --release -p optmc-bench --bin ablation_contention \
+//!     [--bytes 4096] [--trials 16] [--seed 7]
+//! ```
+
+use flitsim::SimConfig;
+use optmc::experiments::run_trials;
+use optmc::Algorithm;
+use optmc_bench::{arg_value, paper_algorithms, PAPER_TRIALS};
+use topo::Mesh;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bytes: u64 = arg_value(&args, "--bytes").map_or(4096, |v| v.parse().expect("--bytes"));
+    let trials: usize =
+        arg_value(&args, "--trials").map_or(PAPER_TRIALS, |v| v.parse().expect("--trials"));
+    let seed: u64 = arg_value(&args, "--seed").map_or(7, |v| v.parse().expect("--seed"));
+
+    let mesh = Mesh::new(&[16, 16]);
+    let cfg = SimConfig::paragon_like();
+
+    println!("Contention anatomy on a 16x16 mesh, {bytes}-byte messages, {trials} trials/point\n");
+    println!(
+        "{:>6} {:<10} {:>12} {:>12} {:>10} {:>12} {:>10}",
+        "nodes", "algorithm", "latency", "analytic", "overhead", "blocked/run", "cf-frac"
+    );
+    for k in [16usize, 64, 160, 256] {
+        for (alg, label) in paper_algorithms(&mesh) {
+            let s = run_trials(&mesh, &cfg, alg, k, bytes, trials, seed);
+            println!(
+                "{:>6} {:<10} {:>12.1} {:>12.1} {:>10.1} {:>12.1} {:>10.2}",
+                k,
+                label,
+                s.mean_latency,
+                s.mean_analytic,
+                s.mean_latency - s.mean_analytic,
+                s.mean_blocked,
+                s.contention_free_fraction
+            );
+        }
+        println!();
+    }
+
+    // Sanity line for the reader: OPT-mesh must stay contention-free.
+    let dense = run_trials(&mesh, &cfg, Algorithm::OptArch, 256, bytes, trials, seed);
+    println!(
+        "OPT-mesh at full density: contention-free fraction = {:.2} (expect 1.00)",
+        dense.contention_free_fraction
+    );
+}

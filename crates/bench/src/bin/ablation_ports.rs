@@ -1,0 +1,111 @@
+//! ABL4 — the port-model ablation.
+//!
+//! The paper fixes the one-port architecture (§5).  How much does that
+//! assumption cost, and can the model simply divide the port-bound `t_hold`
+//! by the port count on a multi-port NI?  This ablation equips the mesh
+//! nodes with 1/2/4 NI ports under a DMA-style software stack (low CPU
+//! hold, so the port is the binding constraint at one port) and runs
+//! OPT-mesh with two model variants:
+//!
+//! * **optimistic** — feed the DP `t_hold = drain/p` (ports fully divide
+//!   the injection constraint);
+//! * **conservative** — keep the one-port `t_hold = drain`.
+//!
+//! The punchline is a *negative* result for the optimistic model: all the
+//! node's worms still funnel through its router's few output links, so the
+//! over-wide trees the optimistic DP builds self-contend and lose.  The
+//! conservative model is port-count-invariant — evidence that the paper's
+//! one-port assumption is not actually restrictive on a mesh.
+//!
+//! ```text
+//! cargo run --release -p optmc-bench --bin ablation_ports \
+//!     [--nodes 32] [--bytes 32768] [--trials 16] [--seed 1997]
+//! ```
+
+use flitsim::{SimConfig, SoftwareModel};
+use optmc::experiments::random_placement;
+use optmc::{run_multicast_opts, Algorithm, RunOptions};
+use optmc_bench::{arg_value, PAPER_TRIALS};
+use pcm::LinearFn;
+use topo::Mesh;
+
+/// A DMA-offload software stack: the CPU hands the send to the NI almost
+/// immediately, so the hold time is port-bound, not CPU-bound.
+fn dma_like() -> SimConfig {
+    SimConfig {
+        software: SoftwareModel {
+            t_send: LinearFn::new(350.0, 0.15),
+            t_recv: LinearFn::new(300.0, 0.15),
+            t_hold: LinearFn::new(100.0, 0.01),
+        },
+        ..SimConfig::paragon_like()
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let k: usize = arg_value(&args, "--nodes").map_or(32, |v| v.parse().expect("--nodes"));
+    let bytes: u64 = arg_value(&args, "--bytes").map_or(32768, |v| v.parse().expect("--bytes"));
+    let trials: usize =
+        arg_value(&args, "--trials").map_or(PAPER_TRIALS, |v| v.parse().expect("--trials"));
+    let seed: u64 = arg_value(&args, "--seed").map_or(1997, |v| v.parse().expect("--seed"));
+
+    let cfg = dma_like();
+    println!(
+        "Port-model ablation: OPT-mesh, {k} nodes, {bytes}-byte messages, 16x16 mesh,\n\
+         DMA-style software (CPU hold ≈ {} cycles, drain = {} cycles)\n",
+        cfg.software.t_hold.eval(bytes),
+        cfg.flits(bytes)
+    );
+    println!(
+        "{:>6} {:>16} {:>14} {:>14} {:>14}",
+        "ports", "model", "DP t_hold", "latency", "blocked/run"
+    );
+    for ports in [1usize, 2, 4] {
+        let mesh = Mesh::with_ports(&[16, 16], ports);
+        for (label, model_ports) in [("optimistic p", None), ("conservative 1", Some(1))] {
+            let opts = RunOptions { model_ports, ..RunOptions::default() };
+            let eff = model_ports.unwrap_or(ports as u64);
+            let (hold, _) = cfg.effective_pair_ports(16, bytes, eff);
+            let mut lat = 0.0;
+            let mut blocked = 0.0;
+            for t in 0..trials {
+                let parts = random_placement(256, k, seed + t as u64);
+                let out = run_multicast_opts(
+                    &mesh,
+                    &cfg,
+                    Algorithm::OptArch,
+                    &parts,
+                    parts[0],
+                    bytes,
+                    &opts,
+                );
+                lat += out.latency as f64;
+                blocked += out.sim.blocked_cycles as f64;
+            }
+            println!(
+                "{:>6} {:>16} {:>14} {:>14.1} {:>14.1}",
+                ports,
+                label,
+                hold,
+                lat / trials as f64,
+                blocked / trials as f64
+            );
+        }
+        println!();
+    }
+    println!(
+        "Reading: two negative results for multi-port NIs on a mesh.\n\
+         (1) Dividing the injection constraint by the port count is a model\n\
+         error: the node's router links re-serialise the worms, and the\n\
+         over-wide trees the optimistic DP builds pay for it in blocking.\n\
+         (2) Even with the conservative tree, extra ports *hurt*: concurrent\n\
+         worms from one node race for the shared first links, and whichever\n\
+         wins steals bandwidth from the tree's critical-path send (priority\n\
+         inversion).  One port + in-order pacing is exactly what the tuned\n\
+         schedule wants — the paper's one-port architecture is not a\n\
+         limitation but the right operating point.\n\
+         (blocked/run includes waiting at the node's own full injection\n\
+         ports, which is how the DMA stack paces itself.)"
+    );
+}

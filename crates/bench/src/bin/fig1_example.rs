@@ -1,0 +1,63 @@
+//! FIG1 — the paper's worked example (Fig. 1): a 6×6 mesh, 7 destinations,
+//! `t_hold = 20`, `t_end = 55`.  The OPT-mesh tree completes in 130 time
+//! units, the U-mesh (binomial) tree in 165.
+//!
+//! ```text
+//! cargo run -p optmc-bench --bin fig1_example
+//! ```
+
+use mtree::{dot, MulticastTree, Schedule, SplitStrategy};
+use optmc::{check_schedule, Algorithm};
+use topo::{Mesh, NodeId};
+
+fn main() {
+    let (hold, end) = (20u64, 55u64);
+    let k = 8usize;
+    let mesh = Mesh::new(&[6, 6]);
+    // A concrete placement of 8 participants on the 6×6 mesh (the paper's
+    // figure does not list coordinates; any placement yields the same model
+    // latencies because the tree is built over chain positions).
+    let parts: Vec<NodeId> = [1u32, 4, 9, 13, 19, 25, 28, 33].map(NodeId).to_vec();
+    let src = parts[0];
+
+    println!("FIG1: 6x6 mesh, {} destinations, t_hold={hold}, t_end={end}\n", k - 1);
+    for (alg, expect) in [(Algorithm::OptArch, 130u64), (Algorithm::UArch, 165u64)] {
+        let chain = alg.chain(&mesh, &parts, src);
+        let splits = alg.splits(hold, end, k);
+        let sched = Schedule::build(k, chain.src_pos(), &splits, hold, end);
+        let conflicts = check_schedule(&mesh, &chain, &sched);
+        let name = alg.display_name(&mesh);
+        println!(
+            "{name:10}  latency {:4}   (paper: {expect})   depth {}   contention-free: {}",
+            sched.latency(),
+            sched.depth(),
+            conflicts.is_empty(),
+        );
+        assert_eq!(sched.latency(), expect, "{name} does not reproduce the paper value");
+    }
+
+    // Also show the OPT split table the DP produced, and the tree.
+    let tab = mtree::opt::opt_table(hold, end, k);
+    println!("\nOPT-tree DP table (i: t[i], j_i):");
+    for i in 1..=k {
+        if i >= 2 {
+            println!("  {i}: t={:4}  j={}", tab.t(i), tab.j(i));
+        } else {
+            println!("  {i}: t={:4}", tab.t(i));
+        }
+    }
+
+    let chain = Algorithm::OptArch.chain(&mesh, &parts, src);
+    let sched =
+        Schedule::build(k, chain.src_pos(), &SplitStrategy::opt(hold, end, k), hold, end);
+    let tree = MulticastTree::from_schedule(&sched);
+    let labels: Vec<String> = chain
+        .nodes()
+        .iter()
+        .map(|&n| {
+            let c = mesh.coords(n);
+            format!("({},{})", c[0], c[1])
+        })
+        .collect();
+    println!("\nOPT-mesh tree (Graphviz DOT):\n{}", dot::to_dot(&tree, Some(&labels)));
+}

@@ -1,0 +1,42 @@
+//! FIG2 — "Comparison of 32-node multicast trees on a 16x16 mesh":
+//! multicast latency vs message size (0–64 KB) for U-mesh, OPT-tree and
+//! OPT-mesh, flit-level simulated, 16 random placements per point.
+//!
+//! The paper's §5 also reports "the same experiment using 128-node multicast
+//! trees" with similar results (FIG2B): pass `--nodes 128`.
+//!
+//! ```text
+//! cargo run --release -p optmc-bench --bin fig2_mesh_msgsize [--nodes 128] \
+//!     [--trials 16] [--seed 1997] [--step 8192]
+//! ```
+
+use flitsim::SimConfig;
+use optmc_bench::{arg_value, sweep_msg_size, Figure, PAPER_TRIALS};
+use topo::Mesh;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let nodes: usize = arg_value(&args, "--nodes").map_or(32, |v| v.parse().expect("--nodes"));
+    let trials: usize =
+        arg_value(&args, "--trials").map_or(PAPER_TRIALS, |v| v.parse().expect("--trials"));
+    let seed: u64 = arg_value(&args, "--seed").map_or(1997, |v| v.parse().expect("--seed"));
+    let step: u64 = arg_value(&args, "--step").map_or(8192, |v| v.parse().expect("--step"));
+
+    let mesh = Mesh::new(&[16, 16]);
+    let cfg = SimConfig::paragon_like();
+    // 0k..64k in `step` increments; "0k" is a header-only message.
+    let sizes: Vec<u64> = (0..=(65536 / step)).map(|i| i * step).collect();
+
+    let series = sweep_msg_size(&mesh, &cfg, nodes, &sizes, trials, seed);
+    let id = if nodes == 32 { "fig2".to_string() } else { format!("fig2_{nodes}n") };
+    Figure {
+        id,
+        title: format!(
+            "Fig 2: {nodes}-node multicast on a 16x16 mesh ({trials} placements/point)"
+        ),
+        x_label: "msg bytes".into(),
+        y_label: "multicast latency (cycles)".into(),
+        series,
+    }
+    .emit();
+}

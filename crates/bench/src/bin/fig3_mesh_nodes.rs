@@ -1,0 +1,36 @@
+//! FIG3 — "Comparison of 4-Kbyte multicast trees on a 16x16 mesh":
+//! multicast latency vs participant count for U-mesh, OPT-tree and
+//! OPT-mesh, flit-level simulated, 16 random placements per point.
+//!
+//! ```text
+//! cargo run --release -p optmc-bench --bin fig3_mesh_nodes \
+//!     [--bytes 4096] [--trials 16] [--seed 1997]
+//! ```
+
+use flitsim::SimConfig;
+use optmc_bench::{arg_value, sweep_nodes, Figure, PAPER_TRIALS};
+use topo::Mesh;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bytes: u64 = arg_value(&args, "--bytes").map_or(4096, |v| v.parse().expect("--bytes"));
+    let trials: usize =
+        arg_value(&args, "--trials").map_or(PAPER_TRIALS, |v| v.parse().expect("--trials"));
+    let seed: u64 = arg_value(&args, "--seed").map_or(1997, |v| v.parse().expect("--seed"));
+
+    let mesh = Mesh::new(&[16, 16]);
+    let cfg = SimConfig::paragon_like();
+    let ks = [4usize, 8, 16, 32, 64, 96, 128, 192, 256];
+
+    let series = sweep_nodes(&mesh, &cfg, &ks, bytes, trials, seed);
+    Figure {
+        id: "fig3".into(),
+        title: format!(
+            "Fig 3: {bytes}-byte multicast on a 16x16 mesh ({trials} placements/point)"
+        ),
+        x_label: "nodes".into(),
+        y_label: "multicast latency (cycles)".into(),
+        series,
+    }
+    .emit();
+}

@@ -1,0 +1,57 @@
+//! BMIN1/ABL2 — the BMIN experiments §5 describes but omits for space:
+//! both sweeps (message size at 32 nodes; node count at 4 KB) on the
+//! 128-node BMIN of 2×2 switches, comparing U-min / OPT-tree / OPT-min.
+//! The paper's stated findings to check:
+//!   * "results are quite similar to the results from the mesh experiments",
+//!   * "the contention overhead in the OPT-tree is less severe" than on the
+//!     mesh, because turnaround routing offers extra paths.
+//!
+//! `--no-adaptive` disables the adaptive up-phase (ABL2), isolating how much
+//! of the BMIN's mildness those extra paths provide.
+//!
+//! ```text
+//! cargo run --release -p optmc-bench --bin fig4_bmin \
+//!     [--trials 16] [--seed 1997] [--no-adaptive]
+//! ```
+
+use flitsim::SimConfig;
+use optmc_bench::{arg_present, arg_value, sweep_msg_size, sweep_nodes, Figure, PAPER_TRIALS};
+use topo::{Bmin, UpPolicy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let trials: usize =
+        arg_value(&args, "--trials").map_or(PAPER_TRIALS, |v| v.parse().expect("--trials"));
+    let seed: u64 = arg_value(&args, "--seed").map_or(1997, |v| v.parse().expect("--seed"));
+    let adaptive = !arg_present(&args, "--no-adaptive");
+
+    let bmin = Bmin::new(7, UpPolicy::Straight);
+    let mut cfg = SimConfig::paragon_like();
+    cfg.adaptive = adaptive;
+    let tag = if adaptive { "" } else { "_noadapt" };
+
+    let sizes: Vec<u64> = (0..=8).map(|i| i * 8192).collect();
+    Figure {
+        id: format!("fig4a{tag}"),
+        title: format!(
+            "BMIN: 32-node multicast on a 128-node BMIN vs message size (adaptive={adaptive})"
+        ),
+        x_label: "msg bytes".into(),
+        y_label: "multicast latency (cycles)".into(),
+        series: sweep_msg_size(&bmin, &cfg, 32, &sizes, trials, seed),
+    }
+    .emit();
+    println!();
+
+    let ks = [4usize, 8, 16, 32, 48, 64, 96, 128];
+    Figure {
+        id: format!("fig4b{tag}"),
+        title: format!(
+            "BMIN: 4096-byte multicast on a 128-node BMIN vs node count (adaptive={adaptive})"
+        ),
+        x_label: "nodes".into(),
+        y_label: "multicast latency (cycles)".into(),
+        series: sweep_nodes(&bmin, &cfg, &ks, 4096, trials, seed),
+    }
+    .emit();
+}

@@ -1,0 +1,87 @@
+//! FUT1 — §6's "future work": multicast on a *unidirectional* butterfly MIN,
+//! where no node ordering yields contention-free clusters, comparing
+//!
+//! * naive execution (worms block in the network), vs.
+//! * **temporal ordering** (conflicting senders are delayed so they are
+//!   "unlikely to send at the same time" — here: guaranteed not to),
+//!
+//! for both the lexicographic-ordered and the placement-ordered chains.
+//!
+//! ```text
+//! cargo run --release -p optmc-bench --bin future_umin \
+//!     [--nodes 32] [--bytes 16384] [--trials 16] [--seed 1997]
+//! ```
+
+use flitsim::SimConfig;
+use optmc::experiments::random_placement;
+use optmc::{run_multicast_with, Algorithm};
+use optmc_bench::{arg_value, Figure, Series, PAPER_TRIALS};
+use topo::Omega;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let k: usize = arg_value(&args, "--nodes").map_or(32, |v| v.parse().expect("--nodes"));
+    let bytes: u64 = arg_value(&args, "--bytes").map_or(16384, |v| v.parse().expect("--bytes"));
+    let trials: usize =
+        arg_value(&args, "--trials").map_or(PAPER_TRIALS, |v| v.parse().expect("--trials"));
+    let seed: u64 = arg_value(&args, "--seed").map_or(1997, |v| v.parse().expect("--seed"));
+
+    let omega = Omega::new(7); // 128 nodes, like the BMIN experiments
+    let cfg = SimConfig::paragon_like();
+
+    println!(
+        "Unidirectional omega-128: {k}-node multicast, {bytes}-byte messages, {trials} trials\n"
+    );
+    println!(
+        "{:<28} {:>12} {:>14} {:>14}",
+        "configuration", "latency", "blocked/run", "cf-fraction"
+    );
+
+    let mut rows: Vec<Series> = Vec::new();
+    for (alg, ordering) in [(Algorithm::OptArch, "lex-ordered"), (Algorithm::OptTree, "placement")]
+    {
+        for temporal in [false, true] {
+            let mut lat = 0.0;
+            let mut blocked = 0.0;
+            let mut clean = 0usize;
+            for t in 0..trials {
+                let parts = random_placement(128, k, seed + t as u64);
+                let out =
+                    run_multicast_with(&omega, &cfg, alg, &parts, parts[0], bytes, temporal);
+                lat += out.latency as f64;
+                blocked += out.sim.blocked_cycles as f64;
+                clean += usize::from(out.sim.contention_free());
+            }
+            let label = format!("{ordering}{}", if temporal { "+temporal" } else { "" });
+            println!(
+                "{:<28} {:>12.1} {:>14.1} {:>14.2}",
+                label,
+                lat / trials as f64,
+                blocked / trials as f64,
+                clean as f64 / trials as f64
+            );
+            rows.push(Series {
+                label,
+                points: vec![(0.0, lat / trials as f64), (1.0, blocked / trials as f64)],
+            });
+        }
+    }
+
+    Figure {
+        id: "future_umin".into(),
+        title: format!("omega-128 {k}-node, {bytes}B: naive vs temporal ordering"),
+        x_label: "metric(0=latency,1=blocked)".into(),
+        y_label: "cycles".into(),
+        series: rows,
+    }
+    .write_csv()
+    .expect("write csv");
+
+    println!(
+        "\nReading (§6): temporal ordering eliminates in-network blocking\n\
+         entirely.  On the *ordered* chain (few residual conflicts) it is\n\
+         essentially free; on the placement chain it over-serialises — the\n\
+         §6 recipe is ordering first, temporal resolution for the residue,\n\
+         not temporal resolution instead of ordering."
+    );
+}

@@ -1,0 +1,82 @@
+//! INTF — cross-multicast interference: the paper's guarantees are
+//! per-multicast; what happens when several tuned multicasts run at once?
+//!
+//! Batches of 1/2/4/8 concurrent OPT-mesh multicasts with disjoint
+//! participant sets; per-multicast slowdown relative to its solo bound
+//! measures the interference the single-multicast theorems do not cover.
+//!
+//! ```text
+//! cargo run --release -p optmc-bench --bin interference_study \
+//!     [--nodes 16] [--bytes 4096] [--trials 16] [--seed 1997]
+//! ```
+
+use flitsim::SimConfig;
+use optmc::concurrent::{run_concurrent, McastSpec};
+use optmc::experiments::random_placement;
+use optmc::Algorithm;
+use optmc_bench::{arg_value, Figure, Series, PAPER_TRIALS};
+use topo::Mesh;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let k: usize = arg_value(&args, "--nodes").map_or(16, |v| v.parse().expect("--nodes"));
+    let bytes: u64 = arg_value(&args, "--bytes").map_or(4096, |v| v.parse().expect("--bytes"));
+    let trials: usize =
+        arg_value(&args, "--trials").map_or(PAPER_TRIALS, |v| v.parse().expect("--trials"));
+    let seed: u64 = arg_value(&args, "--seed").map_or(1997, |v| v.parse().expect("--seed"));
+
+    let mesh = Mesh::new(&[16, 16]);
+    let cfg = SimConfig::paragon_like();
+
+    println!(
+        "Concurrent OPT-mesh multicasts on a 16x16 mesh ({k} nodes, {bytes} B each)\n"
+    );
+    println!(
+        "{:>8} {:>14} {:>14} {:>12} {:>14}",
+        "batch", "mean latency", "solo bound", "slowdown", "blocked/batch"
+    );
+    let mut points = Vec::new();
+    for count in [1usize, 2, 4, 8] {
+        let (mut lat, mut bound, mut blocked) = (0.0, 0.0, 0.0);
+        let mut measured = 0usize;
+        for t in 0..trials {
+            let pool = random_placement(256, k * count, seed + t as u64);
+            let specs: Vec<McastSpec> = pool
+                .chunks(k)
+                .map(|c| McastSpec { participants: c.to_vec(), src: c[0], bytes })
+                .collect();
+            let (outs, sim) = run_concurrent(&mesh, &cfg, Algorithm::OptArch, &specs);
+            for o in outs {
+                lat += o.latency as f64;
+                bound += o.analytic as f64;
+                measured += 1;
+            }
+            blocked += sim.blocked_cycles as f64;
+        }
+        let slowdown = lat / bound;
+        println!(
+            "{:>8} {:>14.1} {:>14.1} {:>12.3} {:>14.1}",
+            count,
+            lat / measured as f64,
+            bound / measured as f64,
+            slowdown,
+            blocked / trials as f64
+        );
+        points.push((count as f64, slowdown));
+    }
+    Figure {
+        id: "intf_concurrent".into(),
+        title: format!("per-multicast slowdown vs batch size (k={k}, {bytes}B)"),
+        x_label: "concurrent multicasts".into(),
+        y_label: "latency / solo bound".into(),
+        series: vec![Series { label: "slowdown".into(), points }],
+    }
+    .write_csv()
+    .expect("write csv");
+    println!(
+        "\nReading: each multicast is internally contention-free (Theorem 1),\n\
+         but nothing coordinates separate multicasts — interference grows\n\
+         with batch size.  Extending the §6 temporal idea across multicasts\n\
+         is the natural next step the paper leaves open."
+    );
+}

@@ -1,0 +1,70 @@
+//! SCATTER — personalized multicast with the size-aware optimal tree.
+//!
+//! A scatter's messages shrink down the tree (a send delegating `d`
+//! destinations carries `d·unit` bytes), so Algorithm 2.1's fixed-size
+//! optimum is no longer optimal; the generalised DP in `mtree::scatter`
+//! prices each split by the delegated range's size.  This study compares
+//! the scatter-optimal tree against the binomial tree (the MPI-style
+//! default) and the naive reuse of the multicast shape, on the flit-level
+//! simulator.
+//!
+//! ```text
+//! cargo run --release -p optmc-bench --bin scatter_study \
+//!     [--nodes 32] [--trials 16] [--seed 1997]
+//! ```
+
+use flitsim::SimConfig;
+use optmc::experiments::random_placement;
+use optmc::scatter::run_scatter;
+use optmc::Algorithm;
+use optmc_bench::{arg_value, Figure, Series, PAPER_TRIALS};
+use topo::Mesh;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let k: usize = arg_value(&args, "--nodes").map_or(32, |v| v.parse().expect("--nodes"));
+    let trials: usize =
+        arg_value(&args, "--trials").map_or(PAPER_TRIALS, |v| v.parse().expect("--trials"));
+    let seed: u64 = arg_value(&args, "--seed").map_or(1997, |v| v.parse().expect("--seed"));
+
+    let mesh = Mesh::new(&[16, 16]);
+    let cfg = SimConfig::paragon_like();
+    let units = [256u64, 1024, 4096, 16384];
+
+    println!("Scatter on a 16x16 mesh, {k} destinations, {trials} placements\n");
+    println!("{:>12} {:>14} {:>14} {:>10}", "unit bytes", "scatter-opt", "binomial", "speedup");
+    let mut points = Vec::new();
+    for unit in units {
+        let (mut opt, mut bin) = (0.0, 0.0);
+        for t in 0..trials {
+            let parts = random_placement(256, k, seed + t as u64);
+            opt += run_scatter(&mesh, &cfg, Algorithm::OptArch, &parts, parts[0], unit).latency
+                as f64;
+            bin += run_scatter(&mesh, &cfg, Algorithm::UArch, &parts, parts[0], unit).latency
+                as f64;
+        }
+        let speedup = bin / opt;
+        println!(
+            "{:>12} {:>14.1} {:>14.1} {:>10.3}",
+            unit,
+            opt / trials as f64,
+            bin / trials as f64,
+            speedup
+        );
+        points.push((unit as f64, speedup));
+    }
+    Figure {
+        id: "scatter_study".into(),
+        title: format!("scatter speedup of the size-aware DP over binomial (k={k})"),
+        x_label: "unit bytes".into(),
+        y_label: "speedup".into(),
+        series: vec![Series { label: "binomial/opt".into(), points }],
+    }
+    .write_csv()
+    .expect("write csv");
+    println!(
+        "\nReading: scatter amplifies the paper's message — the right tree\n\
+         depends on measured size-dependent costs, and with per-destination\n\
+         payloads the optimal shape shifts again (shed big ranges early)."
+    );
+}

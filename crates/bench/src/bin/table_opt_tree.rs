@@ -1,0 +1,51 @@
+//! TBL-OPT — the behaviour of Algorithm 2.1 across `t_hold : t_end` ratios:
+//! latency tables, split tables, and the improvement factor over the
+//! binomial tree.  At ratio 1 the OPT tree *is* the binomial tree (the
+//! U-mesh/U-min optimality condition the paper cites); as the ratio falls
+//! the optimal tree widens toward the sequential tree.
+//!
+//! ```text
+//! cargo run -p optmc-bench --bin table_opt_tree [--k 64] [--end 100]
+//! ```
+
+use mtree::analysis::{opt_vs_binomial_ratio, stats};
+use mtree::SplitStrategy;
+use optmc_bench::{arg_value, Figure, Series};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let k: usize = arg_value(&args, "--k").map_or(64, |v| v.parse().expect("--k"));
+    let end: u64 = arg_value(&args, "--end").map_or(100, |v| v.parse().expect("--end"));
+
+    println!("OPT-tree vs binomial across t_hold:t_end ratios (k = {k}, t_end = {end})\n");
+    println!(
+        "{:>8} {:>10} {:>10} {:>8} {:>7} {:>8} {:>8}",
+        "t_hold", "opt", "binomial", "speedup", "depth", "maxdeg", "fwd"
+    );
+    let holds: Vec<u64> = [0.0, 0.05, 0.1, 0.2, 0.3, 0.5, 0.7, 0.9, 1.0]
+        .iter()
+        .map(|f| (end as f64 * f) as u64)
+        .collect();
+    let mut points = Vec::new();
+    for &hold in &holds {
+        let strat = SplitStrategy::opt(hold, end, k);
+        let st = stats(&strat, hold, end, k);
+        let bin = SplitStrategy::Binomial.latency(hold, end, k);
+        let ratio = opt_vs_binomial_ratio(hold, end, k);
+        println!(
+            "{:>8} {:>10} {:>10} {:>8.3} {:>7} {:>8} {:>8}",
+            hold, st.latency, bin, ratio, st.depth, st.max_degree, st.forwarders
+        );
+        points.push((hold as f64, ratio));
+    }
+
+    Figure {
+        id: "table_opt_tree".into(),
+        title: format!("binomial/opt latency ratio vs t_hold (k={k}, t_end={end})"),
+        x_label: "t_hold".into(),
+        y_label: "ratio".into(),
+        series: vec![Series { label: "binomial/opt".into(), points }],
+    }
+    .write_csv()
+    .expect("write csv");
+}

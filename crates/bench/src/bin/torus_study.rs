@@ -1,0 +1,77 @@
+//! TORUS — applying the §6 programme to the next network in the mesh
+//! family: a 16×16 torus with dateline virtual channels.
+//!
+//! Wraparound halves average distance, but the wrap paths escape the
+//! interval hull that makes the dimension-ordered chain contention-free on
+//! the mesh (Theorem 1's geometry).  This study quantifies both effects and
+//! tests the §6 remedies: does the architecture ordering still help, and
+//! does temporal resolution mop up the residue?
+//!
+//! ```text
+//! cargo run --release -p optmc-bench --bin torus_study \
+//!     [--nodes 32] [--bytes 4096] [--trials 16] [--seed 1997]
+//! ```
+
+use flitsim::SimConfig;
+use optmc::experiments::random_placement;
+use optmc::{run_multicast_opts, Algorithm, RunOptions};
+use optmc_bench::{arg_value, PAPER_TRIALS};
+use topo::{Mesh, Torus, Topology};
+
+fn study(topo: &dyn Topology, cfg: &SimConfig, alg: Algorithm, temporal: bool,
+         k: usize, bytes: u64, trials: usize, seed: u64) -> (f64, f64, f64) {
+    let (mut lat, mut blocked, mut clean) = (0.0, 0.0, 0usize);
+    let opts = RunOptions { temporal, ..RunOptions::default() };
+    for t in 0..trials {
+        let parts = random_placement(topo.graph().n_nodes(), k, seed + t as u64);
+        let out = run_multicast_opts(topo, cfg, alg, &parts, parts[0], bytes, &opts);
+        lat += out.latency as f64;
+        blocked += out.sim.blocked_cycles as f64;
+        clean += usize::from(out.sim.contention_free());
+    }
+    (lat / trials as f64, blocked / trials as f64, clean as f64 / trials as f64)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let k: usize = arg_value(&args, "--nodes").map_or(32, |v| v.parse().expect("--nodes"));
+    let bytes: u64 = arg_value(&args, "--bytes").map_or(4096, |v| v.parse().expect("--bytes"));
+    let trials: usize =
+        arg_value(&args, "--trials").map_or(PAPER_TRIALS, |v| v.parse().expect("--trials"));
+    let seed: u64 = arg_value(&args, "--seed").map_or(1997, |v| v.parse().expect("--seed"));
+
+    let mesh = Mesh::new(&[16, 16]);
+    let torus = Torus::new(&[16, 16]);
+    let cfg = SimConfig::paragon_like();
+
+    println!("Mesh vs torus, {k}-node {bytes}-byte multicast, {trials} placements\n");
+    println!(
+        "{:<26} {:>12} {:>14} {:>10}",
+        "configuration", "latency", "blocked/run", "cf-frac"
+    );
+    let topos: [(&dyn Topology, &str); 2] = [(&mesh, "mesh-16x16"), (&torus, "torus-16x16")];
+    for (topo, tname) in topos {
+        for (alg, aname) in
+            [(Algorithm::UArch, "U-arch"), (Algorithm::OptTree, "OPT-tree"), (Algorithm::OptArch, "OPT-arch")]
+        {
+            let (lat, blocked, cf) = study(topo, &cfg, alg, false, k, bytes, trials, seed);
+            println!("{:<26} {:>12.1} {:>14.1} {:>10.2}", format!("{tname}/{aname}"), lat, blocked, cf);
+        }
+        // §6 remedy on the torus: ordered chain + temporal residue cleanup.
+        let (lat, blocked, cf) = study(topo, &cfg, Algorithm::OptArch, true, k, bytes, trials, seed);
+        println!(
+            "{:<26} {:>12.1} {:>14.1} {:>10.2}",
+            format!("{tname}/OPT-arch+temporal"),
+            lat,
+            blocked,
+            cf
+        );
+        println!();
+    }
+    println!(
+        "Reading: wraparound buys distance but taxes the ordering — the\n\
+         dimension-ordered chain is no longer perfectly contention-free on\n\
+         the torus.  The §6 recipe (ordering + temporal residue resolution)\n\
+         restores blocking-free execution at a small latency premium."
+    );
+}

@@ -1,0 +1,226 @@
+//! Shared harness for the figure/table regeneration binaries.
+//!
+//! Every binary prints a human-readable table to stdout and writes the same
+//! series as CSV under `results/` (current directory), so EXPERIMENTS.md
+//! rows can be checked against machine-readable data.
+
+use std::fmt::Write as _;
+use std::fs;
+use std::path::Path;
+
+use flitsim::SimConfig;
+use optmc::{experiments::run_trials, Algorithm, TrialStats};
+use pcm::MsgSize;
+use topo::Topology;
+
+/// One plotted series: a label plus (x, y) points.
+#[derive(Debug, Clone)]
+pub struct Series {
+    /// Legend label ("U-Mesh", "OPT-Tree", ...).
+    pub label: String,
+    /// (x, mean latency) points.
+    pub points: Vec<(f64, f64)>,
+}
+
+/// A figure: axis names plus several series over the same x values.
+#[derive(Debug, Clone)]
+pub struct Figure {
+    /// Experiment id ("fig2", ...), used for the CSV filename.
+    pub id: String,
+    /// Title printed above the table.
+    pub title: String,
+    /// X-axis label.
+    pub x_label: String,
+    /// Y-axis label.
+    pub y_label: String,
+    /// The series.
+    pub series: Vec<Series>,
+}
+
+impl Figure {
+    /// Render as an aligned text table (x column + one column per series).
+    pub fn to_table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "# {}", self.title);
+        let _ = write!(out, "{:>14}", self.x_label);
+        for s in &self.series {
+            let _ = write!(out, "{:>14}", s.label);
+        }
+        let _ = writeln!(out);
+        let nx = self.series.first().map_or(0, |s| s.points.len());
+        for i in 0..nx {
+            let _ = write!(out, "{:>14.0}", self.series[0].points[i].0);
+            for s in &self.series {
+                let _ = write!(out, "{:>14.1}", s.points[i].1);
+            }
+            let _ = writeln!(out);
+        }
+        out
+    }
+
+    /// Write `results/<id>.json` — the machine-readable record backing the
+    /// EXPERIMENTS.md tables.
+    pub fn write_json(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = Path::new("results");
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        let record = serde_json::json!({
+            "id": self.id,
+            "title": self.title,
+            "x_label": self.x_label,
+            "y_label": self.y_label,
+            "series": self.series.iter().map(|s| serde_json::json!({
+                "label": s.label,
+                "points": s.points,
+            })).collect::<Vec<_>>(),
+        });
+        fs::write(&path, serde_json::to_string_pretty(&record)?)?;
+        Ok(path)
+    }
+
+    /// Write `results/<id>.csv`.
+    pub fn write_csv(&self) -> std::io::Result<std::path::PathBuf> {
+        let dir = Path::new("results");
+        fs::create_dir_all(dir)?;
+        let path = dir.join(format!("{}.csv", self.id));
+        let mut csv = String::new();
+        let _ = write!(csv, "{}", self.x_label.replace(' ', "_"));
+        for s in &self.series {
+            let _ = write!(csv, ",{}", s.label.replace(' ', "_"));
+        }
+        let _ = writeln!(csv);
+        let nx = self.series.first().map_or(0, |s| s.points.len());
+        for i in 0..nx {
+            let _ = write!(csv, "{}", self.series[0].points[i].0);
+            for s in &self.series {
+                let _ = write!(csv, ",{}", s.points[i].1);
+            }
+            let _ = writeln!(csv);
+        }
+        fs::write(&path, csv)?;
+        Ok(path)
+    }
+
+    /// Print the table and write CSV + JSON, reporting the paths.
+    pub fn emit(&self) {
+        print!("{}", self.to_table());
+        match self.write_csv() {
+            Ok(p) => println!("\n[csv] {}", p.display()),
+            Err(e) => eprintln!("could not write CSV: {e}"),
+        }
+        match self.write_json() {
+            Ok(p) => println!("[json] {}", p.display()),
+            Err(e) => eprintln!("could not write JSON: {e}"),
+        }
+    }
+}
+
+/// The paper's three mesh algorithms with their plot labels.
+pub fn paper_algorithms(topo: &dyn Topology) -> Vec<(Algorithm, String)> {
+    Algorithm::PAPER_SET.iter().map(|&a| (a, a.display_name(topo))).collect()
+}
+
+/// Sweep message sizes for a fixed participant count (Figure 2 layout).
+#[allow(clippy::too_many_arguments)]
+pub fn sweep_msg_size(
+    topo: &dyn Topology,
+    cfg: &SimConfig,
+    k: usize,
+    sizes: &[MsgSize],
+    trials: usize,
+    seed: u64,
+) -> Vec<Series> {
+    paper_algorithms(topo)
+        .into_iter()
+        .map(|(alg, label)| Series {
+            label,
+            points: sizes
+                .iter()
+                .map(|&m| {
+                    let s = run_trials(topo, cfg, alg, k, m, trials, seed);
+                    (m as f64, s.mean_latency)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Sweep participant counts for a fixed message size (Figure 3 layout).
+pub fn sweep_nodes(
+    topo: &dyn Topology,
+    cfg: &SimConfig,
+    ks: &[usize],
+    bytes: MsgSize,
+    trials: usize,
+    seed: u64,
+) -> Vec<Series> {
+    paper_algorithms(topo)
+        .into_iter()
+        .map(|(alg, label)| Series {
+            label,
+            points: ks
+                .iter()
+                .map(|&k| {
+                    let s = run_trials(topo, cfg, alg, k, bytes, trials, seed);
+                    (k as f64, s.mean_latency)
+                })
+                .collect(),
+        })
+        .collect()
+}
+
+/// Detailed per-point stats for contention analyses.
+pub fn stats_point(
+    topo: &dyn Topology,
+    cfg: &SimConfig,
+    alg: Algorithm,
+    k: usize,
+    bytes: MsgSize,
+    trials: usize,
+    seed: u64,
+) -> TrialStats {
+    run_trials(topo, cfg, alg, k, bytes, trials, seed)
+}
+
+/// Minimal `--flag value` argument lookup.
+pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Is a bare `--flag` present?
+pub fn arg_present(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// The paper's trial count (§5: 16 random placements per point).
+pub const PAPER_TRIALS: usize = 16;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_and_csv_roundtrip() {
+        let fig = Figure {
+            id: "selftest".into(),
+            title: "t".into(),
+            x_label: "x".into(),
+            y_label: "y".into(),
+            series: vec![
+                Series { label: "a".into(), points: vec![(1.0, 2.0), (2.0, 4.0)] },
+                Series { label: "b".into(), points: vec![(1.0, 3.0), (2.0, 6.0)] },
+            ],
+        };
+        let t = fig.to_table();
+        assert!(t.contains('a') && t.contains("6.0"));
+    }
+
+    #[test]
+    fn arg_parsing() {
+        let args: Vec<String> = ["--nodes", "128", "--fast"].iter().map(|s| s.to_string()).collect();
+        assert_eq!(arg_value(&args, "--nodes").as_deref(), Some("128"));
+        assert_eq!(arg_value(&args, "--seed"), None);
+        assert!(arg_present(&args, "--fast"));
+        assert!(!arg_present(&args, "--slow"));
+    }
+}

@@ -1,0 +1,111 @@
+//! Minimal `--flag value` argument handling.
+
+use crate::{err, CliError};
+
+/// Parsed arguments: positional subcommand + flag map.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first bare word).
+    pub command: String,
+    flags: Vec<(String, Option<String>)>,
+}
+
+impl Args {
+    /// Parse a raw argument list (without the program name).
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Result<Args, CliError> {
+        let mut it = raw.into_iter().peekable();
+        let command = it.next().unwrap_or_default();
+        if command.starts_with("--") {
+            return Err(err(format!("expected a subcommand before '{command}'")));
+        }
+        let mut flags = Vec::new();
+        while let Some(tok) = it.next() {
+            let Some(name) = tok.strip_prefix("--") else {
+                return Err(err(format!("unexpected positional argument '{tok}'")));
+            };
+            // A flag's value is the next token unless it is another flag.
+            let value = match it.peek() {
+                Some(v) if !v.starts_with("--") => Some(it.next().expect("peeked")),
+                _ => None,
+            };
+            flags.push((name.to_string(), value));
+        }
+        Ok(Args { command, flags })
+    }
+
+    /// String value of a flag.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.flags
+            .iter()
+            .find(|(n, _)| n == name)
+            .and_then(|(_, v)| v.as_deref())
+    }
+
+    /// Presence of a bare flag (with or without a value).
+    pub fn has(&self, name: &str) -> bool {
+        self.flags.iter().any(|(n, _)| n == name)
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> Result<&str, CliError> {
+        self.get(name).ok_or_else(|| err(format!("missing required flag --{name}")))
+    }
+
+    /// Parse a flag as a number (with default).
+    pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v.parse().map_err(|_| err(format!("--{name}: cannot parse '{v}'"))),
+        }
+    }
+
+    /// Parse a required numeric flag.
+    pub fn require_num<T: std::str::FromStr>(&self, name: &str) -> Result<T, CliError> {
+        let v = self.require(name)?;
+        v.parse().map_err(|_| err(format!("--{name}: cannot parse '{v}'")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Result<Args, CliError> {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parses_command_and_flags() {
+        let a = args("run --topo mesh:4x4 --nodes 8 --temporal").unwrap();
+        assert_eq!(a.command, "run");
+        assert_eq!(a.get("topo"), Some("mesh:4x4"));
+        assert_eq!(a.num::<usize>("nodes", 0).unwrap(), 8);
+        assert!(a.has("temporal"));
+        assert!(!a.has("trace"));
+    }
+
+    #[test]
+    fn missing_required_flag_errors() {
+        let a = args("run --nodes 8").unwrap();
+        assert!(a.require("topo").is_err());
+        assert!(a.require_num::<u64>("bytes").is_err());
+    }
+
+    #[test]
+    fn bad_number_errors() {
+        let a = args("run --nodes eight").unwrap();
+        assert!(a.num::<usize>("nodes", 1).is_err());
+    }
+
+    #[test]
+    fn rejects_positional_noise() {
+        assert!(args("run mesh").is_err());
+        assert!(args("--topo mesh:4x4").is_err());
+    }
+
+    #[test]
+    fn default_when_absent() {
+        let a = args("run").unwrap();
+        assert_eq!(a.num::<u64>("seed", 1997).unwrap(), 1997);
+    }
+}

@@ -1,0 +1,309 @@
+//! The subcommand implementations.  Each returns the text it would print so
+//! tests can assert on output.
+
+use std::fmt::Write as _;
+
+use flitsim::SimConfig;
+use mtree::{dot, MulticastTree, Schedule, SplitStrategy};
+use optmc::experiments::{random_placement, run_trials};
+use optmc::{check_schedule, measure, run_multicast_opts, RunOptions};
+use pcm::Time;
+
+
+use crate::args::Args;
+use crate::spec::{parse_algorithm, parse_topology};
+use crate::{err, CliError};
+
+/// Dispatch a parsed argument set.
+pub fn dispatch(a: &Args) -> Result<String, CliError> {
+    match a.command.as_str() {
+        "tree" => cmd_tree(a),
+        "run" => cmd_run(a),
+        "compare" => cmd_compare(a),
+        "calibrate" => cmd_calibrate(a),
+        "gather" => cmd_gather(a),
+        "growth" => cmd_growth(a),
+        "" | "help" => Ok(crate::USAGE.to_string()),
+        other => Err(err(format!("unknown subcommand '{other}'\n\n{}", crate::USAGE))),
+    }
+}
+
+/// `optmc tree` — the OPT-tree DP table and (optionally) the DOT tree.
+fn cmd_tree(a: &Args) -> Result<String, CliError> {
+    let hold: Time = a.require_num("hold")?;
+    let end: Time = a.require_num("end")?;
+    let k: usize = a.require_num("k")?;
+    if k == 0 {
+        return Err(err("--k must be at least 1"));
+    }
+    if hold > end {
+        return Err(err(format!("model requires t_hold <= t_end ({hold} > {end})")));
+    }
+    let src: usize = a.num("src", 0)?;
+    if src >= k {
+        return Err(err(format!("--src {src} out of range 0..{k}")));
+    }
+    let tab = mtree::opt::opt_table(hold, end, k);
+    let mut out = String::new();
+    let _ = writeln!(out, "OPT-tree DP for t_hold={hold}, t_end={end}:");
+    let _ = writeln!(out, "{:>6} {:>10} {:>6}", "i", "t[i]", "j_i");
+    for i in 1..=k {
+        if i >= 2 {
+            let _ = writeln!(out, "{:>6} {:>10} {:>6}", i, tab.t(i), tab.j(i));
+        } else {
+            let _ = writeln!(out, "{:>6} {:>10} {:>6}", i, tab.t(i), "-");
+        }
+    }
+    let strat = SplitStrategy::Opt(tab);
+    let sched = Schedule::build(k, src, &strat, hold, end);
+    let _ = writeln!(out, "\nlatency {} (binomial would be {})", sched.latency(),
+        SplitStrategy::Binomial.latency(hold, end, k));
+    if a.has("dot") {
+        let tree = MulticastTree::from_schedule(&sched);
+        let _ = write!(out, "\n{}", dot::to_dot(&tree, None));
+    }
+    Ok(out)
+}
+
+fn build_cfg(a: &Args) -> Result<SimConfig, CliError> {
+    let mut cfg = SimConfig::paragon_like();
+    cfg.addr_bytes = a.num("addr-bytes", cfg.addr_bytes)?;
+    cfg.buffer_flits = a.num("buffer-flits", cfg.buffer_flits)?;
+    if a.has("no-adaptive") {
+        cfg.adaptive = false;
+    }
+    if a.has("trace") {
+        cfg.trace = true;
+    }
+    Ok(cfg)
+}
+
+/// `optmc run` — one multicast, full detail.
+fn cmd_run(a: &Args) -> Result<String, CliError> {
+    let topo = parse_topology(a.require("topo")?)?;
+    let alg = parse_algorithm(a.require("alg")?)?;
+    let k: usize = a.require_num("nodes")?;
+    let bytes: u64 = a.require_num("bytes")?;
+    let seed: u64 = a.num("seed", 1997)?;
+    let n = topo.graph().n_nodes();
+    if k > n {
+        return Err(err(format!("--nodes {k} exceeds the topology's {n} nodes")));
+    }
+    if k < 2 {
+        return Err(err("--nodes must be at least 2"));
+    }
+    let cfg = build_cfg(a)?;
+    let opts = RunOptions { temporal: a.has("temporal"), ..RunOptions::default() };
+    let parts = random_placement(n, k, seed);
+    let out = run_multicast_opts(topo.as_ref(), &cfg, alg, &parts, parts[0], bytes, &opts);
+
+    let chain = alg.chain(topo.as_ref(), &parts, parts[0]);
+    let static_conflicts = check_schedule(topo.as_ref(), &chain, &out.schedule).len();
+    let mut text = String::new();
+    let _ = writeln!(text, "{} on {}: {} nodes, {} bytes, seed {}", alg.display_name(topo.as_ref()),
+        topo.name(), k, bytes, seed);
+    let _ = writeln!(text, "  model pair     t_hold={}, t_end={}", out.pair.0, out.pair.1);
+    let _ = writeln!(text, "  analytic bound {}", out.analytic);
+    let _ = writeln!(text, "  sim latency    {}", out.latency);
+    let _ = writeln!(text, "  blocked        {} cycles in {} episodes", out.sim.blocked_cycles,
+        out.sim.blocked_events);
+    let _ = writeln!(text, "  static check   {} conflicting send pairs", static_conflicts);
+    if cfg.trace {
+        let _ = writeln!(text, "\nbusiest channels:");
+        let _ = write!(text, "{}", flitsim::trace::render_timeline(&out.sim.trace,
+            topo.graph(), 8));
+    }
+    Ok(text)
+}
+
+/// `optmc compare` — all algorithms, averaged over trials.
+fn cmd_compare(a: &Args) -> Result<String, CliError> {
+    let topo = parse_topology(a.require("topo")?)?;
+    let k: usize = a.require_num("nodes")?;
+    let bytes: u64 = a.require_num("bytes")?;
+    let trials: usize = a.num("trials", 16)?;
+    let seed: u64 = a.num("seed", 1997)?;
+    let n = topo.graph().n_nodes();
+    if k > n || k < 2 {
+        return Err(err(format!("--nodes must be in 2..={n}")));
+    }
+    let cfg = build_cfg(a)?;
+    let mut text = format!(
+        "{} — {k} nodes, {bytes} bytes, {trials} random placements\n\n",
+        topo.name()
+    );
+    let _ = writeln!(
+        text,
+        "{:<12} {:>12} {:>12} {:>12} {:>10}",
+        "algorithm", "latency", "analytic", "blocked", "cf-frac"
+    );
+    for alg in [
+        optmc::Algorithm::UArch,
+        optmc::Algorithm::OptTree,
+        optmc::Algorithm::OptArch,
+        optmc::Algorithm::Sequential,
+    ] {
+        let s = run_trials(topo.as_ref(), &cfg, alg, k, bytes, trials, seed);
+        let _ = writeln!(
+            text,
+            "{:<12} {:>12.1} {:>12.1} {:>12.1} {:>10.2}",
+            alg.display_name(topo.as_ref()),
+            s.mean_latency,
+            s.mean_analytic,
+            s.mean_blocked,
+            s.contention_free_fraction
+        );
+    }
+    Ok(text)
+}
+
+/// `optmc calibrate` — user-level measurement of (t_hold, t_end).
+fn cmd_calibrate(a: &Args) -> Result<String, CliError> {
+    let topo = parse_topology(a.require("topo")?)?;
+    let sizes: Vec<u64> = match a.get("sizes") {
+        None => vec![64, 256, 1024, 4096, 16384, 65536],
+        Some(csv) => csv
+            .split(',')
+            .map(|s| s.parse().map_err(|_| err(format!("bad size '{s}'"))))
+            .collect::<Result<_, _>>()?,
+    };
+    if sizes.len() < 2 {
+        return Err(err("need at least two sizes to fit the model"));
+    }
+    let cfg = build_cfg(a)?;
+    let n = topo.graph().n_nodes() as u32;
+    let (src, dst) = (topo::NodeId(0), topo::NodeId(n / 2));
+    let mut text = format!("calibrating on {} ({} -> {}):\n", topo.name(), src.0, dst.0);
+    let _ = writeln!(text, "{:>10} {:>12} {:>12}", "bytes", "t_hold", "t_end");
+    for &m in &sizes {
+        let h = measure::measure_t_hold(topo.as_ref(), &cfg, src, dst, m, 8);
+        let e = measure::measure_t_end(topo.as_ref(), &cfg, src, dst, m);
+        let _ = writeln!(text, "{m:>10} {h:>12} {e:>12}");
+    }
+    let (hold_fn, end_fn) = measure::calibrate(topo.as_ref(), &cfg, src, dst, &sizes);
+    let _ = writeln!(text, "\n  t_hold(m) = {hold_fn}");
+    let _ = writeln!(text, "  t_end(m)  = {end_fn}");
+    Ok(text)
+}
+
+/// `optmc gather` — the dual collective over the same tree.
+fn cmd_gather(a: &Args) -> Result<String, CliError> {
+    let topo = parse_topology(a.require("topo")?)?;
+    let alg = parse_algorithm(a.require("alg")?)?;
+    let k: usize = a.require_num("nodes")?;
+    let bytes: u64 = a.require_num("bytes")?;
+    let seed: u64 = a.num("seed", 1997)?;
+    let n = topo.graph().n_nodes();
+    if k > n || k < 2 {
+        return Err(err(format!("--nodes must be in 2..={n}")));
+    }
+    let cfg = build_cfg(a)?;
+    let parts = random_placement(n, k, seed);
+    let out = optmc::gather::run_gather(topo.as_ref(), &cfg, alg, &parts, parts[0], bytes);
+    let mc = optmc::run_multicast(topo.as_ref(), &cfg, alg, &parts, parts[0], bytes);
+    let mut text = String::new();
+    let _ = writeln!(text, "{} gather on {}: {} nodes, {} bytes",
+        alg.display_name(topo.as_ref()), topo.name(), k, bytes);
+    let _ = writeln!(text, "  gather latency     {}", out.latency);
+    let _ = writeln!(text, "  multicast latency  {}", mc.latency);
+    let _ = writeln!(text, "  mirrored bound     {}", out.analytic);
+    let _ = writeln!(text, "  gather blocked     {} cycles", out.sim.blocked_cycles);
+    Ok(text)
+}
+
+/// `optmc growth` — the reachable-set curve.
+fn cmd_growth(a: &Args) -> Result<String, CliError> {
+    let hold: Time = a.require_num("hold")?;
+    let end: Time = a.require_num("end")?;
+    if hold == 0 || hold > end {
+        return Err(err("growth needs 0 < t_hold <= t_end"));
+    }
+    let until: Time = a.num("until", 10 * end)?;
+    let mut text = format!("reachable nodes N(T) for t_hold={hold}, t_end={end}:\n");
+    for (t, n) in mtree::growth::growth_curve(hold, end, until) {
+        let _ = writeln!(text, "{t:>8}  {n}");
+    }
+    Ok(text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(cmdline: &str) -> Result<String, CliError> {
+        dispatch(&Args::parse(cmdline.split_whitespace().map(String::from)).unwrap())
+    }
+
+    #[test]
+    fn tree_command_prints_fig1_values() {
+        let out = run("tree --hold 20 --end 55 --k 8").unwrap();
+        assert!(out.contains("latency 130"), "{out}");
+        assert!(out.contains("binomial would be 165"), "{out}");
+    }
+
+    #[test]
+    fn tree_with_dot_emits_graphviz() {
+        let out = run("tree --hold 20 --end 55 --k 8 --dot").unwrap();
+        assert!(out.contains("digraph multicast"));
+    }
+
+    #[test]
+    fn tree_rejects_bad_model() {
+        assert!(run("tree --hold 60 --end 55 --k 8").is_err());
+        assert!(run("tree --hold 20 --end 55 --k 0").is_err());
+        assert!(run("tree --hold 20 --end 55 --k 8 --src 9").is_err());
+    }
+
+    #[test]
+    fn run_command_reports_contention_freedom() {
+        let out = run("run --topo mesh:8x8 --alg opt-arch --nodes 12 --bytes 2048").unwrap();
+        assert!(out.contains("blocked        0 cycles"), "{out}");
+        assert!(out.contains("static check   0 conflicting"), "{out}");
+    }
+
+    #[test]
+    fn run_command_with_trace_shows_channels() {
+        let out =
+            run("run --topo mesh:8x8 --alg opt-tree --nodes 12 --bytes 2048 --trace").unwrap();
+        assert!(out.contains("busiest channels"), "{out}");
+    }
+
+    #[test]
+    fn compare_lists_all_algorithms() {
+        let out = run("compare --topo bmin:32 --nodes 8 --bytes 1024 --trials 2").unwrap();
+        assert!(out.contains("U-min"));
+        assert!(out.contains("OPT-min"));
+        assert!(out.contains("sequential"));
+    }
+
+    #[test]
+    fn calibrate_fits_a_line() {
+        let out = run("calibrate --topo mesh:8x8 --sizes 256,1024,4096").unwrap();
+        assert!(out.contains("t_hold(m) ="), "{out}");
+    }
+
+    #[test]
+    fn gather_command_reports_both_latencies() {
+        let out = run("gather --topo mesh:8x8 --alg opt-arch --nodes 10 --bytes 1024").unwrap();
+        assert!(out.contains("gather latency"), "{out}");
+        assert!(out.contains("mirrored bound"), "{out}");
+    }
+
+    #[test]
+    fn growth_curve_prints() {
+        let out = run("growth --hold 20 --end 55 --until 200").unwrap();
+        assert!(out.lines().count() > 5);
+    }
+
+    #[test]
+    fn help_and_unknown() {
+        assert!(run("help").unwrap().contains("USAGE"));
+        assert!(run("frobnicate").is_err());
+    }
+
+    #[test]
+    fn run_validates_node_count() {
+        assert!(run("run --topo mesh:4x4 --alg opt-arch --nodes 20 --bytes 64").is_err());
+        assert!(run("run --topo mesh:4x4 --alg opt-arch --nodes 1 --bytes 64").is_err());
+    }
+}

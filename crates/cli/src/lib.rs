@@ -1,0 +1,61 @@
+//! Implementation of the `optmc` command-line tool.
+//!
+//! Everything lives in the library so the parsing and command logic are
+//! unit-testable; `main.rs` is a thin shim.  Argument handling is
+//! hand-rolled (`--flag value` pairs) to keep the dependency set to the
+//! workspace crates.
+
+pub mod args;
+pub mod commands;
+pub mod spec;
+
+use std::fmt;
+
+/// CLI-level errors, all user-facing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CliError(pub String);
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Convenience constructor.
+pub fn err(msg: impl Into<String>) -> CliError {
+    CliError(msg.into())
+}
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+optmc — architecture-tuned optimal multicast (IPPS'97 reproduction)
+
+USAGE:
+  optmc tree      --hold H --end E --k K [--dot] [--src POS]
+  optmc run       --topo SPEC --alg ALG --nodes K --bytes B [--seed S] [--temporal] [--trace]
+  optmc compare   --topo SPEC --nodes K --bytes B [--trials N] [--seed S]
+  optmc calibrate --topo SPEC [--sizes CSV]
+  optmc gather    --topo SPEC --alg ALG --nodes K --bytes B [--seed S]
+  optmc growth    --hold H --end E [--until T]
+
+TOPO SPEC:
+  mesh:16x16[:ports]   n-dimensional mesh, e.g. mesh:8x8, mesh:4x4x4, mesh:16x16:2
+  hypercube:D          binary D-cube
+  bmin:N               bidirectional MIN on N=2^s nodes (turnaround routing)
+  omega:N              unidirectional omega MIN on N=2^s nodes
+
+ALG:
+  opt-arch | u-arch | opt-tree | binomial | sequential
+";
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_displays_message() {
+        assert_eq!(err("boom").to_string(), "boom");
+    }
+}

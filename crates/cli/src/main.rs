@@ -1,0 +1,22 @@
+//! `optmc` — the command-line entry point.  All logic lives in the library.
+
+use optmc_cli::args::Args;
+use optmc_cli::commands::dispatch;
+
+fn main() {
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let parsed = match Args::parse(raw) {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{}", optmc_cli::USAGE);
+            std::process::exit(2);
+        }
+    };
+    match dispatch(&parsed) {
+        Ok(text) => print!("{text}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,97 @@
+//! Topology and algorithm specifications (`mesh:16x16`, `opt-arch`, …).
+
+use optmc::Algorithm;
+use topo::{Bmin, Mesh, Omega, Topology, UpPolicy};
+
+use crate::{err, CliError};
+
+/// Parse a topology spec into a boxed topology.
+///
+/// Grammar: `mesh:AxB[xC…][:ports]`, `hypercube:D`, `bmin:N`, `omega:N`
+/// (`N` a power of two).
+pub fn parse_topology(spec: &str) -> Result<Box<dyn Topology>, CliError> {
+    let mut parts = spec.split(':');
+    let kind = parts.next().unwrap_or_default();
+    let arg = parts.next().ok_or_else(|| err(format!("topology '{spec}' needs an argument")))?;
+    let extra = parts.next();
+    match kind {
+        "mesh" => {
+            let dims: Result<Vec<usize>, _> = arg.split('x').map(str::parse).collect();
+            let dims = dims.map_err(|_| err(format!("bad mesh dimensions '{arg}'")))?;
+            if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+                return Err(err(format!("bad mesh dimensions '{arg}'")));
+            }
+            let ports = match extra {
+                None => 1,
+                Some(p) => p.parse().map_err(|_| err(format!("bad port count '{p}'")))?,
+            };
+            Ok(Box::new(Mesh::with_ports(&dims, ports)))
+        }
+        "hypercube" => {
+            let d: usize = arg.parse().map_err(|_| err(format!("bad cube dimension '{arg}'")))?;
+            if !(1..=20).contains(&d) {
+                return Err(err(format!("cube dimension {d} out of range 1..=20")));
+            }
+            Ok(Box::new(Mesh::hypercube(d)))
+        }
+        "bmin" | "omega" => {
+            let n: usize = arg.parse().map_err(|_| err(format!("bad node count '{arg}'")))?;
+            if !n.is_power_of_two() || n < 2 {
+                return Err(err(format!("{kind} node count must be a power of two >= 2, got {n}")));
+            }
+            let s = n.trailing_zeros();
+            if kind == "bmin" {
+                Ok(Box::new(Bmin::new(s, UpPolicy::Straight)))
+            } else {
+                Ok(Box::new(Omega::new(s)))
+            }
+        }
+        other => Err(err(format!(
+            "unknown topology '{other}' (expected mesh / hypercube / bmin / omega)"
+        ))),
+    }
+}
+
+/// Parse an algorithm name.
+pub fn parse_algorithm(name: &str) -> Result<Algorithm, CliError> {
+    match name {
+        "opt-arch" | "opt-mesh" | "opt-min" => Ok(Algorithm::OptArch),
+        "u-arch" | "u-mesh" | "u-min" => Ok(Algorithm::UArch),
+        "opt-tree" => Ok(Algorithm::OptTree),
+        "binomial" => Ok(Algorithm::BinomialTree),
+        "sequential" | "seq" => Ok(Algorithm::Sequential),
+        other => Err(err(format!(
+            "unknown algorithm '{other}' (expected opt-arch / u-arch / opt-tree / binomial / sequential)"
+        ))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_topology_kind() {
+        assert_eq!(parse_topology("mesh:4x4").unwrap().graph().n_nodes(), 16);
+        assert_eq!(parse_topology("mesh:2x3x4").unwrap().graph().n_nodes(), 24);
+        assert_eq!(parse_topology("mesh:4x4:2").unwrap().graph().ports(), 2);
+        assert_eq!(parse_topology("hypercube:5").unwrap().graph().n_nodes(), 32);
+        assert_eq!(parse_topology("bmin:128").unwrap().graph().n_nodes(), 128);
+        assert_eq!(parse_topology("omega:64").unwrap().graph().n_nodes(), 64);
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        for bad in ["mesh", "mesh:0x4", "mesh:ax4", "bmin:100", "omega:1", "ring:8", "bmin:"] {
+            assert!(parse_topology(bad).is_err(), "{bad} should fail");
+        }
+    }
+
+    #[test]
+    fn parses_algorithms_and_aliases() {
+        assert_eq!(parse_algorithm("opt-mesh").unwrap(), Algorithm::OptArch);
+        assert_eq!(parse_algorithm("u-min").unwrap(), Algorithm::UArch);
+        assert_eq!(parse_algorithm("seq").unwrap(), Algorithm::Sequential);
+        assert!(parse_algorithm("magic").is_err());
+    }
+}

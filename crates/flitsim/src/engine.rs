@@ -1,0 +1,785 @@
+//! The event-driven wormhole engine.
+//!
+//! State machine per worm: *queued* (waiting for the sender's CPU) →
+//! *climbing* (head acquiring channels hop by hop, holding everything behind
+//! it) → *draining* (head reached the consumption channel; flits sink at one
+//! per cycle; channels release as the tail passes) → *done* (software
+//! receive completion fires the program).
+//!
+//! Channel release rules (the wormhole invariants):
+//! * while climbing, acquiring path index `i` frees path index `i - L`
+//!   (the tail of an `L`-flit worm is `L` channels behind the head);
+//! * once draining with tail consumed at `T`, path index `j` of a `P`-channel
+//!   path frees at `T - (P-1-j)` (one cycle of streaming per channel).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use pcm::Time;
+use topo::{ChannelId, NodeId, Topology};
+
+use crate::config::SimConfig;
+use crate::program::{Program, SendReq};
+use crate::stats::{MessageRecord, SimResult};
+use crate::trace::{TraceEvent, TraceKind};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Climbing,
+    Draining,
+    Done,
+}
+
+struct Worm<P> {
+    src: NodeId,
+    dest: NodeId,
+    bytes: u64,
+    flits: u64,
+    payload: Option<P>,
+    path: Vec<ChannelId>,
+    /// First path index not yet released.
+    release_ptr: usize,
+    initiated: Time,
+    injected: Time,
+    blocked: Time,
+    block_start: Option<Time>,
+    phase: Phase,
+    retry_scheduled: bool,
+}
+
+struct ChanState {
+    holder: Option<u32>,
+    acquired_at: Time,
+    waiters: Vec<u32>,
+}
+
+struct NodeState<P> {
+    cpu_free: Time,
+    queue: VecDeque<SendReq<P>>,
+    kick_scheduled: bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Channel released — processed before same-time head movements so a
+    /// channel freed at `t` is acquirable at `t`.
+    Release(u32),
+    NodeKick(u32),
+    WormStart(u32),
+    HeadAdvance(u32),
+    /// Tail consumed; receive software may start once the CPU is free.
+    RecvSoftware(u32),
+    RecvDone(u32),
+}
+
+impl Event {
+    fn priority(self) -> u8 {
+        match self {
+            Event::Release(_) => 0,
+            _ => 1,
+        }
+    }
+}
+
+/// The simulator. Create, [`Engine::start`] the initial sends, then
+/// [`Engine::run`].
+pub struct Engine<'t, Prog: Program> {
+    topo: &'t dyn Topology,
+    cfg: SimConfig,
+    program: Prog,
+    worms: Vec<Worm<Prog::Payload>>,
+    channels: Vec<ChanState>,
+    nodes: Vec<NodeState<Prog::Payload>>,
+    heap: BinaryHeap<Reverse<(Time, u8, u64, EventKey)>>,
+    seq: u64,
+    finish: Time,
+    messages: Vec<MessageRecord>,
+    blocked_cycles: Time,
+    blocked_events: u64,
+    channel_busy: Time,
+    acquires: u64,
+    releases: u64,
+    trace: Vec<TraceEvent>,
+}
+
+// BinaryHeap needs Ord; wrap the event in a plain ordered key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+struct EventKey(u8, u32);
+
+impl EventKey {
+    fn pack(e: Event) -> Self {
+        match e {
+            Event::Release(c) => EventKey(0, c),
+            Event::NodeKick(n) => EventKey(1, n),
+            Event::WormStart(w) => EventKey(2, w),
+            Event::HeadAdvance(w) => EventKey(3, w),
+            Event::RecvSoftware(w) => EventKey(4, w),
+            Event::RecvDone(w) => EventKey(5, w),
+        }
+    }
+
+    fn unpack(self) -> Event {
+        match self.0 {
+            0 => Event::Release(self.1),
+            1 => Event::NodeKick(self.1),
+            2 => Event::WormStart(self.1),
+            3 => Event::HeadAdvance(self.1),
+            4 => Event::RecvSoftware(self.1),
+            _ => Event::RecvDone(self.1),
+        }
+    }
+}
+
+impl<'t, Prog: Program> Engine<'t, Prog> {
+    /// A fresh engine over `topo` with the given configuration and program.
+    pub fn new(topo: &'t dyn Topology, cfg: SimConfig, program: Prog) -> Self {
+        let g = topo.graph();
+        Self {
+            topo,
+            cfg,
+            program,
+            worms: Vec::new(),
+            channels: (0..g.n_channels())
+                .map(|_| ChanState { holder: None, acquired_at: 0, waiters: Vec::new() })
+                .collect(),
+            nodes: (0..g.n_nodes())
+                .map(|_| NodeState { cpu_free: 0, queue: VecDeque::new(), kick_scheduled: false })
+                .collect(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            finish: 0,
+            messages: Vec::new(),
+            blocked_cycles: 0,
+            blocked_events: 0,
+            channel_busy: 0,
+            acquires: 0,
+            releases: 0,
+            trace: Vec::new(),
+        }
+    }
+
+    fn record(&mut self, t: Time, worm: u32, channel: Option<ChannelId>, kind: TraceKind) {
+        if self.cfg.trace {
+            self.trace.push(TraceEvent { t, worm, channel, kind });
+        }
+    }
+
+    /// Queue initial sends on `node` starting at time `at` (the multicast
+    /// root's first round).
+    pub fn start(&mut self, node: NodeId, at: Time, sends: Vec<SendReq<Prog::Payload>>) {
+        self.enqueue_sends(node, at, sends);
+    }
+
+    /// Run to completion; returns the program (for inspection) and the
+    /// result.
+    pub fn run(mut self) -> (Prog, SimResult) {
+        while let Some(Reverse((t, _, _, key))) = self.heap.pop() {
+            self.finish = self.finish.max(t);
+            match key.unpack() {
+                Event::Release(c) => self.on_release(ChannelId(c), t),
+                Event::NodeKick(n) => self.on_kick(NodeId(n), t),
+                Event::WormStart(w) | Event::HeadAdvance(w) => self.on_advance(w, t),
+                Event::RecvSoftware(w) => self.on_recv_software(w, t),
+                Event::RecvDone(w) => self.on_recv_done(w, t),
+            }
+        }
+        // Always-on integrity checks: a violation is an engine bug, and the
+        // scans are trivially cheap relative to a run.
+        assert!(
+            self.worms.iter().all(|w| w.phase == Phase::Done),
+            "run ended with undelivered worms (deadlock?)"
+        );
+        assert_eq!(self.acquires, self.releases, "channel acquire/release imbalance");
+        assert!(
+            self.channels.iter().all(|c| c.holder.is_none()),
+            "run ended with held channels (leak)"
+        );
+        assert!(
+            self.nodes.iter().all(|n| n.queue.is_empty()),
+            "run ended with queued sends never issued"
+        );
+        let result = SimResult {
+            finish: self.finish,
+            messages: self.messages,
+            blocked_cycles: self.blocked_cycles,
+            blocked_events: self.blocked_events,
+            channel_busy_cycles: self.channel_busy,
+            trace: self.trace,
+        };
+        (self.program, result)
+    }
+
+    fn schedule(&mut self, t: Time, e: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse((t, e.priority(), self.seq, EventKey::pack(e))));
+    }
+
+    fn enqueue_sends(&mut self, node: NodeId, now: Time, sends: Vec<SendReq<Prog::Payload>>) {
+        if sends.is_empty() {
+            return;
+        }
+        for s in &sends {
+            assert_ne!(s.dest, node, "node {node:?} may not send to itself");
+        }
+        let ns = &mut self.nodes[node.idx()];
+        ns.queue.extend(sends);
+        if !ns.kick_scheduled {
+            ns.kick_scheduled = true;
+            let at = now.max(ns.cpu_free);
+            self.schedule(at, Event::NodeKick(node.0));
+        }
+    }
+
+    fn on_kick(&mut self, node: NodeId, t: Time) {
+        let ns = &mut self.nodes[node.idx()];
+        ns.kick_scheduled = false;
+        let Some(head) = ns.queue.front() else {
+            return;
+        };
+        let earliest = ns.cpu_free.max(head.not_before);
+        if t < earliest {
+            ns.kick_scheduled = true;
+            self.schedule(earliest, Event::NodeKick(node.0));
+            return;
+        }
+        let req = ns.queue.pop_front().expect("checked non-empty");
+        let hold = self.cfg.software.t_hold.eval(req.bytes);
+        let t_send = self.cfg.software.t_send.eval(req.bytes);
+        ns.cpu_free = t + hold;
+        let more = !ns.queue.is_empty();
+        if more {
+            ns.kick_scheduled = true;
+            let at = ns.cpu_free;
+            self.schedule(at, Event::NodeKick(node.0));
+        }
+        let w = self.worms.len() as u32;
+        self.worms.push(Worm {
+            src: node,
+            dest: req.dest,
+            bytes: req.bytes,
+            flits: self.cfg.flits(req.bytes),
+            payload: Some(req.payload),
+            path: Vec::new(),
+            release_ptr: 0,
+            initiated: t,
+            injected: 0,
+            blocked: 0,
+            block_start: None,
+            phase: Phase::Climbing,
+            retry_scheduled: false,
+        });
+        self.schedule(t + t_send, Event::WormStart(w));
+    }
+
+    /// Candidate channels for the worm's next hop.
+    fn candidates(&self, w: u32, out: &mut Vec<ChannelId>) {
+        let worm = &self.worms[w as usize];
+        let g = self.topo.graph();
+        match worm.path.last() {
+            // All NI ports are candidates (one in the one-port
+            // architecture); port choice is not subject to cfg.adaptive.
+            None => out.extend_from_slice(g.injections(worm.src)),
+            Some(&c) => {
+                let r = g.dst_router(c).expect("climbing worm sits at a router");
+                self.topo.route_candidates(r, worm.src, worm.dest, out);
+                if !self.cfg.adaptive {
+                    out.truncate(1);
+                }
+            }
+        }
+    }
+
+    fn on_advance(&mut self, w: u32, t: Time) {
+        if self.worms[w as usize].phase != Phase::Climbing {
+            return; // stale retry
+        }
+        self.worms[w as usize].retry_scheduled = false;
+        let mut cand = Vec::with_capacity(2);
+        self.candidates(w, &mut cand);
+        let free = cand.iter().copied().find(|c| self.channels[c.idx()].holder.is_none());
+        match free {
+            None => {
+                // Blocked: remember when, wait on every candidate.
+                let worm = &mut self.worms[w as usize];
+                if worm.block_start.is_none() {
+                    worm.block_start = Some(t);
+                    let first = cand.first().copied();
+                    self.record(t, w, first, TraceKind::Blocked);
+                }
+                for c in cand {
+                    self.channels[c.idx()].waiters.push(w);
+                }
+            }
+            Some(c) => self.acquire(w, c, t),
+        }
+    }
+
+    fn acquire(&mut self, w: u32, c: ChannelId, t: Time) {
+        let g = self.topo.graph();
+        let dest = self.worms[w as usize].dest;
+        self.acquires += 1;
+        self.record(t, w, Some(c), TraceKind::Acquire);
+        {
+            let ch = &mut self.channels[c.idx()];
+            debug_assert!(ch.holder.is_none());
+            ch.holder = Some(w);
+            ch.acquired_at = t;
+        }
+        let worm = &mut self.worms[w as usize];
+        if let Some(b) = worm.block_start.take() {
+            if t > b {
+                worm.blocked += t - b;
+                self.blocked_cycles += t - b;
+                self.blocked_events += 1;
+            }
+        }
+        let first_hop = worm.path.is_empty();
+        if first_hop {
+            worm.injected = t;
+        }
+        worm.path.push(c);
+        let i = worm.path.len() - 1;
+        // With B-deep buffers the worm compresses into ceil(L/B) channels;
+        // the tail leaves channel i - span when the head takes channel i.
+        let span = worm.flits.div_ceil(self.cfg.buffer_flits.max(1)) as usize;
+        let tail_release = if i >= span {
+            let rel = worm.path[i - span];
+            debug_assert_eq!(worm.release_ptr, i - span);
+            worm.release_ptr = i - span + 1;
+            Some(rel)
+        } else {
+            None
+        };
+        if first_hop {
+            self.record(t, w, Some(c), TraceKind::InjectStart);
+        }
+        if let Some(rel) = tail_release {
+            self.schedule(t, Event::Release(rel.0));
+        }
+        let rd = self.cfg.router_delay;
+        if g.dst_node(c) == Some(dest) {
+            // Head reached the consumption channel: drain.
+            self.record(t, w, Some(c), TraceKind::DrainStart);
+            let worm = &mut self.worms[w as usize];
+            worm.phase = Phase::Draining;
+            let p = worm.path.len();
+            let tail_consumed = t + rd + worm.flits - 1;
+            // Channel j frees once every flit not yet past it has drained:
+            // at most B flits fit in each of the (p-1-j) downstream buffers.
+            let buf = self.cfg.buffer_flits.max(1);
+            let pending: Vec<(Time, u32)> = (worm.release_ptr..p)
+                .map(|j| {
+                    let ch = worm.path[j];
+                    let downstream = buf * (p - 1 - j) as Time;
+                    (tail_consumed.saturating_sub(downstream), ch.0)
+                })
+                .collect();
+            worm.release_ptr = p;
+            for (rel_at, ch) in pending {
+                let floor = self.channels[ch as usize].acquired_at + 1;
+                self.schedule(rel_at.max(floor), Event::Release(ch));
+            }
+            self.schedule(tail_consumed, Event::RecvSoftware(w));
+        } else {
+            self.schedule(t + rd, Event::HeadAdvance(w));
+        }
+    }
+
+    fn on_release(&mut self, c: ChannelId, t: Time) {
+        self.releases += 1;
+        if self.cfg.trace {
+            let holder = self.channels[c.idx()].holder.expect("release of a free channel");
+            self.record(t, holder, Some(c), TraceKind::Release);
+        }
+        let ch = &mut self.channels[c.idx()];
+        debug_assert!(ch.holder.is_some(), "double release of {c:?}");
+        ch.holder = None;
+        self.channel_busy += t - ch.acquired_at;
+        let waiters = std::mem::take(&mut ch.waiters);
+        for w in waiters {
+            let worm = &mut self.worms[w as usize];
+            if worm.phase == Phase::Climbing && !worm.retry_scheduled {
+                worm.retry_scheduled = true;
+                self.schedule(t, Event::HeadAdvance(w));
+            }
+        }
+    }
+
+    /// The tail flit is in the NI; the receive software runs as soon as the
+    /// destination's (single) CPU is free — back-to-back receives therefore
+    /// serialise, which is the receive-side face of the model's `t_hold`
+    /// ("any two consecutive send or receive operations", §2.1).
+    fn on_recv_software(&mut self, w: u32, t: Time) {
+        let dest = self.worms[w as usize].dest;
+        let t_recv = self.cfg.software.t_recv.eval(self.worms[w as usize].bytes);
+        let ns = &mut self.nodes[dest.idx()];
+        let start = t.max(ns.cpu_free);
+        ns.cpu_free = start + t_recv;
+        self.schedule(start + t_recv, Event::RecvDone(w));
+    }
+
+    fn on_recv_done(&mut self, w: u32, t: Time) {
+        let worm = &mut self.worms[w as usize];
+        debug_assert_eq!(worm.phase, Phase::Draining);
+        worm.phase = Phase::Done;
+        let payload = worm.payload.take().expect("payload delivered once");
+        self.messages.push(MessageRecord {
+            src: worm.src,
+            dest: worm.dest,
+            bytes: worm.bytes,
+            initiated: worm.initiated,
+            injected: worm.injected,
+            completed: t,
+            blocked: worm.blocked,
+        });
+        let dest = worm.dest;
+        self.record(t, w, None, TraceKind::RecvDone);
+        let sends = self.program.on_receive(dest, &payload, t);
+        self.enqueue_sends(dest, t, sends);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::SoftwareModel;
+    use crate::program::{RelayProgram, SinkProgram};
+    use topo::{Bmin, Mesh, UpPolicy};
+
+    fn bare_cfg() -> SimConfig {
+        SimConfig { software: SoftwareModel::zero(), ..SimConfig::paragon_like() }
+    }
+
+    fn p2p(topo: &dyn Topology, cfg: &SimConfig, src: u32, dst: u32, bytes: u64) -> SimResult {
+        let mut e = Engine::new(topo, cfg.clone(), SinkProgram);
+        e.start(NodeId(src), 0, vec![SendReq::to(NodeId(dst), bytes, ())]);
+        e.run().1
+    }
+
+    #[test]
+    fn idle_mesh_p2p_matches_prediction() {
+        let m = Mesh::new(&[6, 6]);
+        let cfg = SimConfig::paragon_like();
+        for (src, dst) in [(0u32, 1u32), (0, 35), (7, 28), (30, 5)] {
+            for bytes in [0u64, 8, 100, 4096] {
+                let hops = m.distance(NodeId(src), NodeId(dst));
+                let r = p2p(&m, &cfg, src, dst, bytes);
+                assert!(r.contention_free());
+                assert_eq!(r.messages.len(), 1);
+                assert_eq!(
+                    r.messages[0].latency(),
+                    cfg.predict_p2p(hops, bytes),
+                    "{src}->{dst} {bytes}B"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn idle_bmin_p2p_matches_prediction() {
+        let b = Bmin::new(5, UpPolicy::Straight);
+        let cfg = SimConfig::paragon_like();
+        for (src, dst) in [(0u32, 1u32), (0, 31), (12, 19)] {
+            let hops = b.distance(NodeId(src), NodeId(dst));
+            let r = p2p(&b, &cfg, src, dst, 512);
+            assert!(r.contention_free());
+            assert_eq!(r.messages[0].latency(), cfg.predict_p2p(hops, 512));
+        }
+    }
+
+    #[test]
+    fn head_on_contention_serialises() {
+        // Two worms in opposite directions through the same middle link of a
+        // 1-D mesh: 0 -> 3 and 1 -> 3. The second must wait for the first to
+        // drain past their shared channels.
+        let m = Mesh::new(&[4]);
+        let cfg = bare_cfg();
+        let mut e = Engine::new(&m, cfg.clone(), SinkProgram);
+        e.start(NodeId(0), 0, vec![SendReq::to(NodeId(3), 800, ())]);
+        e.start(NodeId(1), 0, vec![SendReq::to(NodeId(3), 800, ())]);
+        let r = e.run().1;
+        assert!(!r.contention_free());
+        assert_eq!(r.blocked_events, 1);
+        // Uncontended latencies: worm 1 from node 1 is 3 hops+ports.
+        let solo = cfg.predict_p2p(2, 800);
+        let m1 = r.delivered_to(NodeId(3)).unwrap();
+        assert!(m1.latency() >= solo, "blocked worm can't be faster than solo");
+    }
+
+    #[test]
+    fn disjoint_paths_run_concurrently() {
+        // 0 -> 1 and 2 -> 3 in a line share nothing.
+        let m = Mesh::new(&[4]);
+        let mut e = Engine::new(&m, bare_cfg(), SinkProgram);
+        e.start(NodeId(0), 0, vec![SendReq::to(NodeId(1), 64, ())]);
+        e.start(NodeId(2), 0, vec![SendReq::to(NodeId(3), 64, ())]);
+        let r = e.run().1;
+        assert!(r.contention_free());
+        // Both complete at the same time (same distance, same size).
+        assert_eq!(r.messages[0].completed, r.messages[1].completed);
+    }
+
+    #[test]
+    fn one_port_spaces_sends_by_hold() {
+        let m = Mesh::new(&[8]);
+        let mut cfg = bare_cfg();
+        cfg.software.t_hold = pcm::LinearFn::constant(500.0);
+        let mut e = Engine::new(&m, cfg, SinkProgram);
+        e.start(
+            NodeId(0),
+            0,
+            vec![
+                SendReq::to(NodeId(1), 8, ()),
+                SendReq::to(NodeId(2), 8, ()),
+                SendReq::to(NodeId(3), 8, ()),
+            ],
+        );
+        let r = e.run().1;
+        let mut inits: Vec<Time> = r.messages.iter().map(|m| m.initiated).collect();
+        inits.sort_unstable();
+        assert_eq!(inits, vec![0, 500, 1000]);
+        assert!(r.contention_free());
+    }
+
+    #[test]
+    fn consumption_port_serialises_receivers() {
+        // Two senders target the same destination from opposite sides; the
+        // consumption channel is the bottleneck.
+        let m = Mesh::new(&[5]);
+        let mut e = Engine::new(&m, bare_cfg(), SinkProgram);
+        e.start(NodeId(0), 0, vec![SendReq::to(NodeId(2), 4000, ())]);
+        e.start(NodeId(4), 0, vec![SendReq::to(NodeId(2), 4000, ())]);
+        let r = e.run().1;
+        assert_eq!(r.blocked_events, 1);
+        let (a, b) = (&r.messages[0], &r.messages[1]);
+        // The loser finishes roughly a full drain after the winner.
+        assert!(b.completed >= a.completed + 500 - 2, "{} vs {}", a.completed, b.completed);
+    }
+
+    #[test]
+    fn relay_chain_adds_stage_latencies() {
+        let m = Mesh::new(&[4]);
+        let cfg = SimConfig::paragon_like();
+        let ring: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let mut e = Engine::new(&m, cfg.clone(), RelayProgram { ring: ring.clone(), bytes: 64 });
+        // 0 -> 1, then 1 -> 2, then 2 -> 3.
+        e.start(NodeId(0), 0, vec![SendReq::to(NodeId(1), 64, 2)]);
+        let r = e.run().1;
+        assert_eq!(r.messages.len(), 3);
+        let per_hop = cfg.predict_p2p(1, 64);
+        assert_eq!(r.last_completion(), 3 * per_hop);
+        assert!(r.contention_free());
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let b = Bmin::new(5, UpPolicy::Straight);
+        let cfg = SimConfig::paragon_like();
+        let go = || {
+            let mut e = Engine::new(&b, cfg.clone(), SinkProgram);
+            for (s, d) in [(0u32, 17u32), (3, 22), (9, 30), (16, 2), (21, 8)] {
+                e.start(NodeId(s), 0, vec![SendReq::to(NodeId(d), 2048, ())]);
+            }
+            e.run().1
+        };
+        let (r1, r2) = (go(), go());
+        assert_eq!(format!("{:?}", r1.messages), format!("{:?}", r2.messages));
+        assert_eq!(r1.blocked_cycles, r2.blocked_cycles);
+    }
+
+    #[test]
+    fn adaptive_up_phase_dodges_busy_channel() {
+        // Force two climbs from sibling sources (same preferred column) and
+        // check the adaptive engine suffers less blocking than the
+        // deterministic one.
+        let b = Bmin::new(4, UpPolicy::Straight);
+        let run = |adaptive: bool| {
+            let mut cfg = bare_cfg();
+            cfg.adaptive = adaptive;
+            let mut e = Engine::new(&b, cfg, SinkProgram);
+            // Siblings 0 and 1 both climb to the far half.
+            e.start(NodeId(0), 0, vec![SendReq::to(NodeId(12), 4000, ())]);
+            e.start(NodeId(1), 0, vec![SendReq::to(NodeId(14), 4000, ())]);
+            e.run().1
+        };
+        let det = run(false);
+        let ada = run(true);
+        assert!(det.blocked_cycles > 0, "expected the deterministic run to contend");
+        assert!(
+            ada.blocked_cycles < det.blocked_cycles,
+            "adaptive {} vs deterministic {}",
+            ada.blocked_cycles,
+            det.blocked_cycles
+        );
+    }
+
+    #[test]
+    fn slow_routers_still_match_prediction() {
+        // router_delay > 1: the head crawls, the prediction must track it.
+        let m = Mesh::new(&[6, 6]);
+        let mut cfg = SimConfig::paragon_like();
+        cfg.router_delay = 3;
+        for (src, dst, bytes) in [(0u32, 35u32, 0u64), (7, 28, 2048)] {
+            let hops = m.distance(NodeId(src), NodeId(dst));
+            let r = p2p(&m, &cfg, src, dst, bytes);
+            assert_eq!(r.messages[0].latency(), cfg.predict_p2p(hops, bytes));
+        }
+    }
+
+    #[test]
+    fn receive_software_serialises_back_to_back_arrivals() {
+        // Two small messages to one node arriving nearly together: the
+        // second completes a full t_recv after the first's software ends.
+        let m = Mesh::new(&[5]);
+        let mut cfg = bare_cfg();
+        cfg.software.t_recv = pcm::LinearFn::constant(400.0);
+        let mut e = Engine::new(&m, cfg, SinkProgram);
+        e.start(NodeId(0), 0, vec![SendReq::to(NodeId(2), 8, ())]);
+        e.start(NodeId(4), 0, vec![SendReq::to(NodeId(2), 8, ())]);
+        let r = e.run().1;
+        let mut done: Vec<Time> = r.messages.iter().map(|m| m.completed).collect();
+        done.sort_unstable();
+        assert!(
+            done[1] >= done[0] + 400,
+            "second receive at {} vs first at {}",
+            done[1],
+            done[0]
+        );
+    }
+
+    #[test]
+    fn buffer_depth_does_not_change_idle_latency() {
+        // On an idle network the worm never blocks, so buffering is
+        // invisible: p2p latency must be depth-independent.
+        let m = Mesh::new(&[6, 6]);
+        let base = p2p(&m, &SimConfig::paragon_like(), 0, 35, 4096);
+        for depth in [2u64, 16, 1024] {
+            let mut cfg = SimConfig::paragon_like();
+            cfg.buffer_flits = depth;
+            let r = p2p(&m, &cfg, 0, 35, 4096);
+            assert_eq!(r.messages[0].latency(), base.messages[0].latency(), "depth {depth}");
+        }
+    }
+
+    #[test]
+    fn deep_buffers_shrink_blocking_footprint() {
+        // The long worm of `long_worm_holds_whole_path`, but with buffers
+        // deep enough to swallow it: the cross send no longer waits long.
+        let m = Mesh::new(&[6]);
+        let run = |depth: u64| {
+            let mut cfg = bare_cfg();
+            cfg.buffer_flits = depth;
+            let mut e = Engine::new(&m, cfg, SinkProgram);
+            e.start(NodeId(0), 0, vec![SendReq::to(NodeId(5), 8000, ())]);
+            e.start(NodeId(2), 100, vec![SendReq::to(NodeId(4), 8, ())]);
+            e.run().1
+        };
+        let shallow = run(1);
+        let deep = run(4096);
+        assert!(shallow.blocked_cycles > 0);
+        assert!(
+            deep.blocked_cycles < shallow.blocked_cycles / 4,
+            "deep {} vs shallow {}",
+            deep.blocked_cycles,
+            shallow.blocked_cycles
+        );
+    }
+
+    #[test]
+    fn multiport_ni_overlaps_injections() {
+        // Two sends in opposite directions from one node: with one port the
+        // second waits for the first worm to clear the injection channel;
+        // with two ports they overlap and both finish sooner.
+        let run = |ports: usize| {
+            let m = Mesh::with_ports(&[5], ports);
+            let mut e = Engine::new(&m, bare_cfg(), SinkProgram);
+            e.start(
+                NodeId(2),
+                0,
+                vec![
+                    SendReq::to(NodeId(0), 8000, ()),
+                    SendReq::to(NodeId(4), 8000, ()),
+                ],
+            );
+            e.run().1.last_completion()
+        };
+        let one = run(1);
+        let two = run(2);
+        assert!(two < one, "2-port {} should beat 1-port {}", two, one);
+    }
+
+    #[test]
+    fn trace_records_full_lifecycle() {
+        use crate::trace::{blocking_episodes, channel_occupancy, TraceKind};
+        let m = Mesh::new(&[5]);
+        let mut cfg = bare_cfg();
+        cfg.trace = true;
+        let mut e = Engine::new(&m, cfg, SinkProgram);
+        e.start(NodeId(0), 0, vec![SendReq::to(NodeId(2), 4000, ())]);
+        e.start(NodeId(4), 0, vec![SendReq::to(NodeId(2), 4000, ())]);
+        let r = e.run().1;
+        // Acquire/release pair counts match the engine's own accounting.
+        let acq = r.trace.iter().filter(|t| t.kind == TraceKind::Acquire).count();
+        let rel = r.trace.iter().filter(|t| t.kind == TraceKind::Release).count();
+        assert_eq!(acq, rel);
+        assert!(acq >= 8, "two worms across several channels, got {acq}");
+        // One of the two worms blocked on the consumption port.
+        assert_eq!(blocking_episodes(&r.trace).len(), 1);
+        // Occupancy spans are well-formed (from < to) and cover the
+        // consumption channel twice.
+        let cons = m.graph().consumption(NodeId(2));
+        let occ = channel_occupancy(&r.trace);
+        let spans = &occ.iter().find(|(c, _)| *c == cons).unwrap().1;
+        assert_eq!(spans.len(), 2);
+        for (from, to, _) in spans {
+            assert!(from < to);
+        }
+        // Timeline renders without panicking and mentions the channel.
+        let text = crate::trace::render_timeline(&r.trace, m.graph(), 5);
+        assert!(text.contains("ch"));
+    }
+
+    #[test]
+    fn trace_empty_when_disabled() {
+        let m = Mesh::new(&[4]);
+        let mut e = Engine::new(&m, bare_cfg(), SinkProgram);
+        e.start(NodeId(0), 0, vec![SendReq::to(NodeId(3), 64, ())]);
+        assert!(e.run().1.trace.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "may not send to itself")]
+    fn self_send_panics() {
+        let m = Mesh::new(&[4]);
+        let mut e = Engine::new(&m, bare_cfg(), SinkProgram);
+        e.start(NodeId(0), 0, vec![SendReq::to(NodeId(0), 8, ())]);
+    }
+
+    #[test]
+    fn empty_run_finishes_at_zero() {
+        let m = Mesh::new(&[4]);
+        let e = Engine::new(&m, bare_cfg(), SinkProgram);
+        let r = e.run().1;
+        assert_eq!(r.finish, 0);
+        assert!(r.messages.is_empty());
+    }
+
+    #[test]
+    fn long_worm_holds_whole_path() {
+        // A single long worm across a line: while draining, a cross send
+        // through the middle must block until the tail passes.
+        let m = Mesh::new(&[6]);
+        let cfg = bare_cfg();
+        let mut e = Engine::new(&m, cfg.clone(), SinkProgram);
+        e.start(NodeId(0), 0, vec![SendReq::to(NodeId(5), 8000, ())]);
+        // Starts while the first worm still streams.
+        e.start(NodeId(2), 100, vec![SendReq::to(NodeId(4), 8, ())]);
+        let r = e.run().1;
+        assert_eq!(r.blocked_events, 1);
+        let small = r.delivered_to(NodeId(4)).unwrap();
+        let big = r.delivered_to(NodeId(5)).unwrap();
+        // The small message cannot complete before the big worm's tail
+        // cleared the shared channels (just before full drain).
+        assert!(small.completed > big.completed - 1001, "{small:?} vs {big:?}");
+    }
+}

@@ -1,0 +1,73 @@
+//! Run results and per-message records.
+
+use pcm::{MsgSize, Time};
+use serde::{Deserialize, Serialize};
+use topo::NodeId;
+
+use crate::trace::TraceEvent;
+
+/// One completed message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MessageRecord {
+    /// Sender.
+    pub src: NodeId,
+    /// Receiver.
+    pub dest: NodeId,
+    /// Payload bytes.
+    pub bytes: MsgSize,
+    /// Send initiation time (when the CPU picked the send up).
+    pub initiated: Time,
+    /// First flit entered the injection channel.
+    pub injected: Time,
+    /// Receive completion (tail consumed + `t_recv`).
+    pub completed: Time,
+    /// Cycles the head spent blocked waiting for busy channels.
+    pub blocked: Time,
+}
+
+impl MessageRecord {
+    /// Observed end-to-end latency (`initiated` → `completed`): the `t_end`
+    /// a user-level measurement would see, contention included.
+    pub fn latency(&self) -> Time {
+        self.completed - self.initiated
+    }
+}
+
+/// Aggregate result of a simulation run.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimResult {
+    /// Time of the last event processed (all messages delivered, all
+    /// software completions fired).
+    pub finish: Time,
+    /// Every message, in completion order.
+    pub messages: Vec<MessageRecord>,
+    /// Total head-blocked cycles across all messages — the contention
+    /// overhead the paper's node orderings are designed to eliminate.
+    pub blocked_cycles: Time,
+    /// Number of distinct blocking episodes (a head waiting on a busy
+    /// channel at least one cycle).
+    pub blocked_events: u64,
+    /// Total busy channel-cycles (for utilisation analyses).
+    pub channel_busy_cycles: Time,
+    /// Channel-level event trace (empty unless [`crate::SimConfig::trace`]
+    /// was set).
+    pub trace: Vec<TraceEvent>,
+}
+
+impl SimResult {
+    /// Completion time of the latest message — the multicast latency when
+    /// the run is a multicast.
+    pub fn last_completion(&self) -> Time {
+        self.messages.iter().map(|m| m.completed).max().unwrap_or(0)
+    }
+
+    /// True when no head ever waited: the run was contention-free.
+    pub fn contention_free(&self) -> bool {
+        self.blocked_events == 0
+    }
+
+    /// The record for the message delivered to `dest`, if any.
+    pub fn delivered_to(&self, dest: NodeId) -> Option<&MessageRecord> {
+        self.messages.iter().find(|m| m.dest == dest)
+    }
+}

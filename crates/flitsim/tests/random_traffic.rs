@@ -1,0 +1,96 @@
+//! Property tests: the engine under arbitrary traffic.
+//!
+//! These don't check multicast semantics (optmc does); they hammer the
+//! wormhole core — delivery, lower bounds, monotonicity, determinism, and
+//! the engine's internal acquire/release accounting (which panics on any
+//! leak, so merely *finishing* is already an invariant check).
+
+use flitsim::program::SinkProgram;
+use flitsim::{Engine, SendReq, SimConfig};
+use proptest::prelude::*;
+use topo::{Bmin, Mesh, NodeId, Topology, UpPolicy};
+
+#[derive(Debug, Clone)]
+struct TrafficCase {
+    sends: Vec<(u32, u32, u64, u64)>, // (src, dst, bytes, start)
+}
+
+fn traffic(n_nodes: u32) -> impl Strategy<Value = TrafficCase> {
+    proptest::collection::vec(
+        (0..n_nodes, 0..n_nodes, 0u64..4096, 0u64..2000),
+        1..25,
+    )
+    .prop_map(move |mut v| {
+        // A node may not send to itself; remap collisions.
+        for (s, d, _, _) in &mut v {
+            if s == d {
+                *d = (*d + 1) % n_nodes;
+            }
+        }
+        TrafficCase { sends: v }
+    })
+}
+
+fn run_case(topo: &dyn Topology, case: &TrafficCase) -> flitsim::SimResult {
+    let mut e = Engine::new(topo, SimConfig::paragon_like(), SinkProgram);
+    for &(s, d, bytes, start) in &case.sends {
+        e.start(NodeId(s), start, vec![SendReq::to(NodeId(d), bytes, ())]);
+    }
+    e.run().1
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every send is delivered exactly once on a mesh, and each message's
+    /// latency is at least its uncontended prediction.
+    #[test]
+    fn mesh_delivers_everything(case in traffic(36)) {
+        let m = Mesh::new(&[6, 6]);
+        let cfg = SimConfig::paragon_like();
+        let r = run_case(&m, &case);
+        prop_assert_eq!(r.messages.len(), case.sends.len());
+        for rec in &r.messages {
+            let hops = m.distance(rec.src, rec.dest);
+            prop_assert!(rec.latency() >= cfg.predict_p2p(hops, rec.bytes),
+                "{:?} beat the uncontended bound", rec);
+        }
+    }
+
+    /// Same on a BMIN with the adaptive up-phase.
+    #[test]
+    fn bmin_delivers_everything(case in traffic(32)) {
+        let b = Bmin::new(5, UpPolicy::Straight);
+        let r = run_case(&b, &case);
+        prop_assert_eq!(r.messages.len(), case.sends.len());
+    }
+
+    /// Bit-identical reruns (the engine has no hidden nondeterminism).
+    #[test]
+    fn reruns_are_identical(case in traffic(36)) {
+        let m = Mesh::new(&[6, 6]);
+        let a = run_case(&m, &case);
+        let b = run_case(&m, &case);
+        prop_assert_eq!(format!("{:?}", a.messages), format!("{:?}", b.messages));
+        prop_assert_eq!(a.blocked_cycles, b.blocked_cycles);
+        prop_assert_eq!(a.channel_busy_cycles, b.channel_busy_cycles);
+    }
+
+    /// Blocked time only ever increases total channel occupancy, never the
+    /// conservation: busy cycles are at least (flits+path) per message.
+    #[test]
+    fn busy_cycles_lower_bound(case in traffic(16)) {
+        let m = Mesh::new(&[16]);
+        let cfg = SimConfig::paragon_like();
+        let r = run_case(&m, &case);
+        let mut min_busy = 0u64;
+        for rec in &r.messages {
+            // Each of the path's channels is held for >= 1 cycle; the
+            // consumption channel alone is held for >= flits cycles.
+            let hops = m.distance(rec.src, rec.dest) as u64;
+            min_busy += hops + 2 + cfg.flits(rec.bytes) - 1;
+        }
+        prop_assert!(r.channel_busy_cycles >= min_busy,
+            "busy {} < floor {}", r.channel_busy_cycles, min_busy);
+    }
+}

@@ -1,0 +1,149 @@
+//! Comparative analyses of tree shapes under the model.
+
+use pcm::Time;
+use serde::{Deserialize, Serialize};
+
+use crate::schedule::Schedule;
+use crate::split::SplitStrategy;
+use crate::tree::MulticastTree;
+
+/// Summary statistics of one multicast tree under the model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TreeStats {
+    /// Number of participating nodes.
+    pub k: usize,
+    /// Analytic (contention-free) multicast latency.
+    pub latency: Time,
+    /// Depth of the tree.
+    pub depth: usize,
+    /// Maximum fan-out.
+    pub max_degree: usize,
+    /// Number of forwarding nodes.
+    pub forwarders: usize,
+}
+
+/// Compute [`TreeStats`] for a strategy at `(hold, end)` with the source at
+/// position 0.
+pub fn stats(strat: &SplitStrategy, hold: Time, end: Time, k: usize) -> TreeStats {
+    let s = Schedule::build(k, 0, strat, hold, end);
+    let t = MulticastTree::from_schedule(&s);
+    TreeStats {
+        k,
+        latency: s.latency(),
+        depth: t.depth(),
+        max_degree: t.max_degree(),
+        forwarders: t.n_forwarders(),
+    }
+}
+
+/// Ratio by which the optimal tree improves on the binomial tree at
+/// `(hold, end, k)`; 1.0 means no improvement.
+pub fn opt_vs_binomial_ratio(hold: Time, end: Time, k: usize) -> f64 {
+    let b = SplitStrategy::Binomial.latency(hold, end, k);
+    let o = SplitStrategy::opt(hold, end, k).latency(hold, end, k);
+    if o == 0 {
+        1.0
+    } else {
+        b as f64 / o as f64
+    }
+}
+
+/// Sweep the `t_hold : t_end` ratio and report the improvement factor —
+/// the "architecture-independent" story the paper builds on: the binomial
+/// tree is only optimal at ratio 1.
+pub fn ratio_sweep(end: Time, k: usize, holds: &[Time]) -> Vec<(Time, f64)> {
+    holds.iter().map(|&h| (h, opt_vs_binomial_ratio(h, end, k))).collect()
+}
+
+/// One row of a strategy-comparison table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ComparisonRow {
+    /// Participant count.
+    pub k: usize,
+    /// Optimal-tree latency.
+    pub opt: Time,
+    /// Binomial-tree latency.
+    pub binomial: Time,
+    /// Sequential-tree latency.
+    pub sequential: Time,
+}
+
+/// Latency of all three strategies across participant counts — the data
+/// behind "which baseline wins where" discussions (paper §1).
+pub fn comparison_table(hold: Time, end: Time, ks: &[usize]) -> Vec<ComparisonRow> {
+    ks.iter()
+        .map(|&k| ComparisonRow {
+            k,
+            opt: SplitStrategy::opt(hold, end, k.max(1)).latency(hold, end, k),
+            binomial: SplitStrategy::Binomial.latency(hold, end, k),
+            sequential: SplitStrategy::Sequential.latency(hold, end, k),
+        })
+        .collect()
+}
+
+/// The crossover point where the binomial tree starts beating the
+/// sequential tree (the paper's §1 observation that neither dominates):
+/// smallest k in `2..=max_k` with `binomial < sequential`, if any.
+pub fn binomial_sequential_crossover(hold: Time, end: Time, max_k: usize) -> Option<usize> {
+    (2..=max_k).find(|&k| {
+        SplitStrategy::Binomial.latency(hold, end, k)
+            < SplitStrategy::Sequential.latency(hold, end, k)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn comparison_rows_are_consistent() {
+        for row in comparison_table(20, 55, &[1, 2, 8, 32, 128]) {
+            assert!(row.opt <= row.binomial, "{row:?}");
+            assert!(row.opt <= row.sequential, "{row:?}");
+        }
+    }
+
+    #[test]
+    fn crossover_moves_with_the_ratio() {
+        // With a large hold the sequential tree is bad: binomial wins early.
+        let early = binomial_sequential_crossover(50, 55, 256).unwrap();
+        // With a tiny hold the sequential tree wins for a long while.
+        let late = binomial_sequential_crossover(1, 55, 256);
+        assert!(early <= 4, "early crossover expected, got {early}");
+        match late {
+            None => {}
+            Some(k) => assert!(k > early, "late {k} vs early {early}"),
+        }
+    }
+
+    #[test]
+    fn binomial_not_improved_at_equal_params() {
+        assert!((opt_vs_binomial_ratio(50, 50, 64) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn improvement_grows_as_hold_shrinks() {
+        let r1 = opt_vs_binomial_ratio(40, 50, 64);
+        let r2 = opt_vs_binomial_ratio(10, 50, 64);
+        let r3 = opt_vs_binomial_ratio(1, 50, 64);
+        assert!(r1 >= 1.0);
+        assert!(r2 > r1, "{r2} vs {r1}");
+        assert!(r3 > r2, "{r3} vs {r2}");
+    }
+
+    #[test]
+    fn stats_fig1() {
+        let s = stats(&SplitStrategy::opt(20, 55, 8), 20, 55, 8);
+        assert_eq!(s.latency, 130);
+        assert_eq!(s.k, 8);
+        assert!(s.depth <= 3);
+    }
+
+    #[test]
+    fn sweep_is_monotone_nonincreasing_in_hold() {
+        let sweep = ratio_sweep(100, 32, &[1, 10, 25, 50, 75, 100]);
+        for w in sweep.windows(2) {
+            assert!(w[0].1 >= w[1].1 - 1e-9, "{:?}", sweep);
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! Graphviz DOT export of multicast trees — handy for eyeballing tree shapes
+//! and for the paper's Fig. 1-style illustrations.
+
+use std::fmt::Write as _;
+
+use crate::tree::MulticastTree;
+
+/// Render the tree as a DOT digraph.  Labels may map chain positions to
+/// physical node names (e.g. mesh coordinates); when absent, positions are
+/// used.
+pub fn to_dot(tree: &MulticastTree, labels: Option<&[String]>) -> String {
+    let mut out = String::from("digraph multicast {\n  rankdir=TB;\n  node [shape=box];\n");
+    let label = |p: usize| -> String {
+        match labels {
+            Some(ls) => ls.get(p).cloned().unwrap_or_else(|| p.to_string()),
+            None => p.to_string(),
+        }
+    };
+    let _ = writeln!(
+        out,
+        "  n{} [label=\"{} (src)\", style=filled, fillcolor=lightgrey];",
+        tree.root,
+        label(tree.root)
+    );
+    for p in 0..tree.k {
+        if p != tree.root {
+            let _ = writeln!(out, "  n{} [label=\"{} @{}\"];", p, label(p), tree.recv_time[p]);
+        }
+    }
+    for (p, kids) in tree.children.iter().enumerate() {
+        for &c in kids {
+            let _ = writeln!(out, "  n{p} -> n{c};");
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schedule::Schedule;
+    use crate::split::SplitStrategy;
+
+    #[test]
+    fn dot_contains_all_edges() {
+        let s = Schedule::build(8, 0, &SplitStrategy::Binomial, 10, 10);
+        let t = MulticastTree::from_schedule(&s);
+        let dot = to_dot(&t, None);
+        assert!(dot.starts_with("digraph"));
+        assert_eq!(dot.matches("->").count(), 7);
+        assert!(dot.contains("(src)"));
+    }
+
+    #[test]
+    fn dot_uses_labels() {
+        let s = Schedule::build(3, 0, &SplitStrategy::Binomial, 10, 10);
+        let t = MulticastTree::from_schedule(&s);
+        let labels = vec!["(0,0)".to_string(), "(1,0)".to_string(), "(2,0)".to_string()];
+        let dot = to_dot(&t, Some(&labels));
+        assert!(dot.contains("(1,0)"));
+    }
+}

@@ -1,0 +1,164 @@
+//! The reachable-set (growth) function — the combinatorial dual of the
+//! OPT-tree dynamic program.
+//!
+//! Let `N(T)` be the maximum number of nodes that can hold the message
+//! within `T` time units of the source starting, under the parameterized
+//! model.  An informed node spends `t_hold` initiating a send (after which
+//! it keeps working with its remaining time) and the new node is productive
+//! `t_end` after the send started, so
+//!
+//! ```text
+//! N(T) = 1                              for T < t_end,
+//! N(T) = N(T - t_hold) + N(T - t_end)   for T ≥ t_end.
+//! ```
+//!
+//! — a generalised Fibonacci recurrence (with `t_hold = t_end` it *is*
+//! doubling, hence the binomial tree; with `t_hold ≪ t_end` it grows like a
+//! high-order Fibonacci, hence wide trees).  The duality with Algorithm 2.1
+//! is exact:
+//!
+//! ```text
+//! t[k] = min { T : N(T) ≥ k }
+//! ```
+//!
+//! which the property tests below verify against `opt_table`.  This module
+//! also gives `O(T)`-table / `O(log)`-query answers to "how many nodes can I
+//! reach in my latency budget?" — a planning primitive the DP alone does
+//! not expose.
+
+use pcm::Time;
+
+/// Maximum nodes reachable within `t` of the source's start (`N(t)` above).
+///
+/// Returns `usize::MAX` when the count exceeds `usize::MAX / 2` or when
+/// `t_hold == 0` and `t >= t_end` (unbounded fan-out).
+///
+/// # Panics
+/// If `t_end == 0` or `t_hold > t_end` (model invariants).
+pub fn reachable(hold: Time, end: Time, t: Time) -> usize {
+    assert!(end > 0, "t_end must be positive");
+    assert!(hold <= end, "model invariant t_hold <= t_end violated");
+    if t < end {
+        return 1;
+    }
+    if hold == 0 {
+        return usize::MAX;
+    }
+    // Dense table over time; N is non-decreasing, so saturate early.
+    let cap = usize::MAX / 2;
+    let n = t as usize;
+    let mut table = vec![1usize; n + 1];
+    for i in end as usize..=n {
+        let a = table[i - hold as usize];
+        let b = table[i - end as usize];
+        table[i] = if a >= cap || b >= cap || a + b >= cap { usize::MAX } else { a + b };
+    }
+    table[n]
+}
+
+/// Minimum time to inform `k` nodes — computed from the growth function by
+/// monotone search, *not* from the DP.  Equal to `opt_table(...).t(k)` (the
+/// duality; property-tested).
+///
+/// # Panics
+/// If `k == 0`, or the model invariants are violated.
+pub fn min_time(hold: Time, end: Time, k: usize) -> Time {
+    assert!(k >= 1, "need at least the source");
+    if k == 1 {
+        return 0;
+    }
+    assert!(end > 0, "t_end must be positive");
+    assert!(hold <= end, "model invariant t_hold <= t_end violated");
+    if hold == 0 {
+        return end;
+    }
+    // N(T) ≥ k within T ≤ (k-1)·end (sequential tree bound); binary-search
+    // the monotone growth function over that range.
+    let (mut lo, mut hi) = (end, (k as Time - 1) * end);
+    while lo < hi {
+        let mid = lo + (hi - lo) / 2;
+        if reachable(hold, end, mid) >= k {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    lo
+}
+
+/// The growth sequence sampled at multiples of `t_hold` up to `t_max` —
+/// handy for plots and for eyeballing the Fibonacci-like regime.
+pub fn growth_curve(hold: Time, end: Time, t_max: Time) -> Vec<(Time, usize)> {
+    assert!(hold > 0, "sampling needs a positive t_hold");
+    (0..=t_max / hold).map(|i| (i * hold, reachable(hold, end, i * hold))).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::opt_table;
+    use proptest::prelude::*;
+
+    #[test]
+    fn doubling_when_hold_equals_end() {
+        // N(T) = 2^(T / t) — the binomial regime.
+        for i in 0..7u64 {
+            assert_eq!(reachable(10, 10, i * 10), 1usize << i, "i={i}");
+            if i > 0 {
+                assert_eq!(reachable(10, 10, i * 10 - 1), 1usize << (i - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn fibonacci_when_end_is_twice_hold() {
+        // N(i·h) with end = 2h follows the Fibonacci numbers.
+        let (h, e) = (10u64, 20u64);
+        let expect = [1usize, 1, 2, 3, 5, 8, 13, 21, 34, 55];
+        for (i, &f) in expect.iter().enumerate() {
+            assert_eq!(reachable(h, e, i as u64 * h), f, "i={i}");
+        }
+    }
+
+    #[test]
+    fn zero_hold_is_unbounded_after_end() {
+        assert_eq!(reachable(0, 50, 49), 1);
+        assert_eq!(reachable(0, 50, 50), usize::MAX);
+        assert_eq!(min_time(0, 50, 1_000_000), 50);
+    }
+
+    #[test]
+    fn fig1_duality() {
+        // t[8] = 130 at (20, 55): N(129) < 8 <= N(130).
+        assert!(reachable(20, 55, 129) < 8);
+        assert!(reachable(20, 55, 130) >= 8);
+        assert_eq!(min_time(20, 55, 8), 130);
+    }
+
+    #[test]
+    fn growth_curve_is_monotone() {
+        let c = growth_curve(20, 55, 400);
+        for w in c.windows(2) {
+            assert!(w[1].1 >= w[0].1, "{c:?}");
+        }
+    }
+
+    proptest! {
+        /// The duality: min_time from the growth function equals the DP.
+        #[test]
+        fn duality_with_opt_table(a in 1u64..60, b in 1u64..60, k in 1usize..120) {
+            let (hold, end) = (a.min(b), a.max(b));
+            let tab = opt_table(hold, end, k);
+            prop_assert_eq!(min_time(hold, end, k), tab.t(k), "hold={}, end={}", hold, end);
+        }
+
+        /// N is exactly the inverse: N(t[k]) >= k > N(t[k] - 1).
+        #[test]
+        fn growth_inverts_latency(a in 1u64..50, b in 2u64..50, k in 2usize..80) {
+            let (hold, end) = (a.min(b), a.max(b));
+            let t = opt_table(hold, end, k).t(k);
+            prop_assert!(reachable(hold, end, t) >= k);
+            prop_assert!(reachable(hold, end, t - 1) < k);
+        }
+    }
+}

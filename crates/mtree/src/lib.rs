@@ -1,0 +1,56 @@
+//! # `mtree` — multicast trees under the parameterized model
+//!
+//! The architecture-*independent* half of the paper: given the pair
+//! `(t_hold, t_end)` from the `pcm` crate, construct the latency-optimal
+//! multicast tree and evaluate arbitrary tree shapes analytically.
+//!
+//! The central object is a **chain-splitting schedule**.  All the multicast
+//! algorithms in the paper — OPT-tree, OPT-mesh, OPT-min, U-mesh, U-min, and
+//! the sequential tree — share one skeleton (Algorithms 3.1/4.1): the `k`
+//! participating nodes are arranged in a *chain* (an ordered sequence whose
+//! ordering is the architecture-dependent part), and a node responsible for a
+//! contiguous chain segment repeatedly splits its segment in two, sends the
+//! message to the nearest node of the far part, and keeps the part containing
+//! itself.  What differs between algorithms is only
+//!
+//! 1. the **split rule** ([`split::SplitStrategy`]): recursive halving gives
+//!    the binomial U-mesh/U-min trees; the [`opt::OptTable`] dynamic program
+//!    (Algorithm 2.1) gives the OPT trees; "peel one" gives the sequential
+//!    tree; and
+//! 2. the **chain order** (supplied by the `topo` crate): dimension-ordered
+//!    for meshes, lexicographic for BMINs, arbitrary for the portable
+//!    OPT-tree.
+//!
+//! This crate is purely analytic — no simulation.  [`schedule::Schedule`]
+//! assigns every send its model start time assuming contention-free
+//! communication; the `flitsim`/`optmc` crates then check how reality
+//! (wormhole channel contention) treats those assumptions.
+//!
+//! ```
+//! use mtree::{Schedule, SplitStrategy};
+//!
+//! // Fig. 1 of the paper: 8 nodes, t_hold = 20, t_end = 55.
+//! let opt = SplitStrategy::opt(20, 55, 8);
+//! let schedule = Schedule::build(8, 0, &opt, 20, 55);
+//! assert_eq!(schedule.latency(), 130);              // OPT-mesh's 130 …
+//! let binomial = Schedule::build(8, 0, &SplitStrategy::Binomial, 20, 55);
+//! assert_eq!(binomial.latency(), 165);              // … vs U-mesh's 165.
+//!
+//! // The growth-function dual: N(130) is the first time 8 nodes fit.
+//! assert!(mtree::growth::reachable(20, 55, 130) >= 8);
+//! assert!(mtree::growth::reachable(20, 55, 129) < 8);
+//! ```
+
+pub mod analysis;
+pub mod dot;
+pub mod growth;
+pub mod opt;
+pub mod scatter;
+pub mod schedule;
+pub mod split;
+pub mod tree;
+
+pub use opt::OptTable;
+pub use schedule::{Schedule, SendEvent};
+pub use split::SplitStrategy;
+pub use tree::MulticastTree;

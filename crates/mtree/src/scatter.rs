@@ -1,0 +1,183 @@
+//! Scatter — personalized multicast — and its size-aware optimal tree.
+//!
+//! In a scatter every destination receives its *own* `unit` bytes (the
+//! Scatter/Collect lineage the paper's §1 cites).  Unicast-based scatter
+//! runs the same chain-splitting recursion, but a send delegating a
+//! `d`-node range physically carries `d · unit` bytes — so message costs
+//! *shrink* down the tree, and Algorithm 2.1 (which prices every send
+//! identically) no longer yields the optimum.  The natural generalisation
+//! prices each candidate split by the delegated part's size:
+//!
+//! ```text
+//! t[1] = 0
+//! t[i] = min over j of max( t[j] + t_hold((i-j)·u),  t[i-j] + t_end((i-j)·u) )
+//! ```
+//!
+//! with `t_hold(m)`, `t_end(m)` the affine model functions.  The monotone
+//! incremental trick of Algorithm 2.1 does not obviously survive
+//! size-dependent costs, so this DP is the exhaustive O(k²) — at the k ≤
+//! thousands of real collectives that is nothing.
+
+use pcm::{LinearFn, MsgSize, Time};
+
+use crate::split::SplitStrategy;
+
+/// Output of the scatter DP.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScatterTable {
+    t: Vec<Time>,
+    j: Vec<usize>,
+}
+
+impl ScatterTable {
+    /// Optimal scatter completion for an `i`-node segment.
+    pub fn t(&self, i: usize) -> Time {
+        assert!(i >= 1 && i < self.t.len(), "i={i} out of range");
+        self.t[i]
+    }
+
+    /// The optimal split for an `i`-node segment.
+    pub fn j(&self, i: usize) -> usize {
+        assert!(i >= 2 && i < self.j.len(), "i={i} out of range");
+        self.j[i]
+    }
+
+    /// View as a [`SplitStrategy`] for schedule building.
+    pub fn splits(&self) -> SplitStrategy {
+        SplitStrategy::Custom(self.j.clone())
+    }
+}
+
+/// The size-aware scatter DP: `hold` and `end` are the model's affine
+/// functions of message size; each destination owns `unit` payload bytes.
+///
+/// # Panics
+/// If `k == 0`, or the functions produce `t_hold(m) > t_end(m)` anywhere in
+/// the used range (model invariant).
+pub fn scatter_table(hold: &LinearFn, end: &LinearFn, unit: MsgSize, k: usize) -> ScatterTable {
+    assert!(k >= 1, "need at least the source node");
+    let mut t = vec![0 as Time; k + 1];
+    let mut j = vec![0usize; k + 1];
+    for i in 2..=k {
+        let (best_j, best_t) = (1..i)
+            .map(|jj| {
+                let m = (i - jj) as MsgSize * unit;
+                let (h, e) = (hold.eval(m), end.eval(m));
+                assert!(h <= e, "model invariant t_hold <= t_end violated at m={m}");
+                (jj, (t[jj] + h).max(t[i - jj] + e))
+            })
+            .rev()
+            .min_by_key(|&(_, v)| v)
+            .expect("i >= 2 so the range is non-empty");
+        t[i] = best_t;
+        j[i] = best_j;
+    }
+    ScatterTable { t, j }
+}
+
+/// Scatter completion of an arbitrary split rule under the same cost model
+/// (for comparing the scatter optimum against multicast-tuned or binomial
+/// shapes).
+pub fn scatter_latency(
+    strat: &SplitStrategy,
+    hold: &LinearFn,
+    end: &LinearFn,
+    unit: MsgSize,
+    k: usize,
+) -> Time {
+    assert!(k >= 1);
+    let mut lat = vec![0 as Time; k + 1];
+    for i in 2..=k {
+        let jj = strat.j(i);
+        let m = (i - jj) as MsgSize * unit;
+        lat[i] = (lat[jj] + hold.eval(m)).max(lat[i - jj] + end.eval(m));
+    }
+    lat[k]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::opt::opt_table;
+    use proptest::prelude::*;
+
+    fn model() -> (LinearFn, LinearFn) {
+        // hold = 250 + 0.13 m, end = 680 + 0.425 m (the paragon-like pair).
+        (LinearFn::new(250.0, 0.13), LinearFn::new(680.0, 0.425))
+    }
+
+    #[test]
+    fn unit_zero_degenerates_to_multicast_dp() {
+        // With no per-destination payload, sizes don't vary: the scatter DP
+        // must equal Algorithm 2.1 on the size-0 pair.
+        let (hold, end) = model();
+        let tab = scatter_table(&hold, &end, 0, 64);
+        let opt = opt_table(hold.eval(0), end.eval(0), 64);
+        for i in 1..=64 {
+            assert_eq!(tab.t(i), opt.t(i), "i={i}");
+        }
+    }
+
+    #[test]
+    fn scatter_prefers_shedding_weight_early() {
+        // With heavy per-destination payloads the root wants to hand off
+        // large halves early (shrinking its own remaining sends); the
+        // scatter optimum must be at least as good as both fixed shapes.
+        let (hold, end) = model();
+        for unit in [512u64, 4096, 65536] {
+            for k in [8usize, 32, 100] {
+                let tab = scatter_table(&hold, &end, unit, k);
+                let opt_shape = {
+                    // multicast-optimal shape priced at the mean size —
+                    // what a naive reuse of Algorithm 2.1 would do.
+                    let m = (k as u64 / 2) * unit;
+                    crate::split::SplitStrategy::opt(hold.eval(m), end.eval(m), k)
+                };
+                let best = tab.t(k);
+                assert!(
+                    best <= scatter_latency(&tab.splits(), &hold, &end, unit, k),
+                    "table must price itself consistently"
+                );
+                assert!(
+                    best <= scatter_latency(&SplitStrategy::Binomial, &hold, &end, unit, k),
+                    "unit={unit} k={k}: binomial beat the scatter DP"
+                );
+                assert!(
+                    best <= scatter_latency(&opt_shape, &hold, &end, unit, k),
+                    "unit={unit} k={k}: naive multicast shape beat the scatter DP"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_nodes_is_one_transfer() {
+        let (hold, end) = model();
+        let tab = scatter_table(&hold, &end, 1024, 2);
+        assert_eq!(tab.t(2), end.eval(1024));
+        assert_eq!(tab.j(2), 1);
+    }
+
+    proptest! {
+        /// The DP's value function is achieved by its own split table.
+        #[test]
+        fn table_is_self_consistent(unit in 0u64..10_000, k in 2usize..64) {
+            let (hold, end) = model();
+            let tab = scatter_table(&hold, &end, unit, k);
+            prop_assert_eq!(
+                tab.t(k),
+                scatter_latency(&tab.splits(), &hold, &end, unit, k)
+            );
+        }
+
+        /// Monotone: more destinations never finish sooner.
+        #[test]
+        fn monotone_in_k(unit in 0u64..10_000, k in 3usize..64) {
+            let (hold, end) = model();
+            let tab = scatter_table(&hold, &end, unit, k);
+            for i in 2..=k {
+                prop_assert!(tab.t(i) >= tab.t(i - 1));
+            }
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The chain-splitting schedule — Algorithms 3.1 / 4.1 at the level of chain
+//! *positions*, with analytic (contention-free) start times.
+//!
+//! A node responsible for chain segment `[l, r]` (itself at position `s`)
+//! repeatedly splits the segment: with `i = r - l + 1` nodes and split
+//! `j = j(i)`, if the source lies in the lower part it keeps `[l, l+j-1]` and
+//! sends to `x_{l+j}`, the lowest node of the upper part, delegating
+//! `[l+j, r]`; otherwise it keeps `[r-j+1, r]` and sends to `x_{r-j}`, the
+//! highest node of the lower part, delegating `[l, r-j]`.  Each send costs
+//! the sender `t_hold` before its next action; the receiver starts its own
+//! work `t_end` after the send is initiated.
+
+use pcm::Time;
+use serde::{Deserialize, Serialize};
+
+use crate::split::SplitStrategy;
+
+/// One send of the multicast: `from` transmits the message (plus the address
+/// list for `range`) to `to`, starting at model time `start`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SendEvent {
+    /// Chain position of the sender.
+    pub from: usize,
+    /// Chain position of the receiver (always `range.0`.. is the receiver's
+    /// responsibility; `to == range.0` or `range.1` by construction).
+    pub to: usize,
+    /// Model time at which the sender initiates the send.
+    pub start: Time,
+    /// Contention-free model time at which the receiver finishes receiving
+    /// (`start + t_end`).
+    pub arrive: Time,
+    /// Segment `[lo, hi]` of chain positions the receiver becomes
+    /// responsible for (inclusive; contains `to`).
+    pub range: (usize, usize),
+}
+
+/// A complete multicast schedule over chain positions `0..k`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Schedule {
+    /// Number of participating nodes (source + destinations).
+    pub k: usize,
+    /// Chain position of the source.
+    pub src: usize,
+    /// `t_hold` used for the timing.
+    pub hold: Time,
+    /// `t_end` used for the timing.
+    pub end: Time,
+    /// All sends, in the order they are generated (parent before child).
+    pub sends: Vec<SendEvent>,
+    /// Per-position receive-completion time (source has 0).
+    pub recv_time: Vec<Time>,
+}
+
+impl Schedule {
+    /// Build the schedule for `k` nodes with the source at chain position
+    /// `src`, using split rule `splits` and the model pair `(hold, end)`.
+    ///
+    /// # Panics
+    /// If `k == 0` or `src >= k`.
+    pub fn build(k: usize, src: usize, splits: &SplitStrategy, hold: Time, end: Time) -> Self {
+        assert!(k >= 1, "need at least the source");
+        assert!(src < k, "source position {src} out of range 0..{k}");
+        let mut sends = Vec::with_capacity(k.saturating_sub(1));
+        let mut recv_time = vec![0 as Time; k];
+        // Work list of (l, r, s, ready): node at position s is responsible
+        // for [l, r] and may start sending at `ready`.
+        let mut stack = vec![(0usize, k - 1, src, 0 as Time)];
+        while let Some((mut l, mut r, s, mut ready)) = stack.pop() {
+            while l < r {
+                let i = r - l + 1;
+                let j = splits.j(i);
+                let (rec, d_lo, d_hi);
+                if s < l + j {
+                    // Source in the lower part: keep [l, l+j-1], delegate the
+                    // upper part to its lowest node.
+                    rec = l + j;
+                    d_lo = rec;
+                    d_hi = r;
+                    r = rec - 1;
+                } else {
+                    // Source in the upper part of size j: keep [r-j+1, r],
+                    // delegate the lower part to its highest node.
+                    rec = r - j;
+                    d_lo = l;
+                    d_hi = rec;
+                    l = rec + 1;
+                }
+                let arrive = ready + end;
+                sends.push(SendEvent { from: s, to: rec, start: ready, arrive, range: (d_lo, d_hi) });
+                recv_time[rec] = arrive;
+                stack.push((d_lo, d_hi, rec, arrive));
+                ready += hold;
+            }
+        }
+        Self { k, src, hold, end, sends, recv_time }
+    }
+
+    /// Multicast latency: time by which every destination has received.
+    pub fn latency(&self) -> Time {
+        self.recv_time.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Number of sends (always `k - 1`).
+    pub fn n_sends(&self) -> usize {
+        self.sends.len()
+    }
+
+    /// The sends each position performs, ordered by start time.
+    pub fn sends_by(&self, pos: usize) -> Vec<&SendEvent> {
+        let mut v: Vec<&SendEvent> = self.sends.iter().filter(|e| e.from == pos).collect();
+        v.sort_by_key(|e| e.start);
+        v
+    }
+
+    /// Tree depth: maximum number of hops from the source in the induced
+    /// tree (source → receiver edges).
+    pub fn depth(&self) -> usize {
+        let mut depth = vec![0usize; self.k];
+        // Sends are generated parent-before-child, so a single pass works.
+        let mut max = 0;
+        for e in &self.sends {
+            depth[e.to] = depth[e.from] + 1;
+            max = max.max(depth[e.to]);
+        }
+        max
+    }
+
+    /// Check structural soundness: every position except the source receives
+    /// exactly once, every receiver lies inside its delegated range, and a
+    /// node only sends after it is ready.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut received = vec![false; self.k];
+        received[self.src] = true;
+        for e in &self.sends {
+            if !received[e.from] {
+                return Err(format!("position {} sends before receiving", e.from));
+            }
+            if received[e.to] {
+                return Err(format!("position {} receives twice", e.to));
+            }
+            if e.to < e.range.0 || e.to > e.range.1 {
+                return Err(format!("receiver {} outside its range {:?}", e.to, e.range));
+            }
+            if e.start < self.recv_time[e.from] {
+                return Err(format!(
+                    "position {} sends at {} before its receive at {}",
+                    e.from, e.start, self.recv_time[e.from]
+                ));
+            }
+            received[e.to] = true;
+        }
+        if let Some(miss) = received.iter().position(|r| !r) {
+            return Err(format!("position {miss} never receives"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn opt(hold: Time, end: Time, k: usize) -> SplitStrategy {
+        SplitStrategy::opt(hold, end, k)
+    }
+
+    #[test]
+    fn fig1_schedule_latency_130() {
+        let s = Schedule::build(8, 0, &opt(20, 55, 8), 20, 55);
+        assert_eq!(s.latency(), 130);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn fig1_umesh_latency_165() {
+        let s = Schedule::build(8, 0, &SplitStrategy::Binomial, 20, 55);
+        assert_eq!(s.latency(), 165);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn schedule_latency_matches_recurrence_any_source() {
+        // Theorem: the chain-splitting embedding achieves the recurrence
+        // latency regardless of where the source sits in the chain.
+        for k in 1..=40usize {
+            let strat = opt(20, 55, k);
+            let expect = strat.latency(20, 55, k);
+            for src in 0..k {
+                let s = Schedule::build(k, src, &strat, 20, 55);
+                assert_eq!(s.latency(), expect, "k={k} src={src}");
+            }
+        }
+    }
+
+    #[test]
+    fn sequential_schedule_is_root_only() {
+        let s = Schedule::build(10, 3, &SplitStrategy::Sequential, 5, 50);
+        // All sends come from the source.
+        assert!(s.sends.iter().all(|e| e.from == 3));
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.latency(), 9 * 5 - 5 + 50); // (n-1 sends, last at 8*hold) + end
+    }
+
+    #[test]
+    fn single_node_schedule_is_empty() {
+        let s = Schedule::build(1, 0, &SplitStrategy::Binomial, 5, 50);
+        assert_eq!(s.n_sends(), 0);
+        assert_eq!(s.latency(), 0);
+        s.validate().unwrap();
+    }
+
+    #[test]
+    fn binomial_depth_is_log2() {
+        for k in [2usize, 4, 8, 16, 32, 64] {
+            let s = Schedule::build(k, 0, &SplitStrategy::Binomial, 10, 10);
+            assert_eq!(s.depth(), k.trailing_zeros() as usize, "k={k}");
+        }
+    }
+
+    proptest! {
+        /// Structural soundness for all strategies, sizes, sources.
+        #[test]
+        fn schedules_validate(k in 1usize..120, srcf in 0.0f64..1.0,
+                              a in 0u64..50, b in 1u64..50) {
+            let (hold, end) = (a.min(b), a.max(b).max(1));
+            let src = ((k as f64 * srcf) as usize).min(k - 1);
+            for strat in [SplitStrategy::Binomial, SplitStrategy::Sequential, opt(hold, end, k)] {
+                let s = Schedule::build(k, src, &strat, hold, end);
+                prop_assert_eq!(s.n_sends(), k - 1, "{}", strat.name());
+                prop_assert!(s.validate().is_ok(), "{}: {:?}", strat.name(), s.validate());
+            }
+        }
+
+        /// Latency always matches the split-rule recurrence.
+        #[test]
+        fn latency_matches_recurrence(k in 1usize..120, srcf in 0.0f64..1.0,
+                                      a in 0u64..50, b in 1u64..50) {
+            let (hold, end) = (a.min(b), a.max(b).max(1));
+            let src = ((k as f64 * srcf) as usize).min(k - 1);
+            for strat in [SplitStrategy::Binomial, SplitStrategy::Sequential, opt(hold, end, k)] {
+                let s = Schedule::build(k, src, &strat, hold, end);
+                prop_assert_eq!(s.latency(), strat.latency(hold, end, k), "{}", strat.name());
+            }
+        }
+
+        /// Each delegated range is a strict sub-segment, and sends from one
+        /// node are spaced exactly t_hold apart.
+        #[test]
+        fn hold_spacing(k in 2usize..80, a in 1u64..50, b in 1u64..50) {
+            let (hold, end) = (a.min(b), a.max(b));
+            let s = Schedule::build(k, 0, &opt(hold, end, k), hold, end);
+            for pos in 0..k {
+                let sends = s.sends_by(pos);
+                for w in sends.windows(2) {
+                    prop_assert_eq!(w[1].start - w[0].start, hold);
+                }
+                if let Some(first) = sends.first() {
+                    prop_assert_eq!(first.start, s.recv_time[pos]);
+                }
+            }
+        }
+    }
+}

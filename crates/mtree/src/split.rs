@@ -1,0 +1,184 @@
+//! Split rules — the only thing that differs between the binomial, optimal
+//! and sequential chain-splitting multicasts.
+
+use pcm::Time;
+
+use crate::opt::{opt_table, OptTable};
+
+/// A rule giving, for a segment of `i` nodes (source + `i-1` destinations),
+/// the number `j(i)` of nodes the *source-containing* part keeps, with
+/// `1 ≤ j(i) < i`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SplitStrategy {
+    /// Recursive halving: `j(i) = ⌈i/2⌉`.  Yields the binomial tree of the
+    /// U-mesh (McKinley et al.) and U-min (Xu & Ni) algorithms — optimal only
+    /// when `t_hold == t_end`.
+    Binomial,
+    /// Peel one destination at a time: `j(i) = i - 1`.  Yields the sequential
+    /// tree of \[5\], optimal in the limit `t_hold → 0`.
+    Sequential,
+    /// The OPT-tree splits from Algorithm 2.1 for a concrete
+    /// `(t_hold, t_end)` pair.  Yields the parameterized-optimal tree of the
+    /// OPT-tree / OPT-mesh / OPT-min algorithms.
+    Opt(OptTable),
+    /// Explicit split table: `table[i]` is `j(i)` for `2 ≤ i ≤ k` (index 0
+    /// and 1 unused).  The escape hatch for DPs beyond Algorithm 2.1 —
+    /// e.g. the size-aware scatter optimum (`mtree::scatter`) — and for
+    /// hand-crafted trees in tests.
+    Custom(Vec<usize>),
+}
+
+impl SplitStrategy {
+    /// Build the optimal strategy for the pair `(t_hold, t_end)` covering
+    /// trees of up to `k` nodes.
+    pub fn opt(hold: Time, end: Time, k: usize) -> Self {
+        SplitStrategy::Opt(opt_table(hold, end, k))
+    }
+
+    /// The size of the source-containing part when splitting a segment of
+    /// `i` nodes.
+    ///
+    /// # Panics
+    /// If `i < 2`, or if the strategy is `Opt` and `i` exceeds the table.
+    pub fn j(&self, i: usize) -> usize {
+        assert!(i >= 2, "splitting needs at least two nodes, got {i}");
+        match self {
+            SplitStrategy::Binomial => i.div_ceil(2),
+            SplitStrategy::Sequential => i - 1,
+            SplitStrategy::Opt(tab) => tab.j(i),
+            SplitStrategy::Custom(table) => {
+                let j = *table.get(i).unwrap_or_else(|| panic!("no split entry for i={i}"));
+                assert!(j >= 1 && j < i, "custom table has invalid j({i}) = {j}");
+                j
+            }
+        }
+    }
+
+    /// Analytic completion time of a `k`-node chain-splitting multicast with
+    /// this rule under `(hold, end)`: the recurrence
+    /// `lat(1) = 0, lat(i) = max(lat(j) + hold, lat(i-j) + end)`.
+    ///
+    /// For `Opt` built with the same pair this equals `t(k)`.
+    pub fn latency(&self, hold: Time, end: Time, k: usize) -> Time {
+        assert!(k >= 1);
+        // Memoised bottom-up: lat(i) depends on smaller sizes only.
+        let mut lat = vec![0 as Time; k + 1];
+        for i in 2..=k {
+            let j = self.j(i);
+            lat[i] = (lat[j] + hold).max(lat[i - j] + end);
+        }
+        lat[k]
+    }
+
+    /// Short name for reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SplitStrategy::Binomial => "binomial",
+            SplitStrategy::Sequential => "sequential",
+            SplitStrategy::Opt(_) => "opt",
+            SplitStrategy::Custom(_) => "custom",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn binomial_halves() {
+        let s = SplitStrategy::Binomial;
+        assert_eq!(s.j(2), 1);
+        assert_eq!(s.j(3), 2);
+        assert_eq!(s.j(8), 4);
+        assert_eq!(s.j(9), 5);
+    }
+
+    #[test]
+    fn sequential_peels_one() {
+        let s = SplitStrategy::Sequential;
+        assert_eq!(s.j(2), 1);
+        assert_eq!(s.j(10), 9);
+    }
+
+    #[test]
+    fn opt_latency_matches_table() {
+        let s = SplitStrategy::opt(20, 55, 8);
+        assert_eq!(s.latency(20, 55, 8), 130);
+    }
+
+    #[test]
+    fn binomial_latency_matches_pcm_predictor() {
+        let s = SplitStrategy::Binomial;
+        let p = pcm::CommParams::from_pair(20, 55);
+        for k in 1..=64 {
+            assert_eq!(
+                s.latency(20, 55, k),
+                pcm::predict::binomial_tree_latency(&p, 0, k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn sequential_latency_matches_pcm_predictor() {
+        let s = SplitStrategy::Sequential;
+        let p = pcm::CommParams::from_pair(20, 55);
+        for k in 1..=64 {
+            assert_eq!(
+                s.latency(20, 55, k),
+                pcm::predict::sequential_tree_latency(&p, 0, k),
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two")]
+    fn split_of_one_panics() {
+        SplitStrategy::Binomial.j(1);
+    }
+
+    #[test]
+    fn custom_table_is_honoured() {
+        // j(2)=1, j(3)=1, j(4)=2 — an arbitrary shape.
+        let s = SplitStrategy::Custom(vec![0, 0, 1, 1, 2]);
+        assert_eq!(s.j(2), 1);
+        assert_eq!(s.j(3), 1);
+        assert_eq!(s.j(4), 2);
+        // And it evaluates through the recurrence like any other rule.
+        assert!(s.latency(10, 50, 4) >= 50);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid j")]
+    fn custom_table_rejects_bad_entries() {
+        SplitStrategy::Custom(vec![0, 0, 2]).j(2);
+    }
+
+    proptest! {
+        /// Every strategy returns a valid split.
+        #[test]
+        fn splits_valid(i in 2usize..300, a in 0u64..50, b in 1u64..50) {
+            let (hold, end) = (a.min(b), a.max(b).max(1));
+            for s in [
+                SplitStrategy::Binomial,
+                SplitStrategy::Sequential,
+                SplitStrategy::opt(hold, end, i),
+            ] {
+                let j = s.j(i);
+                prop_assert!(j >= 1 && j < i, "{}: j({}) = {}", s.name(), i, j);
+            }
+        }
+
+        /// Opt latency is the minimum of the three strategies.
+        #[test]
+        fn opt_is_best(k in 1usize..150, a in 0u64..60, b in 1u64..60) {
+            let (hold, end) = (a.min(b), a.max(b).max(1));
+            let o = SplitStrategy::opt(hold, end, k).latency(hold, end, k);
+            prop_assert!(o <= SplitStrategy::Binomial.latency(hold, end, k));
+            prop_assert!(o <= SplitStrategy::Sequential.latency(hold, end, k));
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! An explicit multicast-tree view of a schedule.
+//!
+//! The chain-splitting recursion induces a rooted tree over chain positions;
+//! this module materialises parent/children links so tree-shape analyses
+//! (depth, fan-out, comparison plots) and DOT export don't have to re-derive
+//! them from the event list.
+
+use pcm::Time;
+use serde::{Deserialize, Serialize};
+
+use crate::schedule::Schedule;
+
+/// A rooted multicast tree over chain positions `0..k`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MulticastTree {
+    /// Number of nodes.
+    pub k: usize,
+    /// Root (source) position.
+    pub root: usize,
+    /// `parent[p]` is `None` for the root.
+    pub parent: Vec<Option<usize>>,
+    /// Children of each position, in send order (earliest first).
+    pub children: Vec<Vec<usize>>,
+    /// Model receive time of each position (root: 0).
+    pub recv_time: Vec<Time>,
+}
+
+impl MulticastTree {
+    /// Materialise the tree behind a schedule.
+    pub fn from_schedule(s: &Schedule) -> Self {
+        let mut parent = vec![None; s.k];
+        let mut children = vec![Vec::new(); s.k];
+        for e in &s.sends {
+            parent[e.to] = Some(e.from);
+            children[e.from].push(e.to);
+        }
+        for c in &mut children {
+            // sends_by is start-ordered; sends vec is generation-ordered.
+            // Re-sort by the schedule's start times.
+            c.sort_by_key(|&child| s.recv_time[child]);
+        }
+        Self { k: s.k, root: s.src, parent, children, recv_time: s.recv_time.clone() }
+    }
+
+    /// Depth of the deepest leaf.
+    pub fn depth(&self) -> usize {
+        fn rec(t: &MulticastTree, p: usize) -> usize {
+            t.children[p].iter().map(|&c| 1 + rec(t, c)).max().unwrap_or(0)
+        }
+        rec(self, self.root)
+    }
+
+    /// Maximum fan-out over all nodes.
+    pub fn max_degree(&self) -> usize {
+        self.children.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Number of internal (forwarding) nodes, excluding pure leaves.
+    pub fn n_forwarders(&self) -> usize {
+        self.children.iter().filter(|c| !c.is_empty()).count()
+    }
+
+    /// Nodes in breadth-first order from the root.
+    pub fn bfs_order(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.k);
+        let mut q = std::collections::VecDeque::from([self.root]);
+        while let Some(p) = q.pop_front() {
+            order.push(p);
+            q.extend(self.children[p].iter().copied());
+        }
+        order
+    }
+
+    /// Verify the tree is a spanning arborescence rooted at `root`.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.parent[self.root].is_some() {
+            return Err("root has a parent".into());
+        }
+        let order = self.bfs_order();
+        if order.len() != self.k {
+            return Err(format!("tree reaches {} of {} nodes", order.len(), self.k));
+        }
+        for (p, par) in self.parent.iter().enumerate() {
+            if p != self.root && par.is_none() {
+                return Err(format!("non-root {p} has no parent"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split::SplitStrategy;
+
+    fn tree(k: usize, src: usize, strat: &SplitStrategy, hold: Time, end: Time) -> MulticastTree {
+        MulticastTree::from_schedule(&Schedule::build(k, src, strat, hold, end))
+    }
+
+    #[test]
+    fn binomial_tree_shape() {
+        let t = tree(8, 0, &SplitStrategy::Binomial, 10, 10);
+        t.validate().unwrap();
+        assert_eq!(t.depth(), 3);
+        assert_eq!(t.max_degree(), 3); // root of a binomial tree B3
+        assert_eq!(t.n_forwarders(), 4);
+    }
+
+    #[test]
+    fn sequential_tree_is_a_star() {
+        let t = tree(10, 5, &SplitStrategy::Sequential, 1, 10);
+        t.validate().unwrap();
+        assert_eq!(t.depth(), 1);
+        assert_eq!(t.max_degree(), 9);
+        assert_eq!(t.n_forwarders(), 1);
+    }
+
+    #[test]
+    fn opt_tree_between_extremes() {
+        let strat = SplitStrategy::opt(20, 55, 32);
+        let t = tree(32, 0, &strat, 20, 55);
+        t.validate().unwrap();
+        assert!(t.depth() >= 2, "depth {}", t.depth());
+        assert!(t.depth() <= 5, "depth {}", t.depth());
+    }
+
+    #[test]
+    fn bfs_covers_everyone_any_source() {
+        for src in 0..12 {
+            let t = tree(12, src, &SplitStrategy::Binomial, 5, 7);
+            let mut o = t.bfs_order();
+            o.sort_unstable();
+            assert_eq!(o, (0..12).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn recv_times_increase_down_the_tree() {
+        let t = tree(20, 3, &SplitStrategy::opt(7, 30, 20), 7, 30);
+        for p in 0..t.k {
+            if let Some(par) = t.parent[p] {
+                assert!(t.recv_time[p] > t.recv_time[par], "{p} vs parent {par}");
+            }
+        }
+    }
+}

@@ -1,0 +1,211 @@
+//! Concurrent multicasts — probing the paper's single-multicast assumption.
+//!
+//! Theorem 1 makes *one* multicast contention-free; real machines run many
+//! at once (every MPI_Bcast on a different communicator).  Two OPT-mesh
+//! multicasts are each internally channel-disjoint, but nothing separates
+//! their channel sets from each other, so they interfere.  This module runs
+//! several multicasts simultaneously and reports per-multicast latency
+//! against the solo baseline — the "interference factor" of the tuned
+//! algorithms.
+
+use flitsim::{Engine, Program, SendReq, SimConfig, SimResult};
+use mtree::Schedule;
+use pcm::{MsgSize, Time};
+use topo::{NodeId, Topology};
+
+use crate::algorithm::Algorithm;
+use crate::program::{McastProgram, Range};
+use crate::runner::nominal_hops;
+
+/// Payload of a message belonging to one of several concurrent multicasts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Tagged {
+    /// Which multicast this message belongs to.
+    pub mcast: u32,
+    /// The delegated chain range within that multicast.
+    pub range: Range,
+}
+
+/// A program multiplexing several independent multicast runtimes.
+pub struct MultiMcast {
+    programs: Vec<McastProgram>,
+}
+
+impl MultiMcast {
+    /// Wrap the per-multicast programs.
+    pub fn new(programs: Vec<McastProgram>) -> Self {
+        Self { programs }
+    }
+
+    /// Total deliveries across all multicasts.
+    pub fn deliveries(&self) -> usize {
+        self.programs.iter().map(McastProgram::deliveries).sum()
+    }
+
+    /// Expected total deliveries.
+    pub fn expected(&self) -> usize {
+        self.programs.iter().map(McastProgram::n_dests).sum()
+    }
+}
+
+impl Program for MultiMcast {
+    type Payload = Tagged;
+
+    fn on_receive(&mut self, node: NodeId, payload: &Tagged, now: Time) -> Vec<SendReq<Tagged>> {
+        let mcast = payload.mcast;
+        let inner = self.programs[mcast as usize].on_receive(node, &payload.range, now);
+        inner
+            .into_iter()
+            .map(|req| SendReq {
+                dest: req.dest,
+                bytes: req.bytes,
+                payload: Tagged { mcast, range: req.payload },
+                not_before: req.not_before,
+            })
+            .collect()
+    }
+}
+
+/// One multicast's specification within a concurrent batch.
+#[derive(Debug, Clone)]
+pub struct McastSpec {
+    /// Participants (source included).
+    pub participants: Vec<NodeId>,
+    /// The source node.
+    pub src: NodeId,
+    /// Message payload bytes.
+    pub bytes: MsgSize,
+}
+
+/// Per-multicast outcome of a concurrent run.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrentOutcome {
+    /// Completion time of this multicast within the joint run.
+    pub latency: Time,
+    /// Its solo analytic bound.
+    pub analytic: Time,
+}
+
+/// Run `specs` simultaneously (all roots start at t = 0) under `algorithm`.
+/// Returns per-multicast outcomes plus the raw joint result.
+///
+/// # Panics
+/// If any spec is malformed (see [`crate::run_multicast`]'s contract).
+pub fn run_concurrent(
+    topo: &dyn Topology,
+    cfg: &SimConfig,
+    algorithm: Algorithm,
+    specs: &[McastSpec],
+) -> (Vec<ConcurrentOutcome>, SimResult) {
+    let n_nodes = topo.graph().n_nodes();
+    let mut programs = Vec::with_capacity(specs.len());
+    let mut roots = Vec::with_capacity(specs.len());
+    let mut analytic = Vec::with_capacity(specs.len());
+    let mut dest_sets: Vec<Vec<NodeId>> = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let k = spec.participants.len();
+        let hops = nominal_hops(topo, &spec.participants, spec.src);
+        let (hold, end) = cfg.effective_pair_ports(hops, spec.bytes, topo.graph().ports() as u64);
+        let chain = algorithm.chain(topo, &spec.participants, spec.src);
+        let splits = algorithm.splits(hold, end, k.max(2));
+        let schedule = Schedule::build(k, chain.src_pos(), &splits, hold, end);
+        analytic.push(schedule.latency());
+        dest_sets.push(
+            spec.participants.iter().copied().filter(|&n| n != spec.src).collect(),
+        );
+        let program = McastProgram::new(chain, splits, spec.bytes, n_nodes)
+            .with_addr_overhead(cfg.addr_bytes);
+        roots.push((program.root(), program.root_sends()));
+        programs.push(program);
+    }
+
+    let multi = MultiMcast::new(programs);
+    let expected = multi.expected();
+    let mut engine = Engine::new(topo, cfg.clone(), multi);
+    for (mcast, (root, sends)) in roots.into_iter().enumerate() {
+        let tagged: Vec<SendReq<Tagged>> = sends
+            .into_iter()
+            .map(|req| SendReq {
+                dest: req.dest,
+                bytes: req.bytes,
+                payload: Tagged { mcast: mcast as u32, range: req.payload },
+                not_before: req.not_before,
+            })
+            .collect();
+        engine.start(root, 0, tagged);
+    }
+    let (multi, sim) = engine.run();
+    assert_eq!(multi.deliveries(), expected, "a concurrent multicast lost messages");
+
+    let outcomes = dest_sets
+        .iter()
+        .zip(&analytic)
+        .map(|(dests, &a)| {
+            let latency = dests
+                .iter()
+                .map(|&d| {
+                    sim.delivered_to(d)
+                        .expect("every destination delivered")
+                        .completed
+                })
+                .max()
+                .unwrap_or(0);
+            ConcurrentOutcome { latency, analytic: a }
+        })
+        .collect();
+    (outcomes, sim)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::random_placement;
+    use topo::Mesh;
+
+    fn specs_disjoint(n: usize, k: usize, count: usize, seed: u64) -> Vec<McastSpec> {
+        // Disjoint participant sets drawn from one shuffled pool.
+        let pool = random_placement(n, k * count, seed);
+        pool.chunks(k)
+            .map(|c| McastSpec { participants: c.to_vec(), src: c[0], bytes: 4096 })
+            .collect()
+    }
+
+    #[test]
+    fn concurrent_multicasts_all_deliver() {
+        let m = Mesh::new(&[16, 16]);
+        let cfg = SimConfig::paragon_like();
+        let specs = specs_disjoint(256, 16, 3, 11);
+        let (outs, sim) = run_concurrent(&m, &cfg, Algorithm::OptArch, &specs);
+        assert_eq!(outs.len(), 3);
+        assert_eq!(sim.messages.len(), 3 * 15);
+        for o in &outs {
+            assert!(o.latency >= o.analytic - 64, "{o:?}");
+        }
+    }
+
+    #[test]
+    fn single_spec_matches_plain_runner() {
+        let m = Mesh::new(&[16, 16]);
+        let cfg = SimConfig::paragon_like();
+        let parts = random_placement(256, 16, 5);
+        let solo = crate::run_multicast(&m, &cfg, Algorithm::OptArch, &parts, parts[0], 4096);
+        let spec = McastSpec { participants: parts.clone(), src: parts[0], bytes: 4096 };
+        let (outs, _) = run_concurrent(&m, &cfg, Algorithm::OptArch, &[spec]);
+        assert_eq!(outs[0].latency, solo.latency);
+    }
+
+    #[test]
+    fn interference_shows_up_between_tuned_multicasts() {
+        // Each multicast is internally contention-free; jointly they are
+        // not.  Over several seeds at least one pair must interfere.
+        let m = Mesh::new(&[16, 16]);
+        let cfg = SimConfig::paragon_like();
+        let mut blocked_total = 0;
+        for seed in 0..6u64 {
+            let specs = specs_disjoint(256, 24, 4, seed);
+            let (_, sim) = run_concurrent(&m, &cfg, Algorithm::OptArch, &specs);
+            blocked_total += sim.blocked_cycles;
+        }
+        assert!(blocked_total > 0, "expected cross-multicast interference");
+    }
+}

@@ -1,0 +1,162 @@
+//! The paper's experimental protocol: random processor placements and
+//! multi-trial averaging.
+//!
+//! §5: "we perform 16 independent experiments with the same input
+//! parameters, but different processor locations (randomly picked).  Each
+//! data point ... is the average of the multicast latency from all 16
+//! experiments."
+
+use flitsim::SimConfig;
+use pcm::{MsgSize, Time};
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use topo::{NodeId, Topology};
+
+use crate::algorithm::Algorithm;
+use crate::runner::run_multicast;
+
+/// Pick `k` distinct participant nodes (the first is a convenient source)
+/// uniformly at random, in random order — the "placement order" the
+/// architecture-independent OPT-tree has to live with.
+pub fn random_placement(n_nodes: usize, k: usize, seed: u64) -> Vec<NodeId> {
+    assert!(k <= n_nodes, "cannot place {k} participants on {n_nodes} nodes");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut all: Vec<NodeId> = (0..n_nodes as u32).map(NodeId).collect();
+    all.shuffle(&mut rng);
+    all.truncate(k);
+    all
+}
+
+/// Aggregate over trials of one experimental point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialStats {
+    /// Number of trials.
+    pub trials: usize,
+    /// Mean observed multicast latency.
+    pub mean_latency: f64,
+    /// Minimum / maximum observed latency.
+    pub min_latency: Time,
+    /// Maximum observed latency.
+    pub max_latency: Time,
+    /// Mean analytic (contention-free) latency of the constructed trees.
+    pub mean_analytic: f64,
+    /// Mean head-blocked cycles per run (contention overhead).
+    pub mean_blocked: f64,
+    /// Fraction of runs with zero blocking.
+    pub contention_free_fraction: f64,
+}
+
+/// Run `trials` random placements of `k` participants and average, exactly
+/// mirroring the paper's protocol.  `seed` makes the whole series
+/// reproducible; trial `i` uses placement seed `seed + i` so all algorithms
+/// see identical placements.
+///
+/// Trials are independent simulations, so they run on scoped worker threads
+/// (one per available core); results are aggregated in seed order, keeping
+/// the statistics bit-identical to a sequential run.
+pub fn run_trials(
+    topo: &dyn Topology,
+    cfg: &SimConfig,
+    algorithm: Algorithm,
+    k: usize,
+    bytes: MsgSize,
+    trials: usize,
+    seed: u64,
+) -> TrialStats {
+    assert!(trials >= 1);
+    let one = |t: usize| {
+        let placement = random_placement(topo.graph().n_nodes(), k, seed + t as u64);
+        let src = placement[0];
+        let out = run_multicast(topo, cfg, algorithm, &placement, src, bytes);
+        (out.latency, out.analytic, out.sim.blocked_cycles, out.sim.contention_free())
+    };
+    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(trials);
+    let results: Vec<(Time, Time, Time, bool)> = if workers <= 1 {
+        (0..trials).map(one).collect()
+    } else {
+        // Static block partition: worker w takes trials [lo, hi); results
+        // land in a fixed slot per trial, so aggregation order is stable.
+        let mut results = vec![(0, 0, 0, false); trials];
+        std::thread::scope(|scope| {
+            let chunk = trials.div_ceil(workers);
+            for (w, slots) in results.chunks_mut(chunk).enumerate() {
+                let one = &one;
+                scope.spawn(move || {
+                    for (i, slot) in slots.iter_mut().enumerate() {
+                        *slot = one(w * chunk + i);
+                    }
+                });
+            }
+        });
+        results
+    };
+    let latencies: Vec<Time> = results.iter().map(|r| r.0).collect();
+    TrialStats {
+        trials,
+        mean_latency: latencies.iter().sum::<Time>() as f64 / trials as f64,
+        min_latency: *latencies.iter().min().expect("at least one trial"),
+        max_latency: *latencies.iter().max().expect("at least one trial"),
+        mean_analytic: results.iter().map(|r| r.1 as f64).sum::<f64>() / trials as f64,
+        mean_blocked: results.iter().map(|r| r.2 as f64).sum::<f64>() / trials as f64,
+        contention_free_fraction:
+            results.iter().filter(|r| r.3).count() as f64 / trials as f64,
+    }
+}
+
+/// Deterministic jitter helper for tests and ablations: a placement biased
+/// toward a sub-region (densities stress contention differently).
+pub fn clustered_placement(n_nodes: usize, k: usize, cluster: usize, seed: u64) -> Vec<NodeId> {
+    assert!(cluster <= n_nodes && k <= cluster.max(1));
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let offset = if n_nodes > cluster { rng.gen_range(0..n_nodes - cluster) } else { 0 };
+    let mut region: Vec<NodeId> = (offset..offset + cluster).map(|i| NodeId(i as u32)).collect();
+    region.shuffle(&mut rng);
+    region.truncate(k);
+    region
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo::Mesh;
+
+    #[test]
+    fn placement_is_distinct_and_seeded() {
+        let p1 = random_placement(256, 32, 7);
+        let p2 = random_placement(256, 32, 7);
+        let p3 = random_placement(256, 32, 8);
+        assert_eq!(p1, p2, "same seed, same placement");
+        assert_ne!(p1, p3, "different seed, different placement");
+        let mut sorted = p1.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 32, "participants must be distinct");
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn oversized_placement_panics() {
+        random_placement(16, 17, 0);
+    }
+
+    #[test]
+    fn trials_average_and_bound() {
+        let m = Mesh::new(&[8, 8]);
+        let cfg = SimConfig::paragon_like();
+        let s = run_trials(&m, &cfg, Algorithm::OptArch, 8, 512, 4, 42);
+        assert_eq!(s.trials, 4);
+        assert!(s.min_latency as f64 <= s.mean_latency);
+        assert!(s.mean_latency <= s.max_latency as f64);
+        assert!(s.mean_analytic > 0.0);
+    }
+
+    #[test]
+    fn clustered_placement_is_contained() {
+        let p = clustered_placement(256, 16, 32, 3);
+        assert_eq!(p.len(), 16);
+        let min = p.iter().map(|n| n.0).min().unwrap();
+        let max = p.iter().map(|n| n.0).max().unwrap();
+        assert!(max - min < 32);
+    }
+}

@@ -1,0 +1,94 @@
+//! Property tests across the optmc stack: the analytic schedule, the
+//! distributed runtime and the flit-level simulation must describe the same
+//! multicast.
+
+use flitsim::SimConfig;
+use optmc::experiments::random_placement;
+use optmc::{run_multicast, Algorithm};
+use proptest::prelude::*;
+use topo::{Bmin, Mesh, Omega, Topology, Torus, UpPolicy};
+
+fn topologies() -> Vec<Box<dyn Topology>> {
+    vec![
+        Box::new(Mesh::new(&[8, 8])),
+        Box::new(Mesh::hypercube(6)),
+        Box::new(Bmin::new(6, UpPolicy::Straight)),
+        Box::new(Omega::new(6)),
+        Box::new(Torus::new(&[8, 8])),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The simulated message set equals the schedule's send set, for every
+    /// algorithm on every topology.
+    #[test]
+    fn sim_messages_equal_schedule_sends(
+        seed in 0u64..5000,
+        k in 2usize..24,
+        topo_i in 0usize..5,
+        alg_i in 0usize..3,
+    ) {
+        let topo = &topologies()[topo_i];
+        let alg = [Algorithm::OptArch, Algorithm::UArch, Algorithm::OptTree][alg_i];
+        let cfg = SimConfig::paragon_like();
+        let n = topo.graph().n_nodes();
+        let parts = random_placement(n, k.min(n), seed);
+        let out = run_multicast(topo.as_ref(), &cfg, alg, &parts, parts[0], 1024);
+
+        let mut simulated: Vec<(u32, u32)> = out
+            .sim
+            .messages
+            .iter()
+            .map(|m| (m.src.0, m.dest.0))
+            .collect();
+        let mut planned: Vec<(u32, u32)> = out
+            .schedule
+            .sends
+            .iter()
+            .map(|e| (out.chain_nodes[e.from].0, out.chain_nodes[e.to].0))
+            .collect();
+        simulated.sort_unstable();
+        planned.sort_unstable();
+        prop_assert_eq!(simulated, planned);
+    }
+
+    /// Simulated latency is never meaningfully below the analytic bound
+    /// (contention only adds; the slack covers hop-count averaging).
+    #[test]
+    fn latency_respects_bound(seed in 0u64..5000, k in 2usize..32, topo_i in 0usize..5) {
+        let topo = &topologies()[topo_i];
+        let cfg = SimConfig::paragon_like();
+        let n = topo.graph().n_nodes();
+        let parts = random_placement(n, k.min(n), seed);
+        let out = run_multicast(topo.as_ref(), &cfg, Algorithm::OptArch, &parts, parts[0], 2048);
+        let slack = 2 * 32; // diameter-scale head-latency variation
+        prop_assert!(
+            out.latency as i64 >= out.analytic as i64 - slack,
+            "{} < {}", out.latency, out.analytic
+        );
+    }
+
+    /// Receive times in the simulation respect the tree's partial order:
+    /// a child never completes before its parent (who forwarded to it).
+    #[test]
+    fn tree_order_is_respected(seed in 0u64..5000, k in 3usize..24) {
+        let mesh = Mesh::new(&[8, 8]);
+        let cfg = SimConfig::paragon_like();
+        let parts = random_placement(64, k, seed);
+        let out = run_multicast(&mesh, &cfg, Algorithm::OptArch, &parts, parts[0], 512);
+        for e in &out.schedule.sends {
+            let parent = out.chain_nodes[e.from];
+            let child = out.chain_nodes[e.to];
+            let child_done = out.sim.delivered_to(child).expect("delivered").completed;
+            if let Some(parent_rec) = out.sim.delivered_to(parent) {
+                prop_assert!(
+                    child_done > parent_rec.completed,
+                    "child {:?} at {} vs parent {:?} at {}",
+                    child, child_done, parent, parent_rec.completed
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,233 @@
+//! Fitting model parameters from measurements.
+//!
+//! The authors evaluate `t_hold` and `t_end` "at the user-application level"
+//! (§2.1, citing their benchmarking report MSU-CPS-ACS-103): time a burst of
+//! back-to-back sends to get `t_hold(m)`, and a ping (or synchronised
+//! one-way) transfer to get `t_end(m)`, across a sweep of message sizes, then
+//! fit an affine function.  This module supplies the fitting; the `optmc`
+//! crate runs the corresponding microbenchmarks *inside the flit-level
+//! simulator* (see the `calibrate` example), closing the loop: measured
+//! parameters go into the OPT-tree DP exactly as they would on real hardware.
+
+use crate::{LinearFn, MsgSize, Time};
+
+/// A single measurement: message size and observed time.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Message size in bytes.
+    pub msg_size: MsgSize,
+    /// Observed time in cycles.
+    pub time: Time,
+}
+
+impl Sample {
+    /// Convenience constructor.
+    pub fn new(msg_size: MsgSize, time: Time) -> Self {
+        Self { msg_size, time }
+    }
+}
+
+/// Error from [`fit_linear`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FitError {
+    /// Fewer than two samples were supplied.
+    TooFewSamples,
+    /// All samples share one message size, so the slope is unidentifiable.
+    DegenerateSizes,
+}
+
+impl std::fmt::Display for FitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FitError::TooFewSamples => write!(f, "need at least two samples to fit a line"),
+            FitError::DegenerateSizes => {
+                write!(f, "all samples have the same message size; slope unidentifiable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FitError {}
+
+/// Ordinary least-squares fit of `time = base + slope · msg_size`.
+pub fn fit_linear(samples: &[Sample]) -> Result<LinearFn, FitError> {
+    if samples.len() < 2 {
+        return Err(FitError::TooFewSamples);
+    }
+    let n = samples.len() as f64;
+    let mean_x = samples.iter().map(|s| s.msg_size as f64).sum::<f64>() / n;
+    let mean_y = samples.iter().map(|s| s.time as f64).sum::<f64>() / n;
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    for s in samples {
+        let dx = s.msg_size as f64 - mean_x;
+        let dy = s.time as f64 - mean_y;
+        sxx += dx * dx;
+        sxy += dx * dy;
+    }
+    if sxx == 0.0 {
+        return Err(FitError::DegenerateSizes);
+    }
+    let slope = sxy / sxx;
+    let base = mean_y - slope * mean_x;
+    Ok(LinearFn::new(base, slope))
+}
+
+/// Goodness-of-fit (coefficient of determination R²) of `f` on `samples`.
+/// Returns 1.0 for a perfect fit; may be negative for a terrible one.
+pub fn r_squared(f: &LinearFn, samples: &[Sample]) -> f64 {
+    if samples.is_empty() {
+        return 1.0;
+    }
+    let n = samples.len() as f64;
+    let mean_y = samples.iter().map(|s| s.time as f64).sum::<f64>() / n;
+    let mut ss_res = 0.0;
+    let mut ss_tot = 0.0;
+    for s in samples {
+        let pred = f.eval_f64(s.msg_size);
+        ss_res += (s.time as f64 - pred).powi(2);
+        ss_tot += (s.time as f64 - mean_y).powi(2);
+    }
+    if ss_tot == 0.0 {
+        if ss_res == 0.0 {
+            1.0
+        } else {
+            f64::NEG_INFINITY
+        }
+    } else {
+        1.0 - ss_res / ss_tot
+    }
+}
+
+/// Standard errors of a fitted line's parameters, for reporting calibration
+/// confidence the way a measurement paper would.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FitErrors {
+    /// Standard error of the intercept (cycles).
+    pub base_se: f64,
+    /// Standard error of the slope (cycles/byte).
+    pub slope_se: f64,
+    /// Residual standard deviation (cycles).
+    pub residual_sd: f64,
+}
+
+/// Standard errors of `f` as a least-squares fit of `samples` (the usual
+/// OLS formulas with `n - 2` degrees of freedom).
+///
+/// Returns `None` with fewer than three samples or degenerate sizes.
+pub fn fit_errors(f: &LinearFn, samples: &[Sample]) -> Option<FitErrors> {
+    if samples.len() < 3 {
+        return None;
+    }
+    let n = samples.len() as f64;
+    let mean_x = samples.iter().map(|s| s.msg_size as f64).sum::<f64>() / n;
+    let sxx: f64 = samples.iter().map(|s| (s.msg_size as f64 - mean_x).powi(2)).sum();
+    if sxx == 0.0 {
+        return None;
+    }
+    let ss_res: f64 =
+        samples.iter().map(|s| (s.time as f64 - f.eval_f64(s.msg_size)).powi(2)).sum();
+    let var = ss_res / (n - 2.0);
+    let sum_x2: f64 = samples.iter().map(|s| (s.msg_size as f64).powi(2)).sum();
+    Some(FitErrors {
+        base_se: (var * sum_x2 / (n * sxx)).sqrt(),
+        slope_se: (var / sxx).sqrt(),
+        residual_sd: var.sqrt(),
+    })
+}
+
+/// Derive `t_hold(m)` samples from burst measurements: if `n` back-to-back
+/// sends of size `m` take `total` cycles measured from first to last
+/// *initiation*, then `t_hold(m) ≈ total / (n-1)`.
+pub fn hold_sample_from_burst(msg_size: MsgSize, n_sends: usize, total: Time) -> Option<Sample> {
+    if n_sends < 2 {
+        return None;
+    }
+    Some(Sample::new(msg_size, total / (n_sends as Time - 1)))
+}
+
+/// Derive a `t_end(m)` sample from a ping-pong round trip: one-way latency is
+/// half the round trip (both directions have identical cost in the model).
+pub fn end_sample_from_pingpong(msg_size: MsgSize, round_trip: Time) -> Sample {
+    Sample::new(msg_size, round_trip / 2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_line() {
+        let f = LinearFn::new(100.0, 0.5);
+        let samples: Vec<Sample> =
+            (0..10).map(|i| Sample::new(i * 1000, f.eval(i * 1000))).collect();
+        let fitted = fit_linear(&samples).unwrap();
+        assert!((fitted.base - 100.0).abs() < 1.0, "base {}", fitted.base);
+        assert!((fitted.slope - 0.5).abs() < 1e-3, "slope {}", fitted.slope);
+        assert!(r_squared(&fitted, &samples) > 0.9999);
+    }
+
+    #[test]
+    fn rejects_too_few() {
+        assert_eq!(fit_linear(&[Sample::new(1, 1)]), Err(FitError::TooFewSamples));
+    }
+
+    #[test]
+    fn rejects_degenerate() {
+        let s = [Sample::new(8, 10), Sample::new(8, 20)];
+        assert_eq!(fit_linear(&s), Err(FitError::DegenerateSizes));
+    }
+
+    #[test]
+    fn fits_noisy_line_reasonably() {
+        // Deterministic pseudo-noise ±3 cycles.
+        let f = LinearFn::new(200.0, 0.25);
+        let samples: Vec<Sample> = (1..20)
+            .map(|i| {
+                let m = i * 512;
+                let noise = ((i * 7919) % 7) as i64 - 3;
+                Sample::new(m, (f.eval_f64(m) as i64 + noise).max(0) as u64)
+            })
+            .collect();
+        let fitted = fit_linear(&samples).unwrap();
+        assert!((fitted.slope - 0.25).abs() < 0.01);
+        assert!(r_squared(&fitted, &samples) > 0.999);
+    }
+
+    #[test]
+    fn perfect_fit_has_zero_errors() {
+        let f = LinearFn::new(10.0, 2.0);
+        let samples: Vec<Sample> = (0..6).map(|i| Sample::new(i * 10, f.eval(i * 10))).collect();
+        let e = fit_errors(&f, &samples).unwrap();
+        assert!(e.base_se < 1e-6 && e.slope_se < 1e-9 && e.residual_sd < 1e-6, "{e:?}");
+    }
+
+    #[test]
+    fn noisy_fit_has_positive_errors() {
+        let f = LinearFn::new(100.0, 1.0);
+        let samples: Vec<Sample> = (0..10)
+            .map(|i| {
+                let noise = if i % 2 == 0 { 5 } else { 0 };
+                Sample::new(i * 100, f.eval(i * 100) + noise)
+            })
+            .collect();
+        let fitted = fit_linear(&samples).unwrap();
+        let e = fit_errors(&fitted, &samples).unwrap();
+        assert!(e.residual_sd > 1.0, "{e:?}");
+        assert!(e.slope_se > 0.0);
+    }
+
+    #[test]
+    fn errors_need_three_samples() {
+        let f = LinearFn::new(0.0, 1.0);
+        assert!(fit_errors(&f, &[Sample::new(1, 1), Sample::new(2, 2)]).is_none());
+        assert!(fit_errors(&f, &[Sample::new(1, 1); 5]).is_none());
+    }
+
+    #[test]
+    fn burst_and_pingpong_helpers() {
+        assert_eq!(hold_sample_from_burst(64, 1, 100), None);
+        assert_eq!(hold_sample_from_burst(64, 11, 1000), Some(Sample::new(64, 100)));
+        assert_eq!(end_sample_from_pingpong(64, 222), Sample::new(64, 111));
+    }
+}

@@ -1,0 +1,65 @@
+//! # `pcm` — the Parameterized Communication Model
+//!
+//! This crate implements the communication-cost model that the IPPS'97 paper
+//! "Architecture-Dependent Tuning of the Parameterized Communication Model for
+//! Optimal Multicasting" (Nupairoj, Ni, Park, Choi) builds on.  The model is
+//! an extension of LogP (Culler et al.) that characterises a message-passing
+//! system by five *measurable*, message-size-dependent parameters:
+//!
+//! * `t_send` — software latency at the sender (packetisation, checksums,
+//!   copies) before the message enters the network,
+//! * `t_recv` — software latency at the receiver after the last flit arrives,
+//! * `t_net`  — time to move the message across the network,
+//! * `t_hold` — the minimum interval between two consecutive send (or
+//!   receive) operations issued by one node, i.e. the CPU occupancy of a send,
+//! * `t_end`  — the end-to-end latency `t_send + t_net + t_recv`.
+//!
+//! Multicast performance is predicted from `t_hold` and `t_end` alone
+//! (paper §2.1): `t_hold` is the cost a sender pays before it may continue,
+//! `t_end` is the delay until a receiver owns the message.
+//!
+//! The crate provides:
+//! * [`LinearFn`] — affine per-message-size cost functions (`base + slope·m`),
+//! * [`CommParams`] — the five parameters as functions of message size,
+//! * [`logp`] — the LogP model and mappings to/from the parameterized model,
+//! * [`predict`] — closed-form latency predictors for point-to-point and
+//!   tree-structured communication under the model,
+//! * [`calibrate`] — least-squares fitting of [`LinearFn`] from measured
+//!   `(size, time)` samples, mirroring the user-level measurement methodology
+//!   of the authors' benchmarking report (MSU-CPS-ACS-103).
+//!
+//! Times are in abstract *cycles* ([`Time`], a `u64`); the flit-level
+//! simulator in the `flitsim` crate uses the same unit.
+//!
+//! ```
+//! use pcm::{CommParams, predict};
+//!
+//! // The paper's Fig. 1 parameters: t_hold = 20, t_end = 55.
+//! let params = CommParams::from_pair(20, 55);
+//! assert_eq!(params.pair(4096), (20, 55));
+//!
+//! // The binomial tree the U-mesh algorithm builds takes 165 time units
+//! // for 8 nodes — the number the paper quotes.
+//! assert_eq!(predict::binomial_tree_latency(&params, 0, 8), 165);
+//!
+//! // Measured samples fit back to an affine model:
+//! use pcm::calibrate::{fit_linear, Sample};
+//! let samples = [Sample::new(1024, 612), Sample::new(4096, 1380), Sample::new(16384, 4452)];
+//! let f = fit_linear(&samples).unwrap();
+//! assert!((f.slope - 0.25).abs() < 0.01);
+//! ```
+
+pub mod calibrate;
+pub mod linear;
+pub mod logp;
+pub mod params;
+pub mod predict;
+
+pub use linear::LinearFn;
+pub use params::{CommParams, ParamPoint};
+
+/// Simulation/model time in cycles.
+pub type Time = u64;
+
+/// Message size in bytes.
+pub type MsgSize = u64;

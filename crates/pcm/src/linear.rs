@@ -1,0 +1,120 @@
+//! Affine cost functions of message size.
+//!
+//! Every parameter of the model is, to first order, an affine function of the
+//! message size `m`: a fixed software/hardware overhead plus a per-byte cost
+//! (copying, checksumming, flit transmission).  The authors' measurement
+//! methodology fits exactly this shape, so we make it a first-class type.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{MsgSize, Time};
+
+/// An affine function `f(m) = base + slope · m` from message size (bytes) to
+/// time (cycles).
+///
+/// `slope` is kept as an `f64` because per-byte costs are usually fractional
+/// cycle counts; evaluation rounds to the nearest whole cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearFn {
+    /// Fixed cost in cycles, independent of message size.
+    pub base: f64,
+    /// Marginal cost in cycles per byte.
+    pub slope: f64,
+}
+
+impl LinearFn {
+    /// A new affine cost function.
+    pub const fn new(base: f64, slope: f64) -> Self {
+        Self { base, slope }
+    }
+
+    /// The constant function `f(m) = c`.
+    pub const fn constant(c: f64) -> Self {
+        Self { base: c, slope: 0.0 }
+    }
+
+    /// The zero function.
+    pub const fn zero() -> Self {
+        Self::constant(0.0)
+    }
+
+    /// Evaluate at message size `m`, rounding to the nearest cycle and
+    /// clamping at zero (a fitted function may have a slightly negative
+    /// intercept).
+    pub fn eval(&self, m: MsgSize) -> Time {
+        let v = self.base + self.slope * m as f64;
+        if v <= 0.0 {
+            0
+        } else {
+            v.round() as Time
+        }
+    }
+
+    /// Evaluate without rounding.
+    pub fn eval_f64(&self, m: MsgSize) -> f64 {
+        self.base + self.slope * m as f64
+    }
+
+    /// Pointwise sum of two affine functions.
+    pub fn add(&self, other: &LinearFn) -> LinearFn {
+        LinearFn::new(self.base + other.base, self.slope + other.slope)
+    }
+
+    /// Pointwise difference of two affine functions.
+    pub fn sub(&self, other: &LinearFn) -> LinearFn {
+        LinearFn::new(self.base - other.base, self.slope - other.slope)
+    }
+
+    /// Scale the function by a constant factor.
+    pub fn scale(&self, k: f64) -> LinearFn {
+        LinearFn::new(self.base * k, self.slope * k)
+    }
+}
+
+impl std::fmt::Display for LinearFn {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2} + {:.4}·m", self.base, self.slope)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eval_rounds_to_nearest() {
+        let f = LinearFn::new(10.0, 0.5);
+        assert_eq!(f.eval(0), 10);
+        assert_eq!(f.eval(1), 11); // 10.5 rounds up
+        assert_eq!(f.eval(2), 11);
+        assert_eq!(f.eval(3), 12); // 11.5 rounds up
+    }
+
+    #[test]
+    fn eval_clamps_negative() {
+        let f = LinearFn::new(-5.0, 0.0);
+        assert_eq!(f.eval(1000), 0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let f = LinearFn::new(1.0, 2.0);
+        let g = LinearFn::new(3.0, 4.0);
+        assert_eq!(f.add(&g), LinearFn::new(4.0, 6.0));
+        assert_eq!(g.sub(&f), LinearFn::new(2.0, 2.0));
+        assert_eq!(f.scale(2.0), LinearFn::new(2.0, 4.0));
+    }
+
+    #[test]
+    fn constant_and_zero() {
+        assert_eq!(LinearFn::constant(7.0).eval(12345), 7);
+        assert_eq!(LinearFn::zero().eval(12345), 0);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let s = format!("{}", LinearFn::new(400.0, 0.25));
+        assert!(s.contains("400.00"));
+        assert!(s.contains("0.2500"));
+    }
+}

@@ -1,0 +1,124 @@
+//! The LogP model and its relation to the parameterized model.
+//!
+//! LogP (Culler et al., PPoPP'93) describes a system by four size-independent
+//! constants: network latency `L`, processing overhead `o`, gap `g`, and
+//! processor count `P`.  The parameterized model generalises it with
+//! size-dependent functions; this module provides the mapping both ways so
+//! that LogP-based schedules and bounds can be compared against
+//! parameterized-model ones.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{CommParams, LinearFn, MsgSize, Time};
+
+/// The classic LogP machine model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LogP {
+    /// Upper bound on network latency for a small message.
+    pub l: Time,
+    /// Processing overhead of a send or receive.
+    pub o: Time,
+    /// Minimum gap between consecutive message injections.
+    pub g: Time,
+    /// Number of processors.
+    pub p: usize,
+}
+
+impl LogP {
+    /// End-to-end latency of one small message under LogP: `o + L + o`.
+    pub fn t_end(&self) -> Time {
+        2 * self.o + self.l
+    }
+
+    /// Effective holding latency of a send under LogP: the sender is busy for
+    /// `o` and may not inject again for `g`, so `max(o, g)`.
+    pub fn t_hold(&self) -> Time {
+        self.o.max(self.g)
+    }
+
+    /// Lower bound on the completion time of a `k`-node single-item broadcast
+    /// under LogP (the classic LogP broadcast-tree recurrence, equal to the
+    /// OPT-tree bound with `t_hold = max(o,g)` and `t_end = 2o + L`).
+    pub fn broadcast_lower_bound(&self, k: usize) -> Time {
+        // t[1] = 0; t[i] = min_j max(t[j] + hold, t[i-j] + end).
+        let hold = self.t_hold();
+        let end = self.t_end();
+        let mut t = vec![0u64; k.max(1) + 1];
+        for i in 2..=k.max(1) {
+            t[i] = (1..i)
+                .map(|j| (t[j] + hold).max(t[i - j] + end))
+                .min()
+                .expect("i >= 2 so the range is non-empty");
+        }
+        t[k.max(1)]
+    }
+
+    /// Convert to the parameterized model: all functions constant, `t_net = L`,
+    /// software overheads `o` on each side, hold `max(o, g)`.
+    pub fn to_params(&self) -> CommParams {
+        CommParams {
+            t_send: LinearFn::constant(self.o as f64),
+            t_recv: LinearFn::constant(self.o as f64),
+            t_hold: LinearFn::constant(self.t_hold() as f64),
+            t_net_size: LinearFn::constant(self.l as f64),
+            net_hops: 0.0,
+            per_hop: 0.0,
+        }
+    }
+
+    /// Project a parameterized model down to LogP at a fixed message size.
+    /// Information about size dependence is lost — that loss is precisely the
+    /// motivation for the parameterized model (paper §1).
+    pub fn from_params(params: &CommParams, m: MsgSize, p: usize) -> Self {
+        Self {
+            l: params.t_net(m),
+            o: params.t_send.eval(m).max(params.t_recv.eval(m)),
+            g: params.t_hold(m),
+            p,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_at_fixed_size() {
+        let lp = LogP { l: 100, o: 30, g: 40, p: 64 };
+        let params = lp.to_params();
+        let back = LogP::from_params(&params, 4096, 64);
+        assert_eq!(back.l, 100);
+        assert_eq!(back.o, 30);
+        assert_eq!(back.g, 40);
+    }
+
+    #[test]
+    fn t_end_and_hold() {
+        let lp = LogP { l: 100, o: 30, g: 10, p: 4 };
+        assert_eq!(lp.t_end(), 160);
+        assert_eq!(lp.t_hold(), 30); // o > g
+    }
+
+    #[test]
+    fn broadcast_bound_binomial_when_hold_equals_end() {
+        // With o = 0 and g = L... make hold == end: o=0, g = l => hold = g = l,
+        // end = l.  Binomial: ceil(log2(k)) * l.
+        let lp = LogP { l: 50, o: 0, g: 50, p: 16 };
+        assert_eq!(lp.broadcast_lower_bound(1), 0);
+        assert_eq!(lp.broadcast_lower_bound(2), 50);
+        assert_eq!(lp.broadcast_lower_bound(4), 100);
+        assert_eq!(lp.broadcast_lower_bound(8), 150);
+        assert_eq!(lp.broadcast_lower_bound(16), 200);
+    }
+
+    #[test]
+    fn broadcast_bound_small_hold_prefers_wide_trees() {
+        // hold = 1, end = 100: the root can spray messages nearly for free, so
+        // t[k] grows far slower than binomial.
+        let lp = LogP { l: 100, o: 0, g: 1, p: 32 };
+        let t8 = lp.broadcast_lower_bound(8);
+        // Binomial would be 300; spraying gives about end + a few holds.
+        assert!(t8 < 120, "expected a flat tree, got {t8}");
+    }
+}

@@ -1,0 +1,181 @@
+//! The five-parameter communication model.
+
+use serde::{Deserialize, Serialize};
+
+use crate::{LinearFn, MsgSize, Time};
+
+/// The parameterized communication model (paper §2.1).
+///
+/// Each of the software parameters is an affine function of message size; the
+/// network parameter additionally carries a per-hop term.  `t_end` is always
+/// the derived sum `t_send + t_net + t_recv`.
+///
+/// For multicast-tree construction only the *pair* (`t_hold`, `t_end`)
+/// matters; [`CommParams::pair`] evaluates it for a message size, and
+/// [`CommParams::from_pair`] builds a degenerate model from explicit values
+/// (used to replay the paper's worked example with `t_hold = 20`,
+/// `t_end = 55`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommParams {
+    /// Sender software latency `t_send(m)`.
+    pub t_send: LinearFn,
+    /// Receiver software latency `t_recv(m)`.
+    pub t_recv: LinearFn,
+    /// Minimum interval between consecutive send operations, `t_hold(m)`.
+    pub t_hold: LinearFn,
+    /// Size-dependent part of the network latency `t_net(m)` (serialisation:
+    /// flits × cycles/flit), excluding the per-hop term.
+    pub t_net_size: LinearFn,
+    /// Per-hop head latency in cycles (router delay × hops); the model
+    /// assumes distance-insensitivity, so a *nominal* hop count is folded in.
+    pub net_hops: f64,
+    /// Router/channel delay per hop in cycles.
+    pub per_hop: f64,
+}
+
+impl CommParams {
+    /// Network latency `t_net(m)` under the nominal hop count.
+    pub fn t_net(&self, m: MsgSize) -> Time {
+        (self.net_hops * self.per_hop).round() as Time + self.t_net_size.eval(m)
+    }
+
+    /// End-to-end latency `t_end(m) = t_send(m) + t_net(m) + t_recv(m)`.
+    pub fn t_end(&self, m: MsgSize) -> Time {
+        self.t_send.eval(m) + self.t_net(m) + self.t_recv.eval(m)
+    }
+
+    /// Holding latency `t_hold(m)`.
+    pub fn t_hold(&self, m: MsgSize) -> Time {
+        self.t_hold.eval(m)
+    }
+
+    /// The `(t_hold, t_end)` pair that drives multicast-tree construction.
+    pub fn pair(&self, m: MsgSize) -> (Time, Time) {
+        (self.t_hold(m), self.t_end(m))
+    }
+
+    /// Evaluate all five parameters at message size `m`.
+    pub fn at(&self, m: MsgSize) -> ParamPoint {
+        ParamPoint {
+            msg_size: m,
+            t_send: self.t_send.eval(m),
+            t_recv: self.t_recv.eval(m),
+            t_net: self.t_net(m),
+            t_hold: self.t_hold(m),
+            t_end: self.t_end(m),
+        }
+    }
+
+    /// A degenerate model whose `(t_hold, t_end)` pair is constant and equal
+    /// to the given values for every message size.  All of `t_end` is
+    /// attributed to `t_net`.
+    pub fn from_pair(t_hold: Time, t_end: Time) -> Self {
+        Self {
+            t_send: LinearFn::zero(),
+            t_recv: LinearFn::zero(),
+            t_hold: LinearFn::constant(t_hold as f64),
+            t_net_size: LinearFn::constant(t_end as f64),
+            net_hops: 0.0,
+            per_hop: 0.0,
+        }
+    }
+
+    /// Default parameters loosely modelled on a mid-1990s wormhole machine
+    /// (Intel Paragon class), in router-cycle units:
+    ///
+    /// * flit width 8 bytes, 1 cycle per flit per channel
+    ///   (`t_net_size = m / 8` cycles),
+    /// * 1 cycle router delay per hop, `hops` nominal hops,
+    /// * send software: 350 cycles + 0.15 cycles/byte (copy + checksum),
+    /// * receive software: 300 cycles + 0.15 cycles/byte,
+    /// * hold: 250 cycles + 0.13 cycles/byte (the CPU is released before the
+    ///   NI finishes streaming, hence `t_hold < t_send` — the regime in which
+    ///   the OPT tree beats the binomial tree).
+    pub fn paragon_like(hops: f64) -> Self {
+        Self {
+            t_send: LinearFn::new(350.0, 0.15),
+            t_recv: LinearFn::new(300.0, 0.15),
+            t_hold: LinearFn::new(250.0, 0.13),
+            t_net_size: LinearFn::new(0.0, 1.0 / 8.0),
+            net_hops: hops,
+            per_hop: 1.0,
+        }
+    }
+
+    /// Parameters for a store-and-forward-ish system where `t_hold == t_end`
+    /// for every size — the regime in which the binomial tree is optimal.
+    /// Useful for tests that check the OPT tree degenerates to binomial.
+    pub fn binomial_regime(t: Time) -> Self {
+        Self::from_pair(t, t)
+    }
+}
+
+/// All five parameters evaluated at one message size.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ParamPoint {
+    /// The message size at which the parameters were evaluated.
+    pub msg_size: MsgSize,
+    /// Sender software latency.
+    pub t_send: Time,
+    /// Receiver software latency.
+    pub t_recv: Time,
+    /// Network latency.
+    pub t_net: Time,
+    /// Holding latency.
+    pub t_hold: Time,
+    /// End-to-end latency.
+    pub t_end: Time,
+}
+
+impl ParamPoint {
+    /// `t_end` must equal `t_send + t_net + t_recv`; returns whether the
+    /// invariant holds (it always does for points produced by
+    /// [`CommParams::at`]).
+    pub fn is_consistent(&self) -> bool {
+        self.t_end == self.t_send + self.t_net + self.t_recv
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn t_end_is_sum_of_parts() {
+        let p = CommParams::paragon_like(16.0);
+        for m in [0u64, 1, 8, 1024, 65536] {
+            let pt = p.at(m);
+            assert!(pt.is_consistent(), "inconsistent at m={m}: {pt:?}");
+        }
+    }
+
+    #[test]
+    fn from_pair_reproduces_pair_at_any_size() {
+        let p = CommParams::from_pair(20, 55);
+        for m in [0u64, 100, 4096, 65536] {
+            assert_eq!(p.pair(m), (20, 55));
+        }
+    }
+
+    #[test]
+    fn paragon_like_has_hold_below_end() {
+        let p = CommParams::paragon_like(16.0);
+        for m in [0u64, 512, 4096, 65536] {
+            let (h, e) = p.pair(m);
+            assert!(h < e, "t_hold must stay below t_end (m={m}: {h} vs {e})");
+        }
+    }
+
+    #[test]
+    fn net_latency_includes_hops_and_size() {
+        let p = CommParams::paragon_like(10.0);
+        // 10 hops at 1 cycle/hop + 80 bytes at 1/8 cycles/byte.
+        assert_eq!(p.t_net(80), 10 + 10);
+    }
+
+    #[test]
+    fn binomial_regime_pair_is_equal() {
+        let p = CommParams::binomial_regime(42);
+        assert_eq!(p.pair(12345), (42, 42));
+    }
+}

@@ -1,0 +1,125 @@
+//! Closed-form latency predictors under the parameterized model.
+//!
+//! These are the *contention-free* predictions: they assume `t_hold` and
+//! `t_end` are location-independent (paper §2.2).  The whole point of the
+//! paper is that on real wormhole networks this assumption breaks unless the
+//! multicast tree is embedded carefully — the `optmc` crate's simulations
+//! quantify the gap between these predictions and observed latency.
+
+use crate::{CommParams, MsgSize, Time};
+
+/// Predicted end-to-end latency of a single point-to-point message.
+pub fn p2p_latency(params: &CommParams, m: MsgSize) -> Time {
+    params.t_end(m)
+}
+
+/// Predicted completion time of a node that sends `n` back-to-back messages:
+/// the last injection starts at `(n-1)·t_hold` and completes `t_end` later.
+pub fn scatter_latency(params: &CommParams, m: MsgSize, n: usize) -> Time {
+    if n == 0 {
+        return 0;
+    }
+    (n as Time - 1) * params.t_hold(m) + params.t_end(m)
+}
+
+/// Latency of a *sequential* multicast tree (root sends to each of the `k-1`
+/// destinations one after another; paper \[5\] shows this simple tree can beat
+/// the binomial one when `t_hold ≪ t_end`).
+pub fn sequential_tree_latency(params: &CommParams, m: MsgSize, k: usize) -> Time {
+    if k <= 1 {
+        0
+    } else {
+        scatter_latency(params, m, k - 1)
+    }
+}
+
+/// Latency of a *binomial* multicast tree with `k` nodes: recursive halving,
+/// `⌈log2 k⌉` rounds; each round costs `t_hold` to the sender's remaining
+/// work and `t_end` to the new subtree.
+pub fn binomial_tree_latency(params: &CommParams, m: MsgSize, k: usize) -> Time {
+    let (hold, end) = params.pair(m);
+    binomial_latency_from_pair(hold, end, k)
+}
+
+/// Binomial-tree latency from an explicit `(t_hold, t_end)` pair.
+///
+/// `t(1) = 0`, `t(i) = max(t(⌈i/2⌉) + t_hold, t(⌊i/2⌋) + t_end)` — the sender
+/// keeps the larger half, matching the recursive-halving U-mesh/U-min
+/// construction.
+pub fn binomial_latency_from_pair(hold: Time, end: Time, k: usize) -> Time {
+    if k <= 1 {
+        return 0;
+    }
+    let upper = k / 2; // receiver's half (lower half keeps the extra node)
+    let keep = k - upper;
+    (binomial_latency_from_pair(hold, end, keep) + hold)
+        .max(binomial_latency_from_pair(hold, end, upper) + end)
+}
+
+/// Number of multicast steps (tree depth) of a binomial tree on `k` nodes:
+/// `⌈log2 k⌉`.
+pub fn binomial_depth(k: usize) -> u32 {
+    if k <= 1 {
+        0
+    } else {
+        usize::BITS - (k - 1).leading_zeros()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::CommParams;
+
+    #[test]
+    fn p2p_is_t_end() {
+        let p = CommParams::paragon_like(8.0);
+        assert_eq!(p2p_latency(&p, 4096), p.t_end(4096));
+    }
+
+    #[test]
+    fn scatter_accumulates_holds() {
+        let p = CommParams::from_pair(20, 55);
+        assert_eq!(scatter_latency(&p, 0, 0), 0);
+        assert_eq!(scatter_latency(&p, 0, 1), 55);
+        assert_eq!(scatter_latency(&p, 0, 4), 3 * 20 + 55);
+    }
+
+    #[test]
+    fn binomial_matches_log_rounds_when_hold_equals_end() {
+        let p = CommParams::binomial_regime(10);
+        for k in 1..=64usize {
+            assert_eq!(
+                binomial_tree_latency(&p, 0, k),
+                10 * binomial_depth(k) as u64,
+                "k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn paper_example_binomial_is_165() {
+        // Fig. 1: t_hold = 20, t_end = 55, 8 nodes — U-mesh (binomial) is 165.
+        let p = CommParams::from_pair(20, 55);
+        assert_eq!(binomial_tree_latency(&p, 0, 8), 165);
+    }
+
+    #[test]
+    fn sequential_beats_binomial_with_tiny_hold() {
+        // t_hold = 1, t_end = 100, k = 8: sequential = 7*1 + 100 = 107,
+        // binomial = 3 rounds >= 300.
+        let p = CommParams::from_pair(1, 100);
+        assert!(
+            sequential_tree_latency(&p, 0, 8) < binomial_tree_latency(&p, 0, 8),
+            "the paper's motivating observation ([5], §1)"
+        );
+    }
+
+    #[test]
+    fn depth_is_ceil_log2() {
+        let cases = [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4), (17, 5)];
+        for (k, d) in cases {
+            assert_eq!(binomial_depth(k), d, "k={k}");
+        }
+    }
+}

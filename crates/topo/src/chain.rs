@@ -1,0 +1,121 @@
+//! Chains — ordered sequences of the participating nodes.
+//!
+//! The architecture-dependent tuning of the paper is *precisely* the choice
+//! of this order: OPT-mesh sorts participants into the dimension-ordered
+//! chain, OPT-min into the lexicographic chain, while the portable OPT-tree
+//! leaves them in whatever order the caller supplied (and pays for it with
+//! contention).
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::NodeId;
+use crate::topology::Topology;
+
+/// An ordered chain of participants with the source's position.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Chain {
+    nodes: Vec<NodeId>,
+    src_pos: usize,
+}
+
+impl Chain {
+    /// Build a chain in the topology's architecture order (dimension-ordered
+    /// for meshes, lexicographic for BMINs).  `participants` must contain
+    /// `src` exactly once and no duplicates.
+    ///
+    /// # Panics
+    /// If `participants` has duplicates or does not contain `src`.
+    pub fn sorted<T: Topology + ?Sized>(topo: &T, participants: &[NodeId], src: NodeId) -> Self {
+        let mut nodes = participants.to_vec();
+        topo.sort_chain(&mut nodes);
+        Self::from_ordered(nodes, src)
+    }
+
+    /// Build a chain that keeps the caller's order — the
+    /// architecture-independent configuration (paper §2.2: node order
+    /// unspecified, so a portable library sees arrival order).
+    pub fn unsorted(participants: &[NodeId], src: NodeId) -> Self {
+        Self::from_ordered(participants.to_vec(), src)
+    }
+
+    fn from_ordered(nodes: Vec<NodeId>, src: NodeId) -> Self {
+        for (i, n) in nodes.iter().enumerate() {
+            assert!(!nodes[..i].contains(n), "duplicate participant {n:?}");
+        }
+        let src_pos = nodes
+            .iter()
+            .position(|&n| n == src)
+            .unwrap_or_else(|| panic!("source {src:?} not among the participants"));
+        Self { nodes, src_pos }
+    }
+
+    /// Number of participants (source included).
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the chain holds just the source.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.len() <= 1
+    }
+
+    /// Chain position of the source.
+    pub fn src_pos(&self) -> usize {
+        self.src_pos
+    }
+
+    /// Node at a chain position.
+    pub fn node(&self, pos: usize) -> NodeId {
+        self.nodes[pos]
+    }
+
+    /// All nodes in chain order.
+    pub fn nodes(&self) -> &[NodeId] {
+        &self.nodes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mesh::Mesh;
+
+    #[test]
+    fn sorted_chain_orders_by_key() {
+        let m = Mesh::new(&[4, 4]);
+        // Keys are X-major on a 4x4 mesh: 5=(1,1)->5, 9=(1,2)->6,
+        // 2=(2,0)->8, 14=(2,3)->11.
+        let parts = [NodeId(9), NodeId(2), NodeId(14), NodeId(5)];
+        let c = Chain::sorted(&m, &parts, NodeId(9));
+        assert_eq!(c.nodes(), &[NodeId(5), NodeId(9), NodeId(2), NodeId(14)]);
+        assert_eq!(c.src_pos(), 1);
+        assert_eq!(c.len(), 4);
+    }
+
+    #[test]
+    fn unsorted_chain_preserves_order() {
+        let parts = [NodeId(9), NodeId(2), NodeId(14)];
+        let c = Chain::unsorted(&parts, NodeId(14));
+        assert_eq!(c.nodes(), &parts);
+        assert_eq!(c.src_pos(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "not among the participants")]
+    fn missing_source_panics() {
+        Chain::unsorted(&[NodeId(1), NodeId(2)], NodeId(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate participant")]
+    fn duplicate_panics() {
+        Chain::unsorted(&[NodeId(1), NodeId(1)], NodeId(1));
+    }
+
+    #[test]
+    fn singleton_chain() {
+        let c = Chain::unsorted(&[NodeId(7)], NodeId(7));
+        assert!(c.is_empty());
+        assert_eq!(c.src_pos(), 0);
+    }
+}

@@ -1,0 +1,72 @@
+//! The [`Topology`] trait — everything the simulator and the schedulers need
+//! to know about a network.
+
+use crate::graph::{ChannelId, NetworkGraph, NodeId, RouterId};
+
+/// A wormhole network: a channel graph plus a routing function and the
+/// architecture-specific total order (chain) over nodes.
+pub trait Topology: Send + Sync {
+    /// The channel graph.
+    fn graph(&self) -> &NetworkGraph;
+
+    /// Append the preference-ordered candidate output channels at router `r`
+    /// for a worm from `src` headed to `dest`.  Deterministic topologies
+    /// yield exactly one candidate; the BMIN up-phase yields two.  When the
+    /// worm has reached `dest`'s router the single candidate is the
+    /// consumption channel.
+    fn route_candidates(&self, r: RouterId, src: NodeId, dest: NodeId, out: &mut Vec<ChannelId>);
+
+    /// The architecture's chain-ordering key: dimension-ordered (`<_d`) for
+    /// meshes, lexicographic (binary address value) for BMINs.  Sorting nodes
+    /// by this key yields the chain OPT-mesh/OPT-min split.
+    fn chain_key(&self, n: NodeId) -> u64;
+
+    /// Human-readable topology name for reports.
+    fn name(&self) -> String;
+
+    /// The deterministic path from `src` to `dst`, injection and consumption
+    /// channels inclusive, following first-preference candidates.  This is
+    /// the path the static contention checker reasons about.
+    ///
+    /// # Panics
+    /// If `src == dst` (a node does not route to itself) or routing fails to
+    /// make progress (a topology bug).
+    fn det_path(&self, src: NodeId, dst: NodeId) -> Vec<ChannelId> {
+        assert_ne!(src, dst, "no path from a node to itself");
+        let g = self.graph();
+        let mut path = vec![g.injection(src)];
+        let mut at = g.dst_router(g.injection(src)).expect("injection leads to a router");
+        let mut cand = Vec::new();
+        // A worm never needs more hops than channels exist.
+        for _ in 0..=g.n_channels() {
+            cand.clear();
+            self.route_candidates(at, src, dst, &mut cand);
+            let next = *cand.first().expect("routing returned no candidate");
+            path.push(next);
+            match g.dst_router(next) {
+                Some(r) => at = r,
+                None => {
+                    debug_assert_eq!(g.dst_node(next), Some(dst), "consumed at the wrong node");
+                    return path;
+                }
+            }
+        }
+        panic!("routing from {src:?} to {dst:?} did not terminate");
+    }
+
+    /// Number of router-to-router hops on the deterministic path.
+    fn distance(&self, src: NodeId, dst: NodeId) -> usize {
+        if src == dst {
+            0
+        } else {
+            // path = injection + (hops between routers) + consumption.
+            self.det_path(src, dst).len().saturating_sub(2)
+        }
+    }
+
+    /// Sort `nodes` into this topology's chain order (stable, by
+    /// [`Topology::chain_key`]).
+    fn sort_chain(&self, nodes: &mut [NodeId]) {
+        nodes.sort_by_key(|&n| self.chain_key(n));
+    }
+}

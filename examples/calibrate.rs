@@ -1,0 +1,50 @@
+//! Calibration walkthrough: measure `t_hold(m)` and `t_end(m)` at "user
+//! level" on the simulated machine — exactly the methodology the authors
+//! prescribe for real hardware — fit the affine model, and feed the result
+//! to the OPT-tree DP.  The measured model matches the closed-form one, so
+//! trees built from measurements are the same trees the oracle would build.
+//!
+//! ```text
+//! cargo run --release --example calibrate
+//! ```
+
+use flitsim::SimConfig;
+use mtree::SplitStrategy;
+use optmc::measure;
+use pcm::calibrate::{r_squared, Sample};
+use topo::{Mesh, NodeId, Topology};
+
+fn main() {
+    let mesh = Mesh::new(&[16, 16]);
+    let cfg = SimConfig::paragon_like();
+    let (src, dst) = (NodeId(0), NodeId(136)); // 16 hops apart
+    let sizes: Vec<u64> = vec![64, 256, 1024, 4096, 16384, 65536];
+
+    println!("Measuring on the simulated machine ({}):", mesh.name());
+    println!("{:>10} {:>12} {:>12}", "bytes", "t_hold", "t_end");
+    let mut hold_samples = Vec::new();
+    let mut end_samples = Vec::new();
+    for &m in &sizes {
+        let h = measure::measure_t_hold(&mesh, &cfg, src, dst, m, 8);
+        let e = measure::measure_t_end(&mesh, &cfg, src, dst, m);
+        println!("{m:>10} {h:>12} {e:>12}");
+        hold_samples.push(Sample::new(m, h));
+        end_samples.push(Sample::new(m, e));
+    }
+
+    let (hold_fn, end_fn) = measure::calibrate(&mesh, &cfg, src, dst, &sizes);
+    println!("\nFitted model:");
+    println!("  t_hold(m) = {hold_fn}   (R² = {:.6})", r_squared(&hold_fn, &hold_samples));
+    println!("  t_end(m)  = {end_fn}   (R² = {:.6})", r_squared(&end_fn, &end_samples));
+
+    // Use the fitted functions the way a library would: build optimal
+    // multicast trees for a few message sizes.
+    println!("\nOptimal 32-node multicast trees from the fitted model:");
+    println!("{:>10} {:>8} {:>8} {:>12} {:>12}", "bytes", "t_hold", "t_end", "opt t[32]", "binomial");
+    for &m in &sizes {
+        let (h, e) = (hold_fn.eval(m), end_fn.eval(m));
+        let opt = SplitStrategy::opt(h, e, 32).latency(h, e, 32);
+        let bin = SplitStrategy::Binomial.latency(h, e, 32);
+        println!("{m:>10} {h:>8} {e:>8} {opt:>12} {bin:>12}");
+    }
+}

@@ -1,0 +1,47 @@
+//! Quickstart: build an optimal multicast tree for a measured machine and
+//! run it, contention-free, on the flit-level simulator.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use flitsim::SimConfig;
+use optmc::{run_multicast, Algorithm};
+use topo::{Mesh, NodeId, Topology};
+
+fn main() {
+    // 1. A network: the paper's 16×16 wormhole mesh with XY routing.
+    let mesh = Mesh::new(&[16, 16]);
+
+    // 2. A machine model: flit width, router delay, software overheads.
+    let cfg = SimConfig::paragon_like();
+
+    // 3. Who participates: a source and 15 destinations.
+    let participants: Vec<NodeId> =
+        [0u32, 17, 34, 51, 68, 85, 102, 119, 136, 153, 170, 187, 204, 221, 238, 255]
+            .map(NodeId)
+            .to_vec();
+    let source = participants[0];
+
+    // 4. Run the paper's three algorithms on the same placement.
+    println!("16-node multicast of a 4 KiB message on a 16x16 mesh:\n");
+    for alg in Algorithm::PAPER_SET {
+        let out = run_multicast(&mesh, &cfg, alg, &participants, source, 4096);
+        println!(
+            "  {:10}  latency {:6} cycles   model bound {:6}   blocked {:5} cycles",
+            alg.display_name(&mesh),
+            out.latency,
+            out.analytic,
+            out.sim.blocked_cycles
+        );
+    }
+
+    // 5. The headline: OPT-mesh hits its model bound because its node
+    //    ordering keeps concurrent worms on disjoint channels.
+    let out = run_multicast(&mesh, &cfg, Algorithm::OptArch, &participants, source, 4096);
+    assert!(out.sim.contention_free());
+    println!(
+        "\nOPT-mesh ran contention-free: {} messages, 0 blocked cycles.",
+        out.sim.messages.len()
+    );
+}

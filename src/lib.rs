@@ -1,0 +1,11 @@
+//! Umbrella crate for the IPPS'97 optimal-multicasting reproduction.
+//!
+//! Re-exports the workspace crates so examples and integration tests can use
+//! a single dependency.  See `README.md` for the tour and `DESIGN.md` for the
+//! system inventory.
+
+pub use flitsim;
+pub use mtree;
+pub use optmc;
+pub use pcm;
+pub use topo;

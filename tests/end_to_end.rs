@@ -1,0 +1,112 @@
+//! Whole-system sweeps: every algorithm on every topology delivers to every
+//! destination, deterministically.
+
+use flitsim::SimConfig;
+use optmc::experiments::random_placement;
+use optmc::{run_multicast, Algorithm};
+use topo::{Bmin, Mesh, Topology, UpPolicy};
+
+const ALL: [Algorithm; 5] = [
+    Algorithm::OptArch,
+    Algorithm::UArch,
+    Algorithm::OptTree,
+    Algorithm::BinomialTree,
+    Algorithm::Sequential,
+];
+
+fn topologies() -> Vec<Box<dyn Topology>> {
+    vec![
+        Box::new(Mesh::new(&[16, 16])),
+        Box::new(Mesh::new(&[8, 4, 2])), // 3-D mesh exercises general e-cube
+        Box::new(Mesh::new(&[64])),      // 1-D line
+        Box::new(Bmin::new(7, UpPolicy::Straight)),
+        Box::new(Bmin::new(5, UpPolicy::DestColumn)),
+    ]
+}
+
+#[test]
+fn every_algorithm_delivers_on_every_topology() {
+    let cfg = SimConfig::paragon_like();
+    for topo in topologies() {
+        let n = topo.graph().n_nodes();
+        for k in [2usize, 5, 16] {
+            let parts = random_placement(n, k, 99);
+            for alg in ALL {
+                let out = run_multicast(topo.as_ref(), &cfg, alg, &parts, parts[0], 1024);
+                assert_eq!(
+                    out.sim.messages.len(),
+                    k - 1,
+                    "{} on {}",
+                    alg.display_name(topo.as_ref()),
+                    topo.name()
+                );
+                // Every destination exactly once.
+                for &d in &parts[1..] {
+                    assert!(
+                        out.sim.delivered_to(d).is_some(),
+                        "{d:?} missed by {} on {}",
+                        alg.display_name(topo.as_ref()),
+                        topo.name()
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn runs_are_deterministic() {
+    let cfg = SimConfig::paragon_like();
+    for topo in topologies() {
+        let n = topo.graph().n_nodes();
+        let parts = random_placement(n, 12, 5);
+        for alg in [Algorithm::OptArch, Algorithm::OptTree] {
+            let a = run_multicast(topo.as_ref(), &cfg, alg, &parts, parts[0], 4096);
+            let b = run_multicast(topo.as_ref(), &cfg, alg, &parts, parts[0], 4096);
+            assert_eq!(a.latency, b.latency);
+            assert_eq!(a.sim.blocked_cycles, b.sim.blocked_cycles);
+            assert_eq!(
+                format!("{:?}", a.sim.messages),
+                format!("{:?}", b.sim.messages),
+                "{} on {}",
+                alg.display_name(topo.as_ref()),
+                topo.name()
+            );
+        }
+    }
+}
+
+/// The analytic bound is a true lower bound for every run (contention only
+/// ever adds latency; the slack covers distance-insensitivity rounding).
+#[test]
+fn analytic_bound_is_lower_bound() {
+    let cfg = SimConfig::paragon_like();
+    let mesh = Mesh::new(&[16, 16]);
+    for seed in 0..8u64 {
+        let parts = random_placement(256, 24, seed);
+        for alg in ALL {
+            let out = run_multicast(&mesh, &cfg, alg, &parts, parts[0], 8192);
+            let slack = 2 * 30; // head-latency variation across the mesh
+            assert!(
+                out.latency as i64 >= out.analytic as i64 - slack,
+                "{}: {} < bound {}",
+                alg.display_name(&mesh),
+                out.latency,
+                out.analytic
+            );
+        }
+    }
+}
+
+/// Message sizes from empty (header-only) to 64 KiB all flow through.
+#[test]
+fn size_extremes() {
+    let cfg = SimConfig::paragon_like();
+    let mesh = Mesh::new(&[16, 16]);
+    let parts = random_placement(256, 8, 1);
+    for bytes in [0u64, 1, 65536] {
+        let out = run_multicast(&mesh, &cfg, Algorithm::OptArch, &parts, parts[0], bytes);
+        assert_eq!(out.sim.messages.len(), 7, "bytes={bytes}");
+        assert!(out.sim.contention_free(), "bytes={bytes}");
+    }
+}

@@ -1,0 +1,112 @@
+//! The measurement loop closes: simulator ⇄ analytic model ⇄ calibration.
+//!
+//! The paper's methodology only works if the parameters you measure at user
+//! level actually predict multicast latency.  These tests pin the three-way
+//! agreement between (a) the flit-level simulator, (b) the closed-form
+//! `SimConfig` predictions, and (c) affine fits from in-simulator
+//! measurements.
+
+use flitsim::SimConfig;
+use optmc::measure;
+use optmc::{run_multicast, Algorithm};
+use pcm::predict;
+use topo::{Mesh, NodeId, Topology};
+
+/// (a) == (b): one message, every size, exact.
+#[test]
+fn sim_matches_closed_form_p2p() {
+    let mesh = Mesh::new(&[16, 16]);
+    let cfg = SimConfig::paragon_like();
+    let (src, dst) = (NodeId(3), NodeId(200));
+    let hops = mesh.distance(src, dst);
+    for bytes in [0u64, 1, 7, 8, 9, 1000, 4096, 65536] {
+        assert_eq!(
+            measure::measure_t_end(&mesh, &cfg, src, dst, bytes),
+            cfg.predict_p2p(hops, bytes),
+            "bytes={bytes}"
+        );
+    }
+}
+
+/// (b) == (c): fitted affine functions evaluate to the measured points.
+#[test]
+fn calibration_predicts_unseen_sizes() {
+    let mesh = Mesh::new(&[16, 16]);
+    let cfg = SimConfig::paragon_like();
+    let (src, dst) = (NodeId(0), NodeId(136));
+    let train = [256u64, 2048, 8192, 32768];
+    let (hold_fn, end_fn) = measure::calibrate(&mesh, &cfg, src, dst, &train);
+    // Predict sizes the fit never saw; rounding gives ±2 cycles.
+    for bytes in [512u64, 4096, 16384] {
+        let measured_end = measure::measure_t_end(&mesh, &cfg, src, dst, bytes);
+        let err = (end_fn.eval(bytes) as i64 - measured_end as i64).abs();
+        assert!(err <= 2, "t_end err {err} at {bytes}");
+        let measured_hold = measure::measure_t_hold(&mesh, &cfg, src, dst, bytes, 8);
+        let err = (hold_fn.eval(bytes) as i64 - measured_hold as i64).abs();
+        assert!(err <= 2, "t_hold err {err} at {bytes}");
+    }
+}
+
+/// The full loop: the OPT-mesh multicast latency observed in the simulator
+/// equals the `pcm` prediction computed from the calibrated pair.
+#[test]
+fn calibrated_model_predicts_multicast_latency() {
+    let mesh = Mesh::new(&[16, 16]);
+    let cfg = SimConfig::paragon_like();
+    let parts: Vec<NodeId> = (0..16u32).map(|i| NodeId(i * 16 + (i * 5) % 16)).collect();
+    let out = run_multicast(&mesh, &cfg, Algorithm::OptArch, &parts, parts[0], 4096);
+    let (hold, end) = out.pair;
+    let predicted = mtree::opt::opt_latency(hold, end, 16);
+    assert_eq!(out.analytic, predicted);
+    let err = (out.latency as i64 - predicted as i64).abs();
+    assert!(err <= 60, "sim {} vs model {predicted}", out.latency);
+}
+
+/// `SimConfig::to_comm_params` round-trips with `effective_pair`.
+#[test]
+fn comm_params_projection_consistent() {
+    let cfg = SimConfig::paragon_like();
+    let params = cfg.to_comm_params(16.0);
+    for bytes in [64u64, 1024, 8192, 65536] {
+        let (h1, e1) = cfg.effective_pair(16, bytes);
+        let (h2, e2) = params.pair(bytes);
+        let dh = (h1 as i64 - h2 as i64).abs();
+        let de = (e1 as i64 - e2 as i64).abs();
+        assert!(dh <= 2, "hold mismatch at {bytes}: {h1} vs {h2}");
+        assert!(de <= 2, "end mismatch at {bytes}: {e1} vs {e2}");
+    }
+}
+
+/// LogP is the parameterized model at a point: its broadcast bound equals
+/// the OPT DP on the projected pair.
+#[test]
+fn logp_projection_agrees_with_opt_dp() {
+    let lp = pcm::logp::LogP { l: 500, o: 300, g: 250, p: 64 };
+    for k in [2usize, 8, 32, 64] {
+        assert_eq!(
+            lp.broadcast_lower_bound(k),
+            mtree::opt::opt_latency(lp.t_hold(), lp.t_end(), k),
+            "k={k}"
+        );
+    }
+}
+
+/// Sequential/binomial predictors in `pcm` agree with the generic
+/// chain-splitting recurrence in `mtree` for the paragon model at any size.
+#[test]
+fn predictors_cross_check() {
+    let params = SimConfig::paragon_like().to_comm_params(16.0);
+    for bytes in [64u64, 4096] {
+        let (h, e) = params.pair(bytes);
+        for k in [1usize, 2, 5, 16, 33] {
+            assert_eq!(
+                predict::binomial_tree_latency(&params, bytes, k),
+                mtree::SplitStrategy::Binomial.latency(h, e, k)
+            );
+            assert_eq!(
+                predict::sequential_tree_latency(&params, bytes, k),
+                mtree::SplitStrategy::Sequential.latency(h, e, k)
+            );
+        }
+    }
+}

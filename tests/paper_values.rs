@@ -1,0 +1,71 @@
+//! Pinned values from the paper's text, reproduced end-to-end through the
+//! public API.
+
+use mtree::opt::{opt_latency, opt_table};
+use mtree::Schedule;
+use optmc::Algorithm;
+use topo::{Bmin, Mesh, NodeId, Topology, UpPolicy};
+
+/// §3/Fig. 1: on a 6×6 mesh with `t_hold = 20`, `t_end = 55` and 7
+/// destinations, "the multicast latency of the OPT-mesh tree is 130" and
+/// "the multicast latency of the U-mesh tree is 165".
+#[test]
+fn fig1_values_reproduce() {
+    let mesh = Mesh::new(&[6, 6]);
+    let parts: Vec<NodeId> = [1u32, 4, 9, 13, 19, 25, 28, 33].map(NodeId).to_vec();
+    for src in &parts {
+        let chain = Algorithm::OptArch.chain(&mesh, &parts, *src);
+        let opt = Schedule::build(8, chain.src_pos(), &Algorithm::OptArch.splits(20, 55, 8), 20, 55);
+        assert_eq!(opt.latency(), 130);
+        let u = Schedule::build(8, chain.src_pos(), &Algorithm::UArch.splits(20, 55, 8), 20, 55);
+        assert_eq!(u.latency(), 165);
+    }
+}
+
+/// The 35-unit gap of Fig. 1 is the whole point of the DP: same chain, same
+/// network, different splits.
+#[test]
+fn fig1_gap_is_split_rule_only() {
+    assert_eq!(opt_latency(20, 55, 8), 130);
+    assert_eq!(165 - 130, 35);
+}
+
+/// §2.2: optimality assumes `t_hold`/`t_end` constant; with `t_hold == t_end`
+/// the OPT tree *is* the binomial tree ("binomial trees are optimal only if
+/// ... t_hold = t_end", §3).
+#[test]
+fn binomial_optimal_exactly_when_hold_equals_end() {
+    for k in 2..=128usize {
+        let t = opt_table(77, 77, k);
+        let b = mtree::SplitStrategy::Binomial.latency(77, 77, k);
+        assert_eq!(t.t(k), b, "k={k}");
+    }
+}
+
+/// §5: "The mesh network is based on a 16x16 topology supporting XY routing
+/// with one-port architecture.  The BMIN network has 128 nodes based on 2x2
+/// bidirectional switches."
+#[test]
+fn evaluation_networks_match_paper() {
+    let mesh = Mesh::new(&[16, 16]);
+    assert_eq!(mesh.graph().n_nodes(), 256);
+    // One-port: exactly one injection and one consumption channel per node.
+    for n in 0..256u32 {
+        let inj = mesh.graph().injection(NodeId(n));
+        let con = mesh.graph().consumption(NodeId(n));
+        assert_ne!(inj, con);
+    }
+    let bmin = Bmin::new(7, UpPolicy::Straight);
+    assert_eq!(bmin.graph().n_nodes(), 128);
+    assert_eq!(bmin.stages(), 7);
+}
+
+/// §1: the binomial tree "may be outperformed in some networks by ... a
+/// sequential tree" — true under the parameterized model whenever t_hold is
+/// small.
+#[test]
+fn sequential_beats_binomial_at_small_hold() {
+    let seq = mtree::SplitStrategy::Sequential.latency(5, 300, 16);
+    let bin = mtree::SplitStrategy::Binomial.latency(5, 300, 16);
+    assert!(seq < bin, "{seq} vs {bin}");
+}

@@ -1,0 +1,62 @@
+//! Scale smoke tests: the engine must stay event-bound (not cycle-bound) so
+//! big messages and dense multicasts finish in sane wall time.  These
+//! mirror the heaviest points of Figures 2/3.
+
+use std::time::Instant;
+
+use flitsim::SimConfig;
+use optmc::experiments::random_placement;
+use optmc::{run_multicast, Algorithm};
+use topo::{Bmin, Mesh, NodeId, Topology, UpPolicy};
+
+/// The heaviest Figure 2 point: 32 nodes, 64 KiB messages.
+#[test]
+fn fig2_heaviest_point_is_fast() {
+    let mesh = Mesh::new(&[16, 16]);
+    let cfg = SimConfig::paragon_like();
+    let parts = random_placement(256, 32, 0);
+    let t0 = Instant::now();
+    let out = run_multicast(&mesh, &cfg, Algorithm::OptArch, &parts, parts[0], 65536);
+    assert_eq!(out.sim.messages.len(), 31);
+    assert!(
+        t0.elapsed().as_secs() < 5,
+        "64 KiB multicast took {:?} — engine has gone cycle-bound",
+        t0.elapsed()
+    );
+}
+
+/// Full-density broadcast: every node of the 16×16 mesh participates.
+#[test]
+fn full_mesh_broadcast() {
+    let mesh = Mesh::new(&[16, 16]);
+    let cfg = SimConfig::paragon_like();
+    let parts: Vec<NodeId> = (0..256u32).map(NodeId).collect();
+    let out = run_multicast(&mesh, &cfg, Algorithm::OptArch, &parts, NodeId(93), 4096);
+    assert_eq!(out.sim.messages.len(), 255);
+    assert!(out.sim.contention_free(), "blocked {}", out.sim.blocked_cycles);
+}
+
+/// Full-density broadcast on the BMIN.
+#[test]
+fn full_bmin_broadcast() {
+    let bmin = Bmin::new(7, UpPolicy::Straight);
+    let cfg = SimConfig::paragon_like();
+    let parts: Vec<NodeId> = (0..128u32).map(NodeId).collect();
+    let out = run_multicast(&bmin, &cfg, Algorithm::OptArch, &parts, NodeId(41), 4096);
+    assert_eq!(out.sim.messages.len(), 127);
+    assert_eq!(out.sim.blocked_cycles, 0);
+}
+
+/// A large network well beyond the paper's sizes: 32×32 mesh, 256-node
+/// multicast — the library, unlike the paper's testbed, should scale.
+#[test]
+fn beyond_paper_scale() {
+    let mesh = Mesh::new(&[32, 32]);
+    let cfg = SimConfig::paragon_like();
+    let parts = random_placement(1024, 256, 5);
+    let t0 = Instant::now();
+    let out = run_multicast(&mesh, &cfg, Algorithm::OptArch, &parts, parts[0], 8192);
+    assert_eq!(out.sim.messages.len(), 255);
+    assert!(out.sim.contention_free());
+    assert!(t0.elapsed().as_secs() < 10, "took {:?}", t0.elapsed());
+}
