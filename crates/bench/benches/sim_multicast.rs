@@ -5,7 +5,7 @@
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use flitsim::SimConfig;
 use optmc::{experiments::random_placement, run_multicast, Algorithm};
-use topo::{Bmin, Mesh, Topology, UpPolicy};
+use topo::{Bmin, Mesh, UpPolicy};
 
 fn bench_mesh_multicast(c: &mut Criterion) {
     let mesh = Mesh::new(&[16, 16]);
@@ -55,5 +55,10 @@ fn bench_message_size_scaling(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_mesh_multicast, bench_bmin_multicast, bench_message_size_scaling);
+criterion_group!(
+    benches,
+    bench_mesh_multicast,
+    bench_bmin_multicast,
+    bench_message_size_scaling
+);
 criterion_main!(benches);

@@ -45,5 +45,10 @@ fn bench_contention_check(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_det_path, bench_chain_sort, bench_contention_check);
+criterion_group!(
+    benches,
+    bench_det_path,
+    bench_chain_sort,
+    bench_contention_check
+);
 criterion_main!(benches);

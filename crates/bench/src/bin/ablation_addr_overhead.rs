@@ -27,9 +27,7 @@ fn main() {
     let seed: u64 = arg_value(&args, "--seed").map_or(1997, |v| v.parse().expect("--seed"));
 
     let mesh = Mesh::new(&[16, 16]);
-    println!(
-        "Address-list overhead: OPT-mesh, {k} nodes, {bytes}-byte payload, 16x16 mesh\n"
-    );
+    println!("Address-list overhead: OPT-mesh, {k} nodes, {bytes}-byte payload, 16x16 mesh\n");
     println!(
         "{:>12} {:>14} {:>14} {:>12}",
         "addr bytes", "latency", "model bound", "model err %"
@@ -51,7 +49,10 @@ fn main() {
         title: format!("model error vs address bytes (OPT-mesh, k={k}, {bytes}B)"),
         x_label: "addr bytes".into(),
         y_label: "model error %".into(),
-        series: vec![Series { label: "err_pct".into(), points }],
+        series: vec![Series {
+            label: "err_pct".into(),
+            points,
+        }],
     }
     .write_csv()
     .expect("write csv");

@@ -32,7 +32,10 @@ fn main() {
         "Buffer-depth ablation: {k}-node, {bytes}-byte multicast, 16x16 mesh\n\
          (depth 1 = wormhole, the paper's regime; 4096 ≈ virtual cut-through)\n"
     );
-    println!("{:>8} {:>12} {:>12} {:>14} {:>14}", "depth", "OPT-tree", "OPT-mesh", "tree blocked", "gap %");
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>14}",
+        "depth", "OPT-tree", "OPT-mesh", "tree blocked", "gap %"
+    );
     let mut points = Vec::new();
     for depth in depths {
         let mut cfg = SimConfig::paragon_like();
@@ -52,7 +55,10 @@ fn main() {
         title: format!("OPT-tree penalty vs buffer depth (k={k}, {bytes}B)"),
         x_label: "buffer flits".into(),
         y_label: "gap %".into(),
-        series: vec![Series { label: "opt_tree_gap_pct".into(), points }],
+        series: vec![Series {
+            label: "opt_tree_gap_pct".into(),
+            points,
+        }],
     }
     .write_csv()
     .expect("write csv");

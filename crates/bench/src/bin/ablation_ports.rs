@@ -64,7 +64,10 @@ fn main() {
     for ports in [1usize, 2, 4] {
         let mesh = Mesh::with_ports(&[16, 16], ports);
         for (label, model_ports) in [("optimistic p", None), ("conservative 1", Some(1))] {
-            let opts = RunOptions { model_ports, ..RunOptions::default() };
+            let opts = RunOptions {
+                model_ports,
+                ..RunOptions::default()
+            };
             let eff = model_ports.unwrap_or(ports as u64);
             let (hold, _) = cfg.effective_pair_ports(16, bytes, eff);
             let mut lat = 0.0;

@@ -1,0 +1,70 @@
+//! Engine-vitals benchmark: run the paper's three figure workloads with the
+//! observability layer's [`flitsim::RunMeta`] instrumentation and record
+//! events processed, peak heap, wall-time, and events/sec per workload.
+//!
+//! Writes `results/bench_sim.json` plus the repo-root `BENCH_sim.json`
+//! (records + totals), so regressions in simulator throughput show up in
+//! review diffs alongside the latency figures.
+//!
+//! ```text
+//! cargo run --release -p optmc-bench --bin bench_sim \
+//!     [--runs 8] [--seed 1997]
+//! ```
+
+use flitsim::SimConfig;
+use optmc::Algorithm;
+use optmc_bench::{arg_value, bench_table, bench_workload, write_bench_sim, SimBenchRecord};
+use topo::{Bmin, Mesh, Topology, UpPolicy};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let runs: usize = arg_value(&args, "--runs").map_or(8, |v| v.parse().expect("--runs"));
+    let seed: u64 = arg_value(&args, "--seed").map_or(1997, |v| v.parse().expect("--seed"));
+
+    let mesh = Mesh::new(&[16, 16]);
+    let bmin = Bmin::new(7, UpPolicy::Straight);
+    let cfg = SimConfig::paragon_like();
+
+    // One workload per figure: (id, detail, topology, k, bytes).
+    let workloads: [(&str, &str, &dyn Topology, usize, u64); 3] = [
+        (
+            "fig2_mesh_msgsize",
+            "16x16 mesh, 32 nodes, 16 KB",
+            &mesh,
+            32,
+            16 * 1024,
+        ),
+        (
+            "fig3_mesh_nodes",
+            "16x16 mesh, 60 nodes, 4 KB",
+            &mesh,
+            60,
+            4096,
+        ),
+        (
+            "fig4_bmin",
+            "128-node BMIN, 32 nodes, 4 KB",
+            &bmin,
+            32,
+            4096,
+        ),
+    ];
+
+    let mut records: Vec<SimBenchRecord> = Vec::new();
+    for (id, detail, topo, k, bytes) in workloads {
+        for alg in Algorithm::PAPER_SET {
+            records.push(bench_workload(
+                id, detail, topo, &cfg, alg, k, bytes, runs, seed,
+            ));
+        }
+    }
+
+    print!("{}", bench_table(&records));
+    match write_bench_sim(&records) {
+        Ok((detail, root)) => {
+            println!("\n[json] {}", detail.display());
+            println!("[json] {}", root.display());
+        }
+        Err(e) => eprintln!("could not write bench_sim JSON: {e}"),
+    }
+}

@@ -20,7 +20,10 @@ fn main() {
     let parts: Vec<NodeId> = [1u32, 4, 9, 13, 19, 25, 28, 33].map(NodeId).to_vec();
     let src = parts[0];
 
-    println!("FIG1: 6x6 mesh, {} destinations, t_hold={hold}, t_end={end}\n", k - 1);
+    println!(
+        "FIG1: 6x6 mesh, {} destinations, t_hold={hold}, t_end={end}\n",
+        k - 1
+    );
     for (alg, expect) in [(Algorithm::OptArch, 130u64), (Algorithm::UArch, 165u64)] {
         let chain = alg.chain(&mesh, &parts, src);
         let splits = alg.splits(hold, end, k);
@@ -33,7 +36,11 @@ fn main() {
             sched.depth(),
             conflicts.is_empty(),
         );
-        assert_eq!(sched.latency(), expect, "{name} does not reproduce the paper value");
+        assert_eq!(
+            sched.latency(),
+            expect,
+            "{name} does not reproduce the paper value"
+        );
     }
 
     // Also show the OPT split table the DP produced, and the tree.
@@ -48,8 +55,13 @@ fn main() {
     }
 
     let chain = Algorithm::OptArch.chain(&mesh, &parts, src);
-    let sched =
-        Schedule::build(k, chain.src_pos(), &SplitStrategy::opt(hold, end, k), hold, end);
+    let sched = Schedule::build(
+        k,
+        chain.src_pos(),
+        &SplitStrategy::opt(hold, end, k),
+        hold,
+        end,
+    );
     let tree = MulticastTree::from_schedule(&sched);
     let labels: Vec<String> = chain
         .nodes()
@@ -59,5 +71,8 @@ fn main() {
             format!("({},{})", c[0], c[1])
         })
         .collect();
-    println!("\nOPT-mesh tree (Graphviz DOT):\n{}", dot::to_dot(&tree, Some(&labels)));
+    println!(
+        "\nOPT-mesh tree (Graphviz DOT):\n{}",
+        dot::to_dot(&tree, Some(&labels))
+    );
 }

@@ -28,12 +28,14 @@ fn main() {
     let sizes: Vec<u64> = (0..=(65536 / step)).map(|i| i * step).collect();
 
     let series = sweep_msg_size(&mesh, &cfg, nodes, &sizes, trials, seed);
-    let id = if nodes == 32 { "fig2".to_string() } else { format!("fig2_{nodes}n") };
+    let id = if nodes == 32 {
+        "fig2".to_string()
+    } else {
+        format!("fig2_{nodes}n")
+    };
     Figure {
         id,
-        title: format!(
-            "Fig 2: {nodes}-node multicast on a 16x16 mesh ({trials} placements/point)"
-        ),
+        title: format!("Fig 2: {nodes}-node multicast on a 16x16 mesh ({trials} placements/point)"),
         x_label: "msg bytes".into(),
         y_label: "multicast latency (cycles)".into(),
         series,

@@ -25,9 +25,7 @@ fn main() {
     let series = sweep_nodes(&mesh, &cfg, &ks, bytes, trials, seed);
     Figure {
         id: "fig3".into(),
-        title: format!(
-            "Fig 3: {bytes}-byte multicast on a 16x16 mesh ({trials} placements/point)"
-        ),
+        title: format!("Fig 3: {bytes}-byte multicast on a 16x16 mesh ({trials} placements/point)"),
         x_label: "nodes".into(),
         y_label: "multicast latency (cycles)".into(),
         series,

@@ -38,16 +38,17 @@ fn main() {
     );
 
     let mut rows: Vec<Series> = Vec::new();
-    for (alg, ordering) in [(Algorithm::OptArch, "lex-ordered"), (Algorithm::OptTree, "placement")]
-    {
+    for (alg, ordering) in [
+        (Algorithm::OptArch, "lex-ordered"),
+        (Algorithm::OptTree, "placement"),
+    ] {
         for temporal in [false, true] {
             let mut lat = 0.0;
             let mut blocked = 0.0;
             let mut clean = 0usize;
             for t in 0..trials {
                 let parts = random_placement(128, k, seed + t as u64);
-                let out =
-                    run_multicast_with(&omega, &cfg, alg, &parts, parts[0], bytes, temporal);
+                let out = run_multicast_with(&omega, &cfg, alg, &parts, parts[0], bytes, temporal);
                 lat += out.latency as f64;
                 blocked += out.sim.blocked_cycles as f64;
                 clean += usize::from(out.sim.contention_free());

@@ -28,9 +28,7 @@ fn main() {
     let mesh = Mesh::new(&[16, 16]);
     let cfg = SimConfig::paragon_like();
 
-    println!(
-        "Concurrent OPT-mesh multicasts on a 16x16 mesh ({k} nodes, {bytes} B each)\n"
-    );
+    println!("Concurrent OPT-mesh multicasts on a 16x16 mesh ({k} nodes, {bytes} B each)\n");
     println!(
         "{:>8} {:>14} {:>14} {:>12} {:>14}",
         "batch", "mean latency", "solo bound", "slowdown", "blocked/batch"
@@ -43,7 +41,11 @@ fn main() {
             let pool = random_placement(256, k * count, seed + t as u64);
             let specs: Vec<McastSpec> = pool
                 .chunks(k)
-                .map(|c| McastSpec { participants: c.to_vec(), src: c[0], bytes })
+                .map(|c| McastSpec {
+                    participants: c.to_vec(),
+                    src: c[0],
+                    bytes,
+                })
                 .collect();
             let (outs, sim) = run_concurrent(&mesh, &cfg, Algorithm::OptArch, &specs);
             for o in outs {
@@ -69,7 +71,10 @@ fn main() {
         title: format!("per-multicast slowdown vs batch size (k={k}, {bytes}B)"),
         x_label: "concurrent multicasts".into(),
         y_label: "latency / solo bound".into(),
-        series: vec![Series { label: "slowdown".into(), points }],
+        series: vec![Series {
+            label: "slowdown".into(),
+            points,
+        }],
     }
     .write_csv()
     .expect("write csv");

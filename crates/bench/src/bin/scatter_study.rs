@@ -32,16 +32,19 @@ fn main() {
     let units = [256u64, 1024, 4096, 16384];
 
     println!("Scatter on a 16x16 mesh, {k} destinations, {trials} placements\n");
-    println!("{:>12} {:>14} {:>14} {:>10}", "unit bytes", "scatter-opt", "binomial", "speedup");
+    println!(
+        "{:>12} {:>14} {:>14} {:>10}",
+        "unit bytes", "scatter-opt", "binomial", "speedup"
+    );
     let mut points = Vec::new();
     for unit in units {
         let (mut opt, mut bin) = (0.0, 0.0);
         for t in 0..trials {
             let parts = random_placement(256, k, seed + t as u64);
-            opt += run_scatter(&mesh, &cfg, Algorithm::OptArch, &parts, parts[0], unit).latency
-                as f64;
-            bin += run_scatter(&mesh, &cfg, Algorithm::UArch, &parts, parts[0], unit).latency
-                as f64;
+            opt +=
+                run_scatter(&mesh, &cfg, Algorithm::OptArch, &parts, parts[0], unit).latency as f64;
+            bin +=
+                run_scatter(&mesh, &cfg, Algorithm::UArch, &parts, parts[0], unit).latency as f64;
         }
         let speedup = bin / opt;
         println!(
@@ -58,7 +61,10 @@ fn main() {
         title: format!("scatter speedup of the size-aware DP over binomial (k={k})"),
         x_label: "unit bytes".into(),
         y_label: "speedup".into(),
-        series: vec![Series { label: "binomial/opt".into(), points }],
+        series: vec![Series {
+            label: "binomial/opt".into(),
+            points,
+        }],
     }
     .write_csv()
     .expect("write csv");

@@ -44,7 +44,10 @@ fn main() {
         title: format!("binomial/opt latency ratio vs t_hold (k={k}, t_end={end})"),
         x_label: "t_hold".into(),
         y_label: "ratio".into(),
-        series: vec![Series { label: "binomial/opt".into(), points }],
+        series: vec![Series {
+            label: "binomial/opt".into(),
+            points,
+        }],
     }
     .write_csv()
     .expect("write csv");

@@ -16,12 +16,24 @@ use flitsim::SimConfig;
 use optmc::experiments::random_placement;
 use optmc::{run_multicast_opts, Algorithm, RunOptions};
 use optmc_bench::{arg_value, PAPER_TRIALS};
-use topo::{Mesh, Torus, Topology};
+use topo::{Mesh, Topology, Torus};
 
-fn study(topo: &dyn Topology, cfg: &SimConfig, alg: Algorithm, temporal: bool,
-         k: usize, bytes: u64, trials: usize, seed: u64) -> (f64, f64, f64) {
+#[allow(clippy::too_many_arguments)]
+fn study(
+    topo: &dyn Topology,
+    cfg: &SimConfig,
+    alg: Algorithm,
+    temporal: bool,
+    k: usize,
+    bytes: u64,
+    trials: usize,
+    seed: u64,
+) -> (f64, f64, f64) {
     let (mut lat, mut blocked, mut clean) = (0.0, 0.0, 0usize);
-    let opts = RunOptions { temporal, ..RunOptions::default() };
+    let opts = RunOptions {
+        temporal,
+        ..RunOptions::default()
+    };
     for t in 0..trials {
         let parts = random_placement(topo.graph().n_nodes(), k, seed + t as u64);
         let out = run_multicast_opts(topo, cfg, alg, &parts, parts[0], bytes, &opts);
@@ -29,7 +41,11 @@ fn study(topo: &dyn Topology, cfg: &SimConfig, alg: Algorithm, temporal: bool,
         blocked += out.sim.blocked_cycles as f64;
         clean += usize::from(out.sim.contention_free());
     }
-    (lat / trials as f64, blocked / trials as f64, clean as f64 / trials as f64)
+    (
+        lat / trials as f64,
+        blocked / trials as f64,
+        clean as f64 / trials as f64,
+    )
 }
 
 fn main() {
@@ -51,14 +67,23 @@ fn main() {
     );
     let topos: [(&dyn Topology, &str); 2] = [(&mesh, "mesh-16x16"), (&torus, "torus-16x16")];
     for (topo, tname) in topos {
-        for (alg, aname) in
-            [(Algorithm::UArch, "U-arch"), (Algorithm::OptTree, "OPT-tree"), (Algorithm::OptArch, "OPT-arch")]
-        {
+        for (alg, aname) in [
+            (Algorithm::UArch, "U-arch"),
+            (Algorithm::OptTree, "OPT-tree"),
+            (Algorithm::OptArch, "OPT-arch"),
+        ] {
             let (lat, blocked, cf) = study(topo, &cfg, alg, false, k, bytes, trials, seed);
-            println!("{:<26} {:>12.1} {:>14.1} {:>10.2}", format!("{tname}/{aname}"), lat, blocked, cf);
+            println!(
+                "{:<26} {:>12.1} {:>14.1} {:>10.2}",
+                format!("{tname}/{aname}"),
+                lat,
+                blocked,
+                cf
+            );
         }
         // §6 remedy on the torus: ordered chain + temporal residue cleanup.
-        let (lat, blocked, cf) = study(topo, &cfg, Algorithm::OptArch, true, k, bytes, trials, seed);
+        let (lat, blocked, cf) =
+            study(topo, &cfg, Algorithm::OptArch, true, k, bytes, trials, seed);
         println!(
             "{:<26} {:>12.1} {:>14.1} {:>10.2}",
             format!("{tname}/OPT-arch+temporal"),

@@ -117,7 +117,10 @@ impl Figure {
 
 /// The paper's three mesh algorithms with their plot labels.
 pub fn paper_algorithms(topo: &dyn Topology) -> Vec<(Algorithm, String)> {
-    Algorithm::PAPER_SET.iter().map(|&a| (a, a.display_name(topo))).collect()
+    Algorithm::PAPER_SET
+        .iter()
+        .map(|&a| (a, a.display_name(topo)))
+        .collect()
 }
 
 /// Sweep message sizes for a fixed participant count (Figure 2 layout).
@@ -182,9 +185,172 @@ pub fn stats_point(
     run_trials(topo, cfg, alg, k, bytes, trials, seed)
 }
 
+// ---------------------------------------------------------------------------
+// Engine-vitals benchmarking (RunMeta aggregation).
+
+/// Aggregated engine vitals for one benchmark workload: several multicast
+/// runs of the same shape, with each run's [`flitsim::RunMeta`] folded in.
+#[derive(Debug, Clone)]
+pub struct SimBenchRecord {
+    /// Workload id ("fig2_mesh_4k", ...).
+    pub workload: String,
+    /// Human description (topology, k, bytes).
+    pub detail: String,
+    /// Algorithm display name.
+    pub algorithm: String,
+    /// Runs aggregated.
+    pub runs: usize,
+    /// Total simulator events popped across all runs (deterministic).
+    pub events_processed: u64,
+    /// Total events scheduled (deterministic).
+    pub events_scheduled: u64,
+    /// Max pending-event heap depth seen in any run (deterministic).
+    pub peak_heap_events: usize,
+    /// Max estimated peak heap bytes in any run (deterministic).
+    pub peak_heap_bytes: u64,
+    /// Total wall-clock nanoseconds inside `Engine::run` (non-deterministic).
+    pub wall_ns: u64,
+    /// Events per wall-clock second over the whole workload.
+    pub events_per_sec: f64,
+    /// Mean simulated multicast latency (cycles; deterministic).
+    pub mean_latency: f64,
+}
+
+/// Run `runs` seeded placements of one multicast workload and aggregate the
+/// engine vitals each [`optmc::RunOutcome`] now carries in `sim.meta`.
+#[allow(clippy::too_many_arguments)]
+pub fn bench_workload(
+    workload: &str,
+    detail: &str,
+    topo: &dyn Topology,
+    cfg: &SimConfig,
+    alg: Algorithm,
+    k: usize,
+    bytes: MsgSize,
+    runs: usize,
+    seed: u64,
+) -> SimBenchRecord {
+    assert!(runs >= 1);
+    let n = topo.graph().n_nodes();
+    let mut rec = SimBenchRecord {
+        workload: workload.to_string(),
+        detail: detail.to_string(),
+        algorithm: alg.display_name(topo),
+        runs,
+        events_processed: 0,
+        events_scheduled: 0,
+        peak_heap_events: 0,
+        peak_heap_bytes: 0,
+        wall_ns: 0,
+        events_per_sec: 0.0,
+        mean_latency: 0.0,
+    };
+    let mut latency_sum = 0u64;
+    for t in 0..runs {
+        let parts = optmc::random_placement(n, k, seed + t as u64);
+        let out = optmc::run_multicast(topo, cfg, alg, &parts, parts[0], bytes);
+        let m = &out.sim.meta;
+        rec.events_processed += m.events_processed;
+        rec.events_scheduled += m.events_scheduled;
+        rec.peak_heap_events = rec.peak_heap_events.max(m.peak_heap_events);
+        rec.peak_heap_bytes = rec.peak_heap_bytes.max(m.peak_heap_bytes);
+        rec.wall_ns += m.wall_ns;
+        latency_sum += out.latency;
+    }
+    rec.mean_latency = latency_sum as f64 / runs as f64;
+    if rec.wall_ns > 0 {
+        rec.events_per_sec = rec.events_processed as f64 * 1e9 / rec.wall_ns as f64;
+    }
+    rec
+}
+
+impl SimBenchRecord {
+    /// The machine-readable form shared by `results/bench_sim.json` and the
+    /// repo-root `BENCH_sim.json`.
+    pub fn to_json(&self) -> serde_json::Value {
+        serde_json::json!({
+            "workload": self.workload,
+            "detail": self.detail,
+            "algorithm": self.algorithm,
+            "runs": self.runs,
+            "events_processed": self.events_processed,
+            "events_scheduled": self.events_scheduled,
+            "peak_heap_events": self.peak_heap_events,
+            "peak_heap_bytes": self.peak_heap_bytes,
+            "wall_ns": self.wall_ns,
+            "events_per_sec": self.events_per_sec,
+            "mean_latency": self.mean_latency,
+        })
+    }
+}
+
+/// Render the vitals table for a set of workload records.
+pub fn bench_table(records: &[SimBenchRecord]) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:<22} {:<10} {:>5} {:>12} {:>10} {:>12} {:>12}",
+        "workload", "algorithm", "runs", "events", "peak-heap", "wall-ms", "events/sec"
+    );
+    for r in records {
+        let _ = writeln!(
+            out,
+            "{:<22} {:<10} {:>5} {:>12} {:>10} {:>12.2} {:>12.0}",
+            r.workload,
+            r.algorithm,
+            r.runs,
+            r.events_processed,
+            r.peak_heap_events,
+            r.wall_ns as f64 / 1e6,
+            r.events_per_sec,
+        );
+    }
+    out
+}
+
+/// Write `results/bench_sim.json` (per-workload records) and the repo-root
+/// `BENCH_sim.json` (records + totals) and return both paths.
+pub fn write_bench_sim(
+    records: &[SimBenchRecord],
+) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
+    let dir = Path::new("results");
+    fs::create_dir_all(dir)?;
+    let entries: Vec<_> = records.iter().map(SimBenchRecord::to_json).collect();
+    let detail_path = dir.join("bench_sim.json");
+    fs::write(
+        &detail_path,
+        serde_json::to_string_pretty(&serde_json::json!({
+            "benchmark": "engine vitals (RunMeta) per figure workload",
+            "records": entries.clone(),
+        }))?,
+    )?;
+
+    let total_events: u64 = records.iter().map(|r| r.events_processed).sum();
+    let total_wall: u64 = records.iter().map(|r| r.wall_ns).sum();
+    let overall = if total_wall > 0 {
+        total_events as f64 * 1e9 / total_wall as f64
+    } else {
+        0.0
+    };
+    let root_path = std::path::PathBuf::from("BENCH_sim.json");
+    fs::write(
+        &root_path,
+        serde_json::to_string_pretty(&serde_json::json!({
+            "benchmark": "flit-level engine throughput over the paper's figure workloads",
+            "total_events_processed": total_events,
+            "total_wall_ns": total_wall,
+            "overall_events_per_sec": overall,
+            "records": entries,
+        }))?,
+    )?;
+    Ok((detail_path, root_path))
+}
+
 /// Minimal `--flag value` argument lookup.
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
-    args.iter().position(|a| a == flag).and_then(|i| args.get(i + 1).cloned())
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1).cloned())
 }
 
 /// Is a bare `--flag` present?
@@ -207,8 +373,14 @@ mod tests {
             x_label: "x".into(),
             y_label: "y".into(),
             series: vec![
-                Series { label: "a".into(), points: vec![(1.0, 2.0), (2.0, 4.0)] },
-                Series { label: "b".into(), points: vec![(1.0, 3.0), (2.0, 6.0)] },
+                Series {
+                    label: "a".into(),
+                    points: vec![(1.0, 2.0), (2.0, 4.0)],
+                },
+                Series {
+                    label: "b".into(),
+                    points: vec![(1.0, 3.0), (2.0, 6.0)],
+                },
             ],
         };
         let t = fig.to_table();
@@ -217,7 +389,10 @@ mod tests {
 
     #[test]
     fn arg_parsing() {
-        let args: Vec<String> = ["--nodes", "128", "--fast"].iter().map(|s| s.to_string()).collect();
+        let args: Vec<String> = ["--nodes", "128", "--fast"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
         assert_eq!(arg_value(&args, "--nodes").as_deref(), Some("128"));
         assert_eq!(arg_value(&args, "--seed"), None);
         assert!(arg_present(&args, "--fast"));

@@ -48,21 +48,25 @@ impl Args {
 
     /// Required string flag.
     pub fn require(&self, name: &str) -> Result<&str, CliError> {
-        self.get(name).ok_or_else(|| err(format!("missing required flag --{name}")))
+        self.get(name)
+            .ok_or_else(|| err(format!("missing required flag --{name}")))
     }
 
     /// Parse a flag as a number (with default).
     pub fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, CliError> {
         match self.get(name) {
             None => Ok(default),
-            Some(v) => v.parse().map_err(|_| err(format!("--{name}: cannot parse '{v}'"))),
+            Some(v) => v
+                .parse()
+                .map_err(|_| err(format!("--{name}: cannot parse '{v}'"))),
         }
     }
 
     /// Parse a required numeric flag.
     pub fn require_num<T: std::str::FromStr>(&self, name: &str) -> Result<T, CliError> {
         let v = self.require(name)?;
-        v.parse().map_err(|_| err(format!("--{name}: cannot parse '{v}'")))
+        v.parse()
+            .map_err(|_| err(format!("--{name}: cannot parse '{v}'")))
     }
 }
 

@@ -9,7 +9,6 @@ use optmc::experiments::{random_placement, run_trials};
 use optmc::{check_schedule, measure, run_multicast_opts, RunOptions};
 use pcm::Time;
 
-
 use crate::args::Args;
 use crate::spec::{parse_algorithm, parse_topology};
 use crate::{err, CliError};
@@ -19,12 +18,16 @@ pub fn dispatch(a: &Args) -> Result<String, CliError> {
     match a.command.as_str() {
         "tree" => cmd_tree(a),
         "run" => cmd_run(a),
+        "inspect" => cmd_inspect(a),
         "compare" => cmd_compare(a),
         "calibrate" => cmd_calibrate(a),
         "gather" => cmd_gather(a),
         "growth" => cmd_growth(a),
         "" | "help" => Ok(crate::USAGE.to_string()),
-        other => Err(err(format!("unknown subcommand '{other}'\n\n{}", crate::USAGE))),
+        other => Err(err(format!(
+            "unknown subcommand '{other}'\n\n{}",
+            crate::USAGE
+        ))),
     }
 }
 
@@ -37,7 +40,9 @@ fn cmd_tree(a: &Args) -> Result<String, CliError> {
         return Err(err("--k must be at least 1"));
     }
     if hold > end {
-        return Err(err(format!("model requires t_hold <= t_end ({hold} > {end})")));
+        return Err(err(format!(
+            "model requires t_hold <= t_end ({hold} > {end})"
+        )));
     }
     let src: usize = a.num("src", 0)?;
     if src >= k {
@@ -56,8 +61,12 @@ fn cmd_tree(a: &Args) -> Result<String, CliError> {
     }
     let strat = SplitStrategy::Opt(tab);
     let sched = Schedule::build(k, src, &strat, hold, end);
-    let _ = writeln!(out, "\nlatency {} (binomial would be {})", sched.latency(),
-        SplitStrategy::Binomial.latency(hold, end, k));
+    let _ = writeln!(
+        out,
+        "\nlatency {} (binomial would be {})",
+        sched.latency(),
+        SplitStrategy::Binomial.latency(hold, end, k)
+    );
     if a.has("dot") {
         let tree = MulticastTree::from_schedule(&sched);
         let _ = write!(out, "\n{}", dot::to_dot(&tree, None));
@@ -74,6 +83,12 @@ fn build_cfg(a: &Args) -> Result<SimConfig, CliError> {
     }
     if a.has("trace") {
         cfg.trace = true;
+    }
+    if let Some(limit) = a.get("trace-limit") {
+        let limit: usize = limit
+            .parse()
+            .map_err(|_| err(format!("--trace-limit: cannot parse '{limit}'")))?;
+        cfg.trace_limit = Some(limit);
     }
     Ok(cfg)
 }
@@ -93,25 +108,173 @@ fn cmd_run(a: &Args) -> Result<String, CliError> {
         return Err(err("--nodes must be at least 2"));
     }
     let cfg = build_cfg(a)?;
-    let opts = RunOptions { temporal: a.has("temporal"), ..RunOptions::default() };
+    let opts = RunOptions {
+        temporal: a.has("temporal"),
+        ..RunOptions::default()
+    };
     let parts = random_placement(n, k, seed);
     let out = run_multicast_opts(topo.as_ref(), &cfg, alg, &parts, parts[0], bytes, &opts);
 
     let chain = alg.chain(topo.as_ref(), &parts, parts[0]);
     let static_conflicts = check_schedule(topo.as_ref(), &chain, &out.schedule).len();
     let mut text = String::new();
-    let _ = writeln!(text, "{} on {}: {} nodes, {} bytes, seed {}", alg.display_name(topo.as_ref()),
-        topo.name(), k, bytes, seed);
-    let _ = writeln!(text, "  model pair     t_hold={}, t_end={}", out.pair.0, out.pair.1);
+    let _ = writeln!(
+        text,
+        "{} on {}: {} nodes, {} bytes, seed {}",
+        alg.display_name(topo.as_ref()),
+        topo.name(),
+        k,
+        bytes,
+        seed
+    );
+    let _ = writeln!(
+        text,
+        "  model pair     t_hold={}, t_end={}",
+        out.pair.0, out.pair.1
+    );
     let _ = writeln!(text, "  analytic bound {}", out.analytic);
     let _ = writeln!(text, "  sim latency    {}", out.latency);
-    let _ = writeln!(text, "  blocked        {} cycles in {} episodes", out.sim.blocked_cycles,
-        out.sim.blocked_events);
-    let _ = writeln!(text, "  static check   {} conflicting send pairs", static_conflicts);
+    let _ = writeln!(
+        text,
+        "  blocked        {} cycles in {} episodes",
+        out.sim.blocked_cycles, out.sim.blocked_events
+    );
+    let _ = writeln!(
+        text,
+        "  static check   {} conflicting send pairs",
+        static_conflicts
+    );
     if cfg.trace {
+        if out.sim.truncated {
+            let _ = writeln!(
+                text,
+                "\nwarning: trace truncated at --trace-limit {} events; timeline is a prefix",
+                out.sim.trace.len()
+            );
+        }
         let _ = writeln!(text, "\nbusiest channels:");
-        let _ = write!(text, "{}", flitsim::trace::render_timeline(&out.sim.trace,
-            topo.graph(), 8));
+        let _ = write!(
+            text,
+            "{}",
+            flitsim::trace::render_timeline(&out.sim.trace, topo.graph(), 8)
+        );
+    }
+    Ok(text)
+}
+
+/// `optmc inspect` — one multicast under full observation: run report,
+/// phase breakdown, and the trace exported as Perfetto JSON, JSONL, or a
+/// textual timeline.
+fn cmd_inspect(a: &Args) -> Result<String, CliError> {
+    let topo = parse_topology(a.require("topo")?)?;
+    let alg = parse_algorithm(a.require("alg")?)?;
+    let k: usize = a.require_num("nodes")?;
+    let bytes: u64 = a.require_num("bytes")?;
+    let seed: u64 = a.num("seed", 1997)?;
+    let format = a.get("format").unwrap_or("text");
+    if !matches!(format, "perfetto" | "jsonl" | "text") {
+        return Err(err(format!(
+            "--format must be perfetto, jsonl or text (got '{format}')"
+        )));
+    }
+    let n = topo.graph().n_nodes();
+    if k > n || k < 2 {
+        return Err(err(format!("--nodes must be in 2..={n}")));
+    }
+    let mut cfg = build_cfg(a)?;
+    cfg.trace = true; // inspect exists to observe
+    let opts = RunOptions {
+        temporal: a.has("temporal"),
+        ..RunOptions::default()
+    };
+    let parts = random_placement(n, k, seed);
+    let trace_out = a.get("trace-out");
+
+    // JSONL with a file destination streams straight to disk — the trace
+    // never accumulates in memory.
+    let sink = match (format, trace_out) {
+        ("jsonl", Some(path)) => {
+            let f =
+                std::fs::File::create(path).map_err(|e| err(format!("--trace-out {path}: {e}")))?;
+            Some(flitsim::TraceSink::jsonl(Box::new(
+                std::io::BufWriter::new(f),
+            )))
+        }
+        _ => None,
+    };
+    let out = optmc::run_multicast_observed(
+        topo.as_ref(),
+        &cfg,
+        alg,
+        &parts,
+        parts[0],
+        bytes,
+        &opts,
+        sink,
+    );
+
+    let mut text = String::new();
+    let _ = writeln!(
+        text,
+        "{} on {}: {} nodes, {} bytes, seed {}",
+        alg.display_name(topo.as_ref()),
+        topo.name(),
+        k,
+        bytes,
+        seed
+    );
+    let _ = writeln!(
+        text,
+        "  analytic bound {}  sim latency {}\n",
+        out.analytic, out.latency
+    );
+    let _ = write!(text, "{}", flitsim::obs::render_report(&out.sim));
+
+    match format {
+        "perfetto" => {
+            let json = flitsim::perfetto::export_string(&out.sim, Some(topo.graph()));
+            match trace_out {
+                Some(path) => {
+                    std::fs::write(path, &json)
+                        .map_err(|e| err(format!("--trace-out {path}: {e}")))?;
+                    let _ = writeln!(
+                        text,
+                        "\nperfetto trace written to {path} ({} bytes) — load at ui.perfetto.dev",
+                        json.len()
+                    );
+                }
+                None => return Ok(json),
+            }
+        }
+        "jsonl" => match trace_out {
+            Some(path) => {
+                let _ = writeln!(
+                    text,
+                    "\njsonl trace streamed to {path} ({} events)",
+                    out.sim.meta.trace_events
+                );
+            }
+            None => {
+                let mut lines = String::new();
+                for ev in &out.sim.trace {
+                    let line = serde_json::to_string(ev)
+                        .map_err(|se| err(format!("serializing trace: {se}")))?;
+                    let _ = writeln!(lines, "{line}");
+                }
+                return Ok(lines);
+            }
+        },
+        _ => {
+            let _ = writeln!(text, "\nbusiest channels:");
+            let _ = write!(
+                text,
+                "{}",
+                flitsim::trace::render_timeline(&out.sim.trace, topo.graph(), 8)
+            );
+            if let Some(path) = trace_out {
+                std::fs::write(path, &text).map_err(|e| err(format!("--trace-out {path}: {e}")))?;
+            }
+        }
     }
     Ok(text)
 }
@@ -202,12 +365,22 @@ fn cmd_gather(a: &Args) -> Result<String, CliError> {
     let out = optmc::gather::run_gather(topo.as_ref(), &cfg, alg, &parts, parts[0], bytes);
     let mc = optmc::run_multicast(topo.as_ref(), &cfg, alg, &parts, parts[0], bytes);
     let mut text = String::new();
-    let _ = writeln!(text, "{} gather on {}: {} nodes, {} bytes",
-        alg.display_name(topo.as_ref()), topo.name(), k, bytes);
+    let _ = writeln!(
+        text,
+        "{} gather on {}: {} nodes, {} bytes",
+        alg.display_name(topo.as_ref()),
+        topo.name(),
+        k,
+        bytes
+    );
     let _ = writeln!(text, "  gather latency     {}", out.latency);
     let _ = writeln!(text, "  multicast latency  {}", mc.latency);
     let _ = writeln!(text, "  mirrored bound     {}", out.analytic);
-    let _ = writeln!(text, "  gather blocked     {} cycles", out.sim.blocked_cycles);
+    let _ = writeln!(
+        text,
+        "  gather blocked     {} cycles",
+        out.sim.blocked_cycles
+    );
     Ok(text)
 }
 
@@ -266,6 +439,63 @@ mod tests {
         let out =
             run("run --topo mesh:8x8 --alg opt-tree --nodes 12 --bytes 2048 --trace").unwrap();
         assert!(out.contains("busiest channels"), "{out}");
+    }
+
+    #[test]
+    fn inspect_text_reports_phases_and_vitals() {
+        let out =
+            run("inspect --topo mesh:8x8 --alg opt-arch --nodes 12 --bytes 2048 --format text")
+                .unwrap();
+        assert!(out.contains("phases: queued"), "{out}");
+        assert!(out.contains("events ("), "{out}");
+        assert!(out.contains("busiest channels"), "{out}");
+    }
+
+    #[test]
+    fn inspect_perfetto_stdout_is_json() {
+        let out =
+            run("inspect --topo mesh:4x4 --alg opt-tree --nodes 6 --bytes 1024 --format perfetto")
+                .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert!(v.get("traceEvents").unwrap().as_array().unwrap().len() > 4);
+    }
+
+    #[test]
+    fn inspect_jsonl_stdout_is_one_event_per_line() {
+        let out =
+            run("inspect --topo mesh:4x4 --alg opt-tree --nodes 6 --bytes 1024 --format jsonl")
+                .unwrap();
+        let mut n = 0;
+        for line in out.lines() {
+            let v: serde_json::Value = serde_json::from_str(line).unwrap();
+            assert!(v.get("kind").is_some(), "bad event line: {line}");
+            n += 1;
+        }
+        assert!(n > 4, "expected several trace events, got {n}");
+    }
+
+    #[test]
+    fn inspect_writes_perfetto_file_end_to_end() {
+        let path = std::env::temp_dir().join("optmc_inspect_test.perfetto.json");
+        let path_s = path.to_str().unwrap().to_string();
+        let out = run(&format!(
+            "inspect --topo mesh:8x8 --alg u-arch --nodes 10 --bytes 4096 \
+             --format perfetto --trace-out {path_s}"
+        ))
+        .unwrap();
+        assert!(out.contains("perfetto trace written"), "{out}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+        assert!(v.get("traceEvents").unwrap().as_array().unwrap().len() > 4);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn inspect_rejects_bad_format() {
+        assert!(
+            run("inspect --topo mesh:4x4 --alg opt-arch --nodes 6 --bytes 64 --format xml")
+                .is_err()
+        );
     }
 
     #[test]

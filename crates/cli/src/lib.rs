@@ -35,6 +35,9 @@ optmc — architecture-tuned optimal multicast (IPPS'97 reproduction)
 USAGE:
   optmc tree      --hold H --end E --k K [--dot] [--src POS]
   optmc run       --topo SPEC --alg ALG --nodes K --bytes B [--seed S] [--temporal] [--trace]
+                  [--trace-limit N]
+  optmc inspect   --topo SPEC --alg ALG --nodes K --bytes B [--seed S] [--temporal]
+                  [--trace-out FILE] [--format perfetto|jsonl|text] [--trace-limit N]
   optmc compare   --topo SPEC --nodes K --bytes B [--trials N] [--seed S]
   optmc calibrate --topo SPEC [--sizes CSV]
   optmc gather    --topo SPEC --alg ALG --nodes K --bytes B [--seed S]
@@ -48,6 +51,15 @@ TOPO SPEC:
 
 ALG:
   opt-arch | u-arch | opt-tree | binomial | sequential
+
+INSPECT:
+  Runs one fully-observed multicast and prints the run report (latency
+  histograms, phase breakdown, engine vitals, hot channels).  --format
+  selects the trace export: 'perfetto' writes Chrome trace-event JSON for
+  ui.perfetto.dev (one track per channel, one per node CPU, blocking as
+  instant events), 'jsonl' writes one trace event per line (streamed to
+  --trace-out without buffering), 'text' renders a channel timeline.
+  Without --trace-out, perfetto/jsonl output replaces the report on stdout.
 ";
 
 #[cfg(test)]

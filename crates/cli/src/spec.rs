@@ -12,32 +12,42 @@ use crate::{err, CliError};
 pub fn parse_topology(spec: &str) -> Result<Box<dyn Topology>, CliError> {
     let mut parts = spec.split(':');
     let kind = parts.next().unwrap_or_default();
-    let arg = parts.next().ok_or_else(|| err(format!("topology '{spec}' needs an argument")))?;
+    let arg = parts
+        .next()
+        .ok_or_else(|| err(format!("topology '{spec}' needs an argument")))?;
     let extra = parts.next();
     match kind {
         "mesh" => {
             let dims: Result<Vec<usize>, _> = arg.split('x').map(str::parse).collect();
             let dims = dims.map_err(|_| err(format!("bad mesh dimensions '{arg}'")))?;
-            if dims.is_empty() || dims.iter().any(|&d| d == 0) {
+            if dims.is_empty() || dims.contains(&0) {
                 return Err(err(format!("bad mesh dimensions '{arg}'")));
             }
             let ports = match extra {
                 None => 1,
-                Some(p) => p.parse().map_err(|_| err(format!("bad port count '{p}'")))?,
+                Some(p) => p
+                    .parse()
+                    .map_err(|_| err(format!("bad port count '{p}'")))?,
             };
             Ok(Box::new(Mesh::with_ports(&dims, ports)))
         }
         "hypercube" => {
-            let d: usize = arg.parse().map_err(|_| err(format!("bad cube dimension '{arg}'")))?;
+            let d: usize = arg
+                .parse()
+                .map_err(|_| err(format!("bad cube dimension '{arg}'")))?;
             if !(1..=20).contains(&d) {
                 return Err(err(format!("cube dimension {d} out of range 1..=20")));
             }
             Ok(Box::new(Mesh::hypercube(d)))
         }
         "bmin" | "omega" => {
-            let n: usize = arg.parse().map_err(|_| err(format!("bad node count '{arg}'")))?;
+            let n: usize = arg
+                .parse()
+                .map_err(|_| err(format!("bad node count '{arg}'")))?;
             if !n.is_power_of_two() || n < 2 {
-                return Err(err(format!("{kind} node count must be a power of two >= 2, got {n}")));
+                return Err(err(format!(
+                    "{kind} node count must be a power of two >= 2, got {n}"
+                )));
             }
             let s = n.trailing_zeros();
             if kind == "bmin" {
@@ -82,7 +92,9 @@ mod tests {
 
     #[test]
     fn rejects_bad_specs() {
-        for bad in ["mesh", "mesh:0x4", "mesh:ax4", "bmin:100", "omega:1", "ring:8", "bmin:"] {
+        for bad in [
+            "mesh", "mesh:0x4", "mesh:ax4", "bmin:100", "omega:1", "ring:8", "bmin:",
+        ] {
             assert!(parse_topology(bad).is_err(), "{bad} should fail");
         }
     }

@@ -23,7 +23,11 @@ impl SoftwareModel {
     /// Zero software overhead — raw hardware latencies, useful in unit
     /// tests.
     pub fn zero() -> Self {
-        Self { t_send: LinearFn::zero(), t_recv: LinearFn::zero(), t_hold: LinearFn::zero() }
+        Self {
+            t_send: LinearFn::zero(),
+            t_recv: LinearFn::zero(),
+            t_hold: LinearFn::zero(),
+        }
     }
 }
 
@@ -59,6 +63,12 @@ pub struct SimConfig {
     /// (see [`crate::trace`]).  Off by default — traces grow with message
     /// count × path length.
     pub trace: bool,
+    /// Upper bound on retained trace events when `trace` is set: events
+    /// past the limit are dropped (and counted), and
+    /// [`crate::SimResult::truncated`] is raised.  `None` retains
+    /// everything.  Ignored when a custom observer is installed via
+    /// [`crate::Engine::set_observer`].
+    pub trace_limit: Option<usize>,
     /// Software overheads.
     pub software: SoftwareModel,
 }
@@ -94,6 +104,7 @@ impl SimConfig {
             adaptive: true,
             addr_bytes: 0,
             trace: false,
+            trace_limit: None,
             software: SoftwareModel {
                 t_send: LinearFn::new(350.0, 0.15),
                 t_recv: LinearFn::new(300.0, 0.15),

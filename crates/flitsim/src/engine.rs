@@ -19,9 +19,10 @@ use pcm::Time;
 use topo::{ChannelId, NodeId, Topology};
 
 use crate::config::SimConfig;
+use crate::obs::{Observer, RunMeta, TraceSink};
 use crate::program::{Program, SendReq};
 use crate::stats::{MessageRecord, SimResult};
-use crate::trace::{TraceEvent, TraceKind};
+use crate::trace::TraceEvent;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Phase {
@@ -41,6 +42,8 @@ struct Worm<P> {
     release_ptr: usize,
     initiated: Time,
     injected: Time,
+    drain_start: Time,
+    tail_consumed: Time,
     blocked: Time,
     block_start: Option<Time>,
     phase: Phase,
@@ -99,7 +102,10 @@ pub struct Engine<'t, Prog: Program> {
     channel_busy: Time,
     acquires: u64,
     releases: u64,
-    trace: Vec<TraceEvent>,
+    obs: TraceSink,
+    events_processed: u64,
+    events_scheduled: u64,
+    peak_heap: usize,
 }
 
 // BinaryHeap needs Ord; wrap the event in a plain ordered key.
@@ -132,18 +138,33 @@ impl EventKey {
 
 impl<'t, Prog: Program> Engine<'t, Prog> {
     /// A fresh engine over `topo` with the given configuration and program.
+    /// [`SimConfig::trace`] / [`SimConfig::trace_limit`] select the default
+    /// in-memory observer; [`Engine::set_observer`] overrides it.
     pub fn new(topo: &'t dyn Topology, cfg: SimConfig, program: Prog) -> Self {
         let g = topo.graph();
+        let obs = match (cfg.trace, cfg.trace_limit) {
+            (false, _) => TraceSink::Null,
+            (true, None) => TraceSink::memory(),
+            (true, Some(limit)) => TraceSink::memory_limited(limit),
+        };
         Self {
             topo,
             cfg,
             program,
             worms: Vec::new(),
             channels: (0..g.n_channels())
-                .map(|_| ChanState { holder: None, acquired_at: 0, waiters: Vec::new() })
+                .map(|_| ChanState {
+                    holder: None,
+                    acquired_at: 0,
+                    waiters: Vec::new(),
+                })
                 .collect(),
             nodes: (0..g.n_nodes())
-                .map(|_| NodeState { cpu_free: 0, queue: VecDeque::new(), kick_scheduled: false })
+                .map(|_| NodeState {
+                    cpu_free: 0,
+                    queue: VecDeque::new(),
+                    kick_scheduled: false,
+                })
                 .collect(),
             heap: BinaryHeap::new(),
             seq: 0,
@@ -154,14 +175,18 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
             channel_busy: 0,
             acquires: 0,
             releases: 0,
-            trace: Vec::new(),
+            obs,
+            events_processed: 0,
+            events_scheduled: 0,
+            peak_heap: 0,
         }
     }
 
-    fn record(&mut self, t: Time, worm: u32, channel: Option<ChannelId>, kind: TraceKind) {
-        if self.cfg.trace {
-            self.trace.push(TraceEvent { t, worm, channel, kind });
-        }
+    /// Replace the observer (any [`TraceSink`] arm, including
+    /// [`TraceSink::Custom`]), overriding whatever [`SimConfig::trace`]
+    /// selected.  Call before [`Engine::run`].
+    pub fn set_observer(&mut self, sink: TraceSink) {
+        self.obs = sink;
     }
 
     /// Queue initial sends on `node` starting at time `at` (the multicast
@@ -173,14 +198,20 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
     /// Run to completion; returns the program (for inspection) and the
     /// result.
     pub fn run(mut self) -> (Prog, SimResult) {
+        let wall_start = std::time::Instant::now();
+        let observing = self.obs.enabled();
         while let Some(Reverse((t, _, _, key))) = self.heap.pop() {
             self.finish = self.finish.max(t);
+            self.events_processed += 1;
             match key.unpack() {
                 Event::Release(c) => self.on_release(ChannelId(c), t),
                 Event::NodeKick(n) => self.on_kick(NodeId(n), t),
                 Event::WormStart(w) | Event::HeadAdvance(w) => self.on_advance(w, t),
                 Event::RecvSoftware(w) => self.on_recv_software(w, t),
                 Event::RecvDone(w) => self.on_recv_done(w, t),
+            }
+            if observing {
+                self.obs.on_tick(t, self.events_processed);
             }
         }
         // Always-on integrity checks: a violation is an engine bug, and the
@@ -189,7 +220,10 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
             self.worms.iter().all(|w| w.phase == Phase::Done),
             "run ended with undelivered worms (deadlock?)"
         );
-        assert_eq!(self.acquires, self.releases, "channel acquire/release imbalance");
+        assert_eq!(
+            self.acquires, self.releases,
+            "channel acquire/release imbalance"
+        );
         assert!(
             self.channels.iter().all(|c| c.holder.is_none()),
             "run ended with held channels (leak)"
@@ -198,20 +232,49 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
             self.nodes.iter().all(|n| n.queue.is_empty()),
             "run ended with queued sends never issued"
         );
+        let wall_ns = wall_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+        let sink = self.obs.finish();
+        // Peak heap estimate: pending events dominate, plus live worm and
+        // channel state and whatever trace the sink retained.
+        let heap_entry = std::mem::size_of::<Reverse<(Time, u8, u64, EventKey)>>();
+        let peak_heap_bytes = (self.peak_heap * heap_entry
+            + self.worms.len() * std::mem::size_of::<Worm<Prog::Payload>>()
+            + self.channels.len() * std::mem::size_of::<ChanState>()
+            + sink.events.len() * std::mem::size_of::<TraceEvent>())
+            as u64;
+        let meta = RunMeta {
+            events_processed: self.events_processed,
+            events_scheduled: self.events_scheduled,
+            peak_heap_events: self.peak_heap,
+            peak_heap_bytes,
+            trace_events: sink.events.len() as u64 + sink.streamed,
+            trace_dropped: sink.dropped,
+            wall_ns,
+            events_per_sec: if wall_ns == 0 {
+                0.0
+            } else {
+                self.events_processed as f64 * 1e9 / wall_ns as f64
+            },
+        };
         let result = SimResult {
             finish: self.finish,
             messages: self.messages,
             blocked_cycles: self.blocked_cycles,
             blocked_events: self.blocked_events,
             channel_busy_cycles: self.channel_busy,
-            trace: self.trace,
+            trace: sink.events,
+            truncated: sink.truncated,
+            meta,
         };
         (self.program, result)
     }
 
     fn schedule(&mut self, t: Time, e: Event) {
         self.seq += 1;
-        self.heap.push(Reverse((t, e.priority(), self.seq, EventKey::pack(e))));
+        self.events_scheduled += 1;
+        self.heap
+            .push(Reverse((t, e.priority(), self.seq, EventKey::pack(e))));
+        self.peak_heap = self.peak_heap.max(self.heap.len());
     }
 
     fn enqueue_sends(&mut self, node: NodeId, now: Time, sends: Vec<SendReq<Prog::Payload>>) {
@@ -263,11 +326,19 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
             release_ptr: 0,
             initiated: t,
             injected: 0,
+            drain_start: 0,
+            tail_consumed: 0,
             blocked: 0,
             block_start: None,
             phase: Phase::Climbing,
             retry_scheduled: false,
         });
+        if self.obs.enabled() {
+            // The send software occupies the CPU for `t_hold` from pickup;
+            // the idle edge is known now, so both are emitted here.
+            self.obs.on_cpu_busy(t, w, node);
+            self.obs.on_cpu_idle(t + hold, w, node);
+        }
         self.schedule(t + t_send, Event::WormStart(w));
     }
 
@@ -296,7 +367,10 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
         self.worms[w as usize].retry_scheduled = false;
         let mut cand = Vec::with_capacity(2);
         self.candidates(w, &mut cand);
-        let free = cand.iter().copied().find(|c| self.channels[c.idx()].holder.is_none());
+        let free = cand
+            .iter()
+            .copied()
+            .find(|c| self.channels[c.idx()].holder.is_none());
         match free {
             None => {
                 // Blocked: remember when, wait on every candidate.
@@ -304,7 +378,7 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
                 if worm.block_start.is_none() {
                     worm.block_start = Some(t);
                     let first = cand.first().copied();
-                    self.record(t, w, first, TraceKind::Blocked);
+                    self.obs.on_blocked(t, w, first);
                 }
                 for c in cand {
                     self.channels[c.idx()].waiters.push(w);
@@ -318,7 +392,7 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
         let g = self.topo.graph();
         let dest = self.worms[w as usize].dest;
         self.acquires += 1;
-        self.record(t, w, Some(c), TraceKind::Acquire);
+        self.obs.on_channel_acquire(t, w, c);
         {
             let ch = &mut self.channels[c.idx()];
             debug_assert!(ch.holder.is_none());
@@ -351,7 +425,7 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
             None
         };
         if first_hop {
-            self.record(t, w, Some(c), TraceKind::InjectStart);
+            self.obs.on_inject_start(t, w, c);
         }
         if let Some(rel) = tail_release {
             self.schedule(t, Event::Release(rel.0));
@@ -359,11 +433,13 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
         let rd = self.cfg.router_delay;
         if g.dst_node(c) == Some(dest) {
             // Head reached the consumption channel: drain.
-            self.record(t, w, Some(c), TraceKind::DrainStart);
+            self.obs.on_drain_start(t, w, c);
             let worm = &mut self.worms[w as usize];
             worm.phase = Phase::Draining;
             let p = worm.path.len();
             let tail_consumed = t + rd + worm.flits - 1;
+            worm.drain_start = t;
+            worm.tail_consumed = tail_consumed;
             // Channel j frees once every flit not yet past it has drained:
             // at most B flits fit in each of the (p-1-j) downstream buffers.
             let buf = self.cfg.buffer_flits.max(1);
@@ -387,9 +463,11 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
 
     fn on_release(&mut self, c: ChannelId, t: Time) {
         self.releases += 1;
-        if self.cfg.trace {
-            let holder = self.channels[c.idx()].holder.expect("release of a free channel");
-            self.record(t, holder, Some(c), TraceKind::Release);
+        if self.obs.enabled() {
+            let holder = self.channels[c.idx()]
+                .holder
+                .expect("release of a free channel");
+            self.obs.on_channel_release(t, holder, c);
         }
         let ch = &mut self.channels[c.idx()];
         debug_assert!(ch.holder.is_some(), "double release of {c:?}");
@@ -415,6 +493,10 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
         let ns = &mut self.nodes[dest.idx()];
         let start = t.max(ns.cpu_free);
         ns.cpu_free = start + t_recv;
+        if self.obs.enabled() {
+            self.obs.on_cpu_busy(start, w, dest);
+            self.obs.on_cpu_idle(start + t_recv, w, dest);
+        }
         self.schedule(start + t_recv, Event::RecvDone(w));
     }
 
@@ -429,11 +511,13 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
             bytes: worm.bytes,
             initiated: worm.initiated,
             injected: worm.injected,
+            drain_start: worm.drain_start,
+            tail_consumed: worm.tail_consumed,
             completed: t,
             blocked: worm.blocked,
         });
         let dest = worm.dest;
-        self.record(t, w, None, TraceKind::RecvDone);
+        self.obs.on_recv_done(t, w, dest);
         let sends = self.program.on_receive(dest, &payload, t);
         self.enqueue_sends(dest, t, sends);
     }
@@ -447,7 +531,10 @@ mod tests {
     use topo::{Bmin, Mesh, UpPolicy};
 
     fn bare_cfg() -> SimConfig {
-        SimConfig { software: SoftwareModel::zero(), ..SimConfig::paragon_like() }
+        SimConfig {
+            software: SoftwareModel::zero(),
+            ..SimConfig::paragon_like()
+        }
     }
 
     fn p2p(topo: &dyn Topology, cfg: &SimConfig, src: u32, dst: u32, bytes: u64) -> SimResult {
@@ -503,7 +590,10 @@ mod tests {
         // Uncontended latencies: worm 1 from node 1 is 3 hops+ports.
         let solo = cfg.predict_p2p(2, 800);
         let m1 = r.delivered_to(NodeId(3)).unwrap();
-        assert!(m1.latency() >= solo, "blocked worm can't be faster than solo");
+        assert!(
+            m1.latency() >= solo,
+            "blocked worm can't be faster than solo"
+        );
     }
 
     #[test]
@@ -553,7 +643,12 @@ mod tests {
         assert_eq!(r.blocked_events, 1);
         let (a, b) = (&r.messages[0], &r.messages[1]);
         // The loser finishes roughly a full drain after the winner.
-        assert!(b.completed >= a.completed + 500 - 2, "{} vs {}", a.completed, b.completed);
+        assert!(
+            b.completed >= a.completed + 500 - 2,
+            "{} vs {}",
+            a.completed,
+            b.completed
+        );
     }
 
     #[test]
@@ -561,13 +656,20 @@ mod tests {
         let m = Mesh::new(&[4]);
         let cfg = SimConfig::paragon_like();
         let ring: Vec<NodeId> = (0..4).map(NodeId).collect();
-        let mut e = Engine::new(&m, cfg.clone(), RelayProgram { ring: ring.clone(), bytes: 64 });
+        let mut e = Engine::new(
+            &m,
+            cfg.clone(),
+            RelayProgram {
+                ring: ring.clone(),
+                bytes: 64,
+            },
+        );
         // 0 -> 1, then 1 -> 2, then 2 -> 3.
         e.start(NodeId(0), 0, vec![SendReq::to(NodeId(1), 64, 2)]);
         let r = e.run().1;
         assert_eq!(r.messages.len(), 3);
         let per_hop = cfg.predict_p2p(1, 64);
-        assert_eq!(r.last_completion(), 3 * per_hop);
+        assert_eq!(r.last_completion(), Some(3 * per_hop));
         assert!(r.contention_free());
     }
 
@@ -604,7 +706,10 @@ mod tests {
         };
         let det = run(false);
         let ada = run(true);
-        assert!(det.blocked_cycles > 0, "expected the deterministic run to contend");
+        assert!(
+            det.blocked_cycles > 0,
+            "expected the deterministic run to contend"
+        );
         assert!(
             ada.blocked_cycles < det.blocked_cycles,
             "adaptive {} vs deterministic {}",
@@ -657,7 +762,11 @@ mod tests {
             let mut cfg = SimConfig::paragon_like();
             cfg.buffer_flits = depth;
             let r = p2p(&m, &cfg, 0, 35, 4096);
-            assert_eq!(r.messages[0].latency(), base.messages[0].latency(), "depth {depth}");
+            assert_eq!(
+                r.messages[0].latency(),
+                base.messages[0].latency(),
+                "depth {depth}"
+            );
         }
     }
 
@@ -701,7 +810,7 @@ mod tests {
                     SendReq::to(NodeId(4), 8000, ()),
                 ],
             );
-            e.run().1.last_completion()
+            e.run().1.last_completion().expect("both sends deliver")
         };
         let one = run(1);
         let two = run(2);
@@ -719,8 +828,16 @@ mod tests {
         e.start(NodeId(4), 0, vec![SendReq::to(NodeId(2), 4000, ())]);
         let r = e.run().1;
         // Acquire/release pair counts match the engine's own accounting.
-        let acq = r.trace.iter().filter(|t| t.kind == TraceKind::Acquire).count();
-        let rel = r.trace.iter().filter(|t| t.kind == TraceKind::Release).count();
+        let acq = r
+            .trace
+            .iter()
+            .filter(|t| t.kind == TraceKind::Acquire)
+            .count();
+        let rel = r
+            .trace
+            .iter()
+            .filter(|t| t.kind == TraceKind::Release)
+            .count();
         assert_eq!(acq, rel);
         assert!(acq >= 8, "two worms across several channels, got {acq}");
         // One of the two worms blocked on the consumption port.
@@ -762,6 +879,95 @@ mod tests {
         let r = e.run().1;
         assert_eq!(r.finish, 0);
         assert!(r.messages.is_empty());
+        // An empty run has no completion time — it must not report 0.
+        assert_eq!(r.last_completion(), None);
+    }
+
+    #[test]
+    fn trace_limit_truncates_and_flags() {
+        let m = Mesh::new(&[5]);
+        let mut cfg = bare_cfg();
+        cfg.trace = true;
+        cfg.trace_limit = Some(3);
+        let mut e = Engine::new(&m, cfg, SinkProgram);
+        e.start(NodeId(0), 0, vec![SendReq::to(NodeId(4), 4000, ())]);
+        let r = e.run().1;
+        assert_eq!(r.trace.len(), 3);
+        assert!(r.truncated);
+        assert!(r.meta.trace_dropped > 0);
+        assert_eq!(r.meta.trace_events, 3);
+    }
+
+    #[test]
+    fn trace_includes_cpu_spans() {
+        use crate::trace::cpu_occupancy;
+        let m = Mesh::new(&[4]);
+        let mut cfg = SimConfig::paragon_like(); // nonzero t_hold / t_recv
+        cfg.trace = true;
+        let mut e = Engine::new(&m, cfg.clone(), SinkProgram);
+        e.start(NodeId(0), 0, vec![SendReq::to(NodeId(3), 256, ())]);
+        let r = e.run().1;
+        let cpus = cpu_occupancy(&r.trace);
+        // Sender CPU busy for t_hold from pickup; receiver for t_recv.
+        let sender = cpus.iter().find(|(n, _)| *n == NodeId(0)).unwrap();
+        assert_eq!(sender.1[0].1 - sender.1[0].0, cfg.software.t_hold.eval(256));
+        let receiver = cpus.iter().find(|(n, _)| *n == NodeId(3)).unwrap();
+        assert_eq!(
+            receiver.1[0].1 - receiver.1[0].0,
+            cfg.software.t_recv.eval(256)
+        );
+    }
+
+    #[test]
+    fn run_meta_reports_engine_vitals() {
+        let m = Mesh::new(&[6]);
+        let mut e = Engine::new(&m, bare_cfg(), SinkProgram);
+        e.start(NodeId(0), 0, vec![SendReq::to(NodeId(5), 2048, ())]);
+        let r = e.run().1;
+        assert!(r.meta.events_processed > 0);
+        assert_eq!(r.meta.events_scheduled, r.meta.events_processed);
+        assert!(r.meta.peak_heap_events >= 1);
+        assert!(r.meta.peak_heap_bytes > 0);
+        assert_eq!(r.meta.trace_events, 0);
+        // Event counts are deterministic even though wall time is not.
+        let mut e2 = Engine::new(&m, bare_cfg(), SinkProgram);
+        e2.start(NodeId(0), 0, vec![SendReq::to(NodeId(5), 2048, ())]);
+        let r2 = e2.run().1;
+        assert_eq!(r.meta.events_processed, r2.meta.events_processed);
+        assert_eq!(r.meta.peak_heap_events, r2.meta.peak_heap_events);
+    }
+
+    #[test]
+    fn observer_choice_never_alters_simulation() {
+        // The same workload under Null, Memory, Ring and Custom observers
+        // must produce identical simulation outcomes (messages, blocking,
+        // finish) — observation is read-only.
+        let b = Bmin::new(4, UpPolicy::Straight);
+        let run = |sink: Option<crate::obs::TraceSink>| {
+            let mut e = Engine::new(&b, bare_cfg(), SinkProgram);
+            if let Some(s) = sink {
+                e.set_observer(s);
+            }
+            for (s, d) in [(0u32, 12u32), (1, 14), (5, 9)] {
+                e.start(NodeId(s), 0, vec![SendReq::to(NodeId(d), 4000, ())]);
+            }
+            e.run().1
+        };
+        struct Nop;
+        impl crate::obs::Observer for Nop {}
+        let base = run(None);
+        for sink in [
+            crate::obs::TraceSink::memory(),
+            crate::obs::TraceSink::ring(4),
+            crate::obs::TraceSink::Custom(Box::new(Nop)),
+        ] {
+            let r = run(Some(sink));
+            assert_eq!(r.messages, base.messages);
+            assert_eq!(r.finish, base.finish);
+            assert_eq!(r.blocked_cycles, base.blocked_cycles);
+            assert_eq!(r.blocked_events, base.blocked_events);
+            assert_eq!(r.meta.events_processed, base.meta.events_processed);
+        }
     }
 
     #[test]
@@ -780,6 +986,9 @@ mod tests {
         let big = r.delivered_to(NodeId(5)).unwrap();
         // The small message cannot complete before the big worm's tail
         // cleared the shared channels (just before full drain).
-        assert!(small.completed > big.completed - 1001, "{small:?} vs {big:?}");
+        assert!(
+            small.completed > big.completed - 1001,
+            "{small:?} vs {big:?}"
+        );
     }
 }

@@ -59,12 +59,15 @@
 
 pub mod config;
 pub mod engine;
+pub mod obs;
+pub mod perfetto;
 pub mod program;
 pub mod stats;
 pub mod trace;
 
 pub use config::{SimConfig, SoftwareModel};
 pub use engine::Engine;
+pub use obs::{Histogram, Metrics, Observer, PhaseBreakdown, RunMeta, TraceSink};
 pub use program::{Program, SendReq};
 pub use stats::{MessageRecord, SimResult};
 

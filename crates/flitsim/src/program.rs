@@ -30,7 +30,12 @@ pub struct SendReq<P> {
 impl<P> SendReq<P> {
     /// A send with no earliest-start constraint.
     pub fn to(dest: NodeId, bytes: MsgSize, payload: P) -> Self {
-        Self { dest, bytes, payload, not_before: 0 }
+        Self {
+            dest,
+            bytes,
+            payload,
+            not_before: 0,
+        }
     }
 
     /// Constrain the earliest initiation time.

@@ -4,6 +4,7 @@ use pcm::{MsgSize, Time};
 use serde::{Deserialize, Serialize};
 use topo::NodeId;
 
+use crate::obs::RunMeta;
 use crate::trace::TraceEvent;
 
 /// One completed message.
@@ -19,6 +20,11 @@ pub struct MessageRecord {
     pub initiated: Time,
     /// First flit entered the injection channel.
     pub injected: Time,
+    /// Head reached the consumption channel; draining began.
+    pub drain_start: Time,
+    /// Tail flit consumed by the destination NI (receive software may
+    /// start once the CPU is free).
+    pub tail_consumed: Time,
     /// Receive completion (tail consumed + `t_recv`).
     pub completed: Time,
     /// Cycles the head spent blocked waiting for busy channels.
@@ -49,16 +55,24 @@ pub struct SimResult {
     pub blocked_events: u64,
     /// Total busy channel-cycles (for utilisation analyses).
     pub channel_busy_cycles: Time,
-    /// Channel-level event trace (empty unless [`crate::SimConfig::trace`]
-    /// was set).
+    /// Channel-level event trace (empty unless an in-memory observer was
+    /// active — see [`crate::SimConfig::trace`] and
+    /// [`crate::obs::TraceSink`]).
     pub trace: Vec<TraceEvent>,
+    /// True when a bounded sink dropped events: `trace` is a prefix of the
+    /// run, not the whole story.
+    pub truncated: bool,
+    /// Engine vitals for this run (event counts are deterministic; the
+    /// wall-clock figures are not).
+    pub meta: RunMeta,
 }
 
 impl SimResult {
     /// Completion time of the latest message — the multicast latency when
-    /// the run is a multicast.
-    pub fn last_completion(&self) -> Time {
-        self.messages.iter().map(|m| m.completed).max().unwrap_or(0)
+    /// the run is a multicast.  `None` when the run delivered nothing, so
+    /// an empty run cannot masquerade as a zero-latency one.
+    pub fn last_completion(&self) -> Option<Time> {
+        self.messages.iter().map(|m| m.completed).max()
     }
 
     /// True when no head ever waited: the run was contention-free.

@@ -1,14 +1,17 @@
 //! Channel-level tracing — observability for contention debugging.
 //!
-//! When [`crate::SimConfig::trace`] is set, the engine records every channel
-//! acquisition/release, injection, drain and blocking episode.  The
+//! The engine publishes every channel acquisition/release, injection, drain,
+//! blocking episode and CPU busy/idle transition to its
+//! [`crate::obs::Observer`] (see [`crate::obs::TraceSink`] for the built-in
+//! sinks; [`crate::SimConfig::trace`] selects the in-memory one).  The
 //! renderers below turn the raw stream into per-channel timelines and
 //! per-worm summaries — how one actually *sees* a worm holding a path while
 //! another head waits (the pictures behind the paper's §2.2 discussion).
+//! For Chrome/Perfetto visualisation see [`crate::perfetto`].
 
 use pcm::Time;
 use serde::{Deserialize, Serialize};
-use topo::{ChannelId, NetworkGraph};
+use topo::{ChannelId, NetworkGraph, NodeId};
 
 /// What happened.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -25,6 +28,10 @@ pub enum TraceKind {
     RecvDone,
     /// Head found every candidate channel busy and started waiting.
     Blocked,
+    /// A node's CPU became busy (send issue or receive software).
+    CpuBusy,
+    /// A node's CPU became free again.
+    CpuIdle,
 }
 
 /// One trace record.
@@ -36,16 +43,59 @@ pub struct TraceEvent {
     pub worm: u32,
     /// The channel involved, when the event concerns one.
     pub channel: Option<ChannelId>,
+    /// The node involved (CPU events; also set on injection/consumption
+    /// endpoints where the engine knows it for free).
+    pub node: Option<NodeId>,
     /// Event kind.
     pub kind: TraceKind,
 }
 
+impl TraceEvent {
+    /// A channel-scoped event (no node attribution).
+    pub fn on_channel(t: Time, worm: u32, channel: Option<ChannelId>, kind: TraceKind) -> Self {
+        TraceEvent {
+            t,
+            worm,
+            channel,
+            node: None,
+            kind,
+        }
+    }
+
+    /// A node-scoped (CPU) event.
+    pub fn on_node(t: Time, worm: u32, node: NodeId, kind: TraceKind) -> Self {
+        TraceEvent {
+            t,
+            worm,
+            channel: None,
+            node: Some(node),
+            kind,
+        }
+    }
+}
+
+/// The trace horizon: the time of the latest event, 0 for an empty trace.
+pub fn horizon(trace: &[TraceEvent]) -> Time {
+    trace.iter().map(|e| e.t).max().unwrap_or(0)
+}
+
+/// One occupancy span: `(from, to, worm)`.
+pub type Span = (Time, Time, u32);
+
+/// Per-resource occupancy: resource id → time-ordered spans.
+pub type Occupancy<K> = Vec<(K, Vec<Span>)>;
+
 /// Per-channel occupancy intervals extracted from a trace: channel →
 /// list of `(from, to, worm)` holdings, in time order.
-pub fn channel_occupancy(trace: &[TraceEvent]) -> Vec<(ChannelId, Vec<(Time, Time, u32)>)> {
+///
+/// A holding whose release never appears in the trace (truncated trace, or
+/// a ring sink that dropped the tail) is closed at the trace horizon rather
+/// than dropped, so utilisation numbers stay honest; zero-width spans
+/// (acquired exactly at the horizon) are omitted.
+pub fn channel_occupancy(trace: &[TraceEvent]) -> Occupancy<ChannelId> {
     use std::collections::BTreeMap;
     let mut open: BTreeMap<u32, (Time, u32)> = BTreeMap::new();
-    let mut spans: BTreeMap<u32, Vec<(Time, Time, u32)>> = BTreeMap::new();
+    let mut spans: BTreeMap<u32, Vec<Span>> = BTreeMap::new();
     for e in trace {
         let Some(ch) = e.channel else { continue };
         match e.kind {
@@ -60,7 +110,51 @@ pub fn channel_occupancy(trace: &[TraceEvent]) -> Vec<(ChannelId, Vec<(Time, Tim
             _ => {}
         }
     }
-    spans.into_iter().map(|(c, v)| (ChannelId(c), v)).collect()
+    let end = horizon(trace);
+    for (ch, (from, worm)) in open {
+        if end > from {
+            spans.entry(ch).or_default().push((from, end, worm));
+        }
+    }
+    let mut out: Occupancy<ChannelId> = spans.into_iter().map(|(c, v)| (ChannelId(c), v)).collect();
+    for (_, v) in &mut out {
+        v.sort_unstable_by_key(|&(from, _, _)| from);
+    }
+    out
+}
+
+/// Per-node CPU busy intervals: node → list of `(from, to, worm)` busy
+/// spans.  Open spans (no matching `CpuIdle` in the trace) are closed at
+/// the trace horizon, mirroring [`channel_occupancy`].
+pub fn cpu_occupancy(trace: &[TraceEvent]) -> Occupancy<NodeId> {
+    use std::collections::BTreeMap;
+    let mut open: BTreeMap<u32, (Time, u32)> = BTreeMap::new();
+    let mut spans: BTreeMap<u32, Vec<Span>> = BTreeMap::new();
+    for e in trace {
+        let Some(node) = e.node else { continue };
+        match e.kind {
+            TraceKind::CpuBusy => {
+                open.insert(node.0, (e.t, e.worm));
+            }
+            TraceKind::CpuIdle => {
+                if let Some((from, worm)) = open.remove(&node.0) {
+                    spans.entry(node.0).or_default().push((from, e.t, worm));
+                }
+            }
+            _ => {}
+        }
+    }
+    let end = horizon(trace);
+    for (n, (from, worm)) in open {
+        if end > from {
+            spans.entry(n).or_default().push((from, end, worm));
+        }
+    }
+    let mut out: Occupancy<NodeId> = spans.into_iter().map(|(n, v)| (NodeId(n), v)).collect();
+    for (_, v) in &mut out {
+        v.sort_unstable_by_key(|&(from, _, _)| from);
+    }
+    out
 }
 
 /// Render a textual timeline of the busiest `max_channels` channels.
@@ -96,7 +190,7 @@ pub fn utilization(trace: &[TraceEvent], horizon: Time) -> Vec<(ChannelId, f64)>
             (c, busy as f64 / horizon as f64)
         })
         .collect();
-    v.sort_by(|a, b| b.1.total_cmp(&a.1));
+    v.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
     v
 }
 
@@ -115,7 +209,7 @@ mod tests {
     use super::*;
 
     fn ev(t: Time, worm: u32, ch: Option<u32>, kind: TraceKind) -> TraceEvent {
-        TraceEvent { t, worm, channel: ch.map(ChannelId), kind }
+        TraceEvent::on_channel(t, worm, ch.map(ChannelId), kind)
     }
 
     #[test]
@@ -132,6 +226,37 @@ mod tests {
         assert_eq!(occ.len(), 2);
         let ch3 = occ.iter().find(|(c, _)| c.0 == 3).unwrap();
         assert_eq!(ch3.1, vec![(0, 9, 0), (13, 20, 2)]);
+    }
+
+    #[test]
+    fn open_spans_close_at_horizon() {
+        // ch3's release is missing (e.g. the trace was truncated): the span
+        // must still appear, closed at the horizon set by the last event.
+        let trace = vec![
+            ev(0, 0, Some(3), TraceKind::Acquire),
+            ev(5, 1, Some(4), TraceKind::Acquire),
+            ev(12, 1, Some(4), TraceKind::Release),
+        ];
+        let occ = channel_occupancy(&trace);
+        let ch3 = occ.iter().find(|(c, _)| c.0 == 3).unwrap();
+        assert_eq!(ch3.1, vec![(0, 12, 0)]);
+        // A zero-width open span (acquired at the horizon) is dropped.
+        let trace = vec![ev(7, 0, Some(9), TraceKind::Acquire)];
+        assert!(channel_occupancy(&trace).is_empty());
+    }
+
+    #[test]
+    fn cpu_occupancy_pairs_busy_idle() {
+        let trace = vec![
+            TraceEvent::on_node(0, 0, NodeId(2), TraceKind::CpuBusy),
+            TraceEvent::on_node(350, 0, NodeId(2), TraceKind::CpuIdle),
+            TraceEvent::on_node(400, 1, NodeId(2), TraceKind::CpuBusy),
+        ];
+        let occ = cpu_occupancy(&trace);
+        assert_eq!(occ.len(), 1);
+        // Second span is open and closes at the horizon (400 == horizon →
+        // zero width → dropped).
+        assert_eq!(occ[0].1, vec![(0, 350, 0)]);
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Integration tests for the observability layer: serde round-trips of the
+//! public trace/result types, and observer-neutrality of a full run.
+
+use flitsim::program::SinkProgram;
+use flitsim::trace::{TraceEvent, TraceKind};
+use flitsim::{Engine, SendReq, SimConfig, SimResult, TraceSink};
+use topo::{ChannelId, Mesh, NodeId};
+
+/// A small mesh run with enough crossing traffic to block at least once.
+fn run(cfg: SimConfig) -> SimResult {
+    let m = Mesh::new(&[4, 4]);
+    let mut e = Engine::new(&m, cfg, SinkProgram);
+    // Two worms crossing the same column, plus a long payload to hold
+    // channels; a third send from the far corner.
+    e.start(NodeId(0), 0, vec![SendReq::to(NodeId(15), 4096, ())]);
+    e.start(NodeId(3), 0, vec![SendReq::to(NodeId(12), 4096, ())]);
+    e.start(NodeId(12), 5, vec![SendReq::to(NodeId(3), 1024, ())]);
+    e.run().1
+}
+
+fn traced_cfg() -> SimConfig {
+    let mut cfg = SimConfig::paragon_like();
+    cfg.trace = true;
+    cfg
+}
+
+#[test]
+fn trace_event_round_trips_through_json() {
+    let events = [
+        TraceEvent::on_channel(42, 7, Some(ChannelId(3)), TraceKind::Acquire),
+        TraceEvent::on_channel(99, 0, None, TraceKind::Blocked),
+        TraceEvent::on_node(5, 2, NodeId(11), TraceKind::CpuBusy),
+        TraceEvent::on_node(6, 2, NodeId(11), TraceKind::CpuIdle),
+    ];
+    for ev in events {
+        let text = serde_json::to_string(&ev).unwrap();
+        let back: TraceEvent = serde_json::from_str(&text).unwrap();
+        assert_eq!(back, ev, "{text}");
+    }
+}
+
+#[test]
+fn sim_result_round_trips_through_json() {
+    let sim = run(traced_cfg());
+    assert!(!sim.trace.is_empty(), "traced run produced no events");
+    assert_eq!(sim.messages.len(), 3);
+
+    let text = serde_json::to_string_pretty(&sim).unwrap();
+    let back: SimResult = serde_json::from_str(&text).unwrap();
+
+    assert_eq!(back.finish, sim.finish);
+    assert_eq!(back.messages, sim.messages);
+    assert_eq!(back.blocked_cycles, sim.blocked_cycles);
+    assert_eq!(back.blocked_events, sim.blocked_events);
+    assert_eq!(back.channel_busy_cycles, sim.channel_busy_cycles);
+    assert_eq!(back.trace, sim.trace);
+    assert_eq!(back.truncated, sim.truncated);
+    assert_eq!(back.meta, sim.meta);
+    assert_eq!(back.last_completion(), sim.last_completion());
+}
+
+/// The whole-result JSON of an untraced run is byte-identical across
+/// reruns and across observer choices, once the (intentionally
+/// non-deterministic) wall-clock fields are zeroed.
+#[test]
+fn disabled_observer_results_are_bit_identical() {
+    let canon = |mut sim: SimResult| -> String {
+        sim.meta.wall_ns = 0;
+        sim.meta.events_per_sec = 0.0;
+        serde_json::to_string_pretty(&sim).unwrap()
+    };
+
+    let untraced = canon(run(SimConfig::paragon_like()));
+    let rerun = canon(run(SimConfig::paragon_like()));
+    assert_eq!(untraced, rerun, "engine reruns diverged");
+
+    // An explicit Null sink must match the config-derived disabled path.
+    let m = Mesh::new(&[4, 4]);
+    let mut e = Engine::new(&m, SimConfig::paragon_like(), SinkProgram);
+    e.set_observer(TraceSink::Null);
+    e.start(NodeId(0), 0, vec![SendReq::to(NodeId(15), 4096, ())]);
+    e.start(NodeId(3), 0, vec![SendReq::to(NodeId(12), 4096, ())]);
+    e.start(NodeId(12), 5, vec![SendReq::to(NodeId(3), 1024, ())]);
+    assert_eq!(canon(e.run().1), untraced, "Null sink altered the result");
+}
+
+/// Tracing must not perturb the simulation itself: every field except the
+/// trace (and trace-counting vitals) matches the untraced run.
+#[test]
+fn tracing_never_alters_the_simulation() {
+    let plain = run(SimConfig::paragon_like());
+    let traced = run(traced_cfg());
+    assert_eq!(traced.messages, plain.messages);
+    assert_eq!(traced.finish, plain.finish);
+    assert_eq!(traced.blocked_cycles, plain.blocked_cycles);
+    assert_eq!(traced.meta.events_processed, plain.meta.events_processed);
+    assert_eq!(traced.meta.events_scheduled, plain.meta.events_scheduled);
+    assert!(traced.meta.trace_events > 0);
+    assert_eq!(plain.meta.trace_events, 0);
+}
+
+/// A traced contended run feeds the whole reporting chain: metrics see the
+/// blocking, the report renders, and the Perfetto export parses.
+#[test]
+fn traced_run_drives_metrics_and_export() {
+    let sim = run(traced_cfg());
+    let metrics = flitsim::Metrics::from_result(&sim);
+    assert_eq!(metrics.latency.count, 3);
+    let report = flitsim::obs::render_report(&sim);
+    assert!(
+        report.contains("engine:") && report.contains("phases:"),
+        "{report}"
+    );
+
+    let text = flitsim::perfetto::export_string(&sim, None);
+    let v: serde_json::Value = serde_json::from_str(&text).unwrap();
+    match v {
+        serde_json::Value::Object(fields) => {
+            assert!(fields.iter().any(|(k, _)| k == "traceEvents"));
+        }
+        other => panic!("expected object, got {other:?}"),
+    }
+}

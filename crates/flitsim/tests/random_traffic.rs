@@ -16,19 +16,17 @@ struct TrafficCase {
 }
 
 fn traffic(n_nodes: u32) -> impl Strategy<Value = TrafficCase> {
-    proptest::collection::vec(
-        (0..n_nodes, 0..n_nodes, 0u64..4096, 0u64..2000),
-        1..25,
-    )
-    .prop_map(move |mut v| {
-        // A node may not send to itself; remap collisions.
-        for (s, d, _, _) in &mut v {
-            if s == d {
-                *d = (*d + 1) % n_nodes;
+    proptest::collection::vec((0..n_nodes, 0..n_nodes, 0u64..4096, 0u64..2000), 1..25).prop_map(
+        move |mut v| {
+            // A node may not send to itself; remap collisions.
+            for (s, d, _, _) in &mut v {
+                if s == d {
+                    *d = (*d + 1) % n_nodes;
+                }
             }
-        }
-        TrafficCase { sends: v }
-    })
+            TrafficCase { sends: v }
+        },
+    )
 }
 
 fn run_case(topo: &dyn Topology, case: &TrafficCase) -> flitsim::SimResult {

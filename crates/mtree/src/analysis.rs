@@ -52,7 +52,10 @@ pub fn opt_vs_binomial_ratio(hold: Time, end: Time, k: usize) -> f64 {
 /// the "architecture-independent" story the paper builds on: the binomial
 /// tree is only optimal at ratio 1.
 pub fn ratio_sweep(end: Time, k: usize, holds: &[Time]) -> Vec<(Time, f64)> {
-    holds.iter().map(|&h| (h, opt_vs_binomial_ratio(h, end, k))).collect()
+    holds
+        .iter()
+        .map(|&h| (h, opt_vs_binomial_ratio(h, end, k)))
+        .collect()
 }
 
 /// One row of a strategy-comparison table.

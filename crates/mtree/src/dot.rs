@@ -24,7 +24,13 @@ pub fn to_dot(tree: &MulticastTree, labels: Option<&[String]>) -> String {
     );
     for p in 0..tree.k {
         if p != tree.root {
-            let _ = writeln!(out, "  n{} [label=\"{} @{}\"];", p, label(p), tree.recv_time[p]);
+            let _ = writeln!(
+                out,
+                "  n{} [label=\"{} @{}\"];",
+                p,
+                label(p),
+                tree.recv_time[p]
+            );
         }
     }
     for (p, kids) in tree.children.iter().enumerate() {
@@ -56,7 +62,11 @@ mod tests {
     fn dot_uses_labels() {
         let s = Schedule::build(3, 0, &SplitStrategy::Binomial, 10, 10);
         let t = MulticastTree::from_schedule(&s);
-        let labels = vec!["(0,0)".to_string(), "(1,0)".to_string(), "(2,0)".to_string()];
+        let labels = vec![
+            "(0,0)".to_string(),
+            "(1,0)".to_string(),
+            "(2,0)".to_string(),
+        ];
         let dot = to_dot(&t, Some(&labels));
         assert!(dot.contains("(1,0)"));
     }

@@ -51,7 +51,11 @@ pub fn reachable(hold: Time, end: Time, t: Time) -> usize {
     for i in end as usize..=n {
         let a = table[i - hold as usize];
         let b = table[i - end as usize];
-        table[i] = if a >= cap || b >= cap || a + b >= cap { usize::MAX } else { a + b };
+        table[i] = if a >= cap || b >= cap || a + b >= cap {
+            usize::MAX
+        } else {
+            a + b
+        };
     }
     table[n]
 }
@@ -90,7 +94,9 @@ pub fn min_time(hold: Time, end: Time, k: usize) -> Time {
 /// handy for plots and for eyeballing the Fibonacci-like regime.
 pub fn growth_curve(hold: Time, end: Time, t_max: Time) -> Vec<(Time, usize)> {
     assert!(hold > 0, "sampling needs a positive t_hold");
-    (0..=t_max / hold).map(|i| (i * hold, reachable(hold, end, i * hold))).collect()
+    (0..=t_max / hold)
+        .map(|i| (i * hold, reachable(hold, end, i * hold)))
+        .collect()
 }
 
 #[cfg(test)]

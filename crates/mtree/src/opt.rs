@@ -43,7 +43,12 @@ impl OptTable {
     /// # Panics
     /// If `i == 0` or `i > k`.
     pub fn t(&self, i: usize) -> Time {
-        assert!(i >= 1 && i <= self.k(), "i={} out of range 1..={}", i, self.k());
+        assert!(
+            i >= 1 && i <= self.k(),
+            "i={} out of range 1..={}",
+            i,
+            self.k()
+        );
         self.t[i]
     }
 
@@ -52,7 +57,12 @@ impl OptTable {
     /// # Panics
     /// If `i < 2` or `i > k` (a 1-node tree has no split).
     pub fn j(&self, i: usize) -> usize {
-        assert!(i >= 2 && i <= self.k(), "i={} out of range 2..={}", i, self.k());
+        assert!(
+            i >= 2 && i <= self.k(),
+            "i={} out of range 2..={}",
+            i,
+            self.k()
+        );
         self.j[i]
     }
 
@@ -81,8 +91,14 @@ impl OptTable {
 /// general formula in that regime.
 pub fn opt_table(hold: Time, end: Time, k: usize) -> OptTable {
     assert!(k >= 1, "need at least the source node");
-    assert!(k == 1 || end > 0, "t_end must be positive for multi-node trees");
-    assert!(k == 1 || hold <= end, "model invariant t_hold <= t_end violated ({hold} > {end})");
+    assert!(
+        k == 1 || end > 0,
+        "t_end must be positive for multi-node trees"
+    );
+    assert!(
+        k == 1 || hold <= end,
+        "model invariant t_hold <= t_end violated ({hold} > {end})"
+    );
     let mut t = vec![0 as Time; k + 1];
     let mut j = vec![0usize; k + 1];
     if k >= 2 {
@@ -111,7 +127,10 @@ pub fn opt_table(hold: Time, end: Time, k: usize) -> OptTable {
 /// comparable with [`opt_table`].
 pub fn opt_table_reference(hold: Time, end: Time, k: usize) -> OptTable {
     assert!(k >= 1, "need at least the source node");
-    assert!(k == 1 || hold <= end, "model invariant t_hold <= t_end violated ({hold} > {end})");
+    assert!(
+        k == 1 || hold <= end,
+        "model invariant t_hold <= t_end violated ({hold} > {end})"
+    );
     let mut t = vec![0 as Time; k + 1];
     let mut j = vec![0usize; k + 1];
     for i in 2..=k {

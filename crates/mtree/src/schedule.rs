@@ -86,13 +86,26 @@ impl Schedule {
                     l = rec + 1;
                 }
                 let arrive = ready + end;
-                sends.push(SendEvent { from: s, to: rec, start: ready, arrive, range: (d_lo, d_hi) });
+                sends.push(SendEvent {
+                    from: s,
+                    to: rec,
+                    start: ready,
+                    arrive,
+                    range: (d_lo, d_hi),
+                });
                 recv_time[rec] = arrive;
                 stack.push((d_lo, d_hi, rec, arrive));
                 ready += hold;
             }
         }
-        Self { k, src, hold, end, sends, recv_time }
+        Self {
+            k,
+            src,
+            hold,
+            end,
+            sends,
+            recv_time,
+        }
     }
 
     /// Multicast latency: time by which every destination has received.

@@ -47,7 +47,9 @@ impl SplitStrategy {
             SplitStrategy::Sequential => i - 1,
             SplitStrategy::Opt(tab) => tab.j(i),
             SplitStrategy::Custom(table) => {
-                let j = *table.get(i).unwrap_or_else(|| panic!("no split entry for i={i}"));
+                let j = *table
+                    .get(i)
+                    .unwrap_or_else(|| panic!("no split entry for i={i}"));
                 assert!(j >= 1 && j < i, "custom table has invalid j({i}) = {j}");
                 j
             }

@@ -39,13 +39,23 @@ impl MulticastTree {
             // Re-sort by the schedule's start times.
             c.sort_by_key(|&child| s.recv_time[child]);
         }
-        Self { k: s.k, root: s.src, parent, children, recv_time: s.recv_time.clone() }
+        Self {
+            k: s.k,
+            root: s.src,
+            parent,
+            children,
+            recv_time: s.recv_time.clone(),
+        }
     }
 
     /// Depth of the deepest leaf.
     pub fn depth(&self) -> usize {
         fn rec(t: &MulticastTree, p: usize) -> usize {
-            t.children[p].iter().map(|&c| 1 + rec(t, c)).max().unwrap_or(0)
+            t.children[p]
+                .iter()
+                .map(|&c| 1 + rec(t, c))
+                .max()
+                .unwrap_or(0)
         }
         rec(self, self.root)
     }

@@ -47,7 +47,8 @@ pub enum Algorithm {
 
 impl Algorithm {
     /// All algorithms the paper's mesh figures compare, in plot order.
-    pub const PAPER_SET: [Algorithm; 3] = [Algorithm::UArch, Algorithm::OptTree, Algorithm::OptArch];
+    pub const PAPER_SET: [Algorithm; 3] =
+        [Algorithm::UArch, Algorithm::OptTree, Algorithm::OptArch];
 
     /// The ordering component.
     pub fn ordering(self) -> Ordering {
@@ -68,7 +69,11 @@ impl Algorithm {
 
     /// Display name, specialised to the topology (OPT-mesh vs OPT-min etc.).
     pub fn display_name(self, topo: &dyn Topology) -> String {
-        let arch = if topo.name().starts_with("mesh") { "mesh" } else { "min" };
+        let arch = if topo.name().starts_with("mesh") {
+            "mesh"
+        } else {
+            "min"
+        };
         match self {
             Algorithm::OptArch => format!("OPT-{arch}"),
             Algorithm::UArch => format!("U-{arch}"),

@@ -59,7 +59,10 @@ impl Program for MultiMcast {
             .map(|req| SendReq {
                 dest: req.dest,
                 bytes: req.bytes,
-                payload: Tagged { mcast, range: req.payload },
+                payload: Tagged {
+                    mcast,
+                    range: req.payload,
+                },
                 not_before: req.not_before,
             })
             .collect()
@@ -111,7 +114,11 @@ pub fn run_concurrent(
         let schedule = Schedule::build(k, chain.src_pos(), &splits, hold, end);
         analytic.push(schedule.latency());
         dest_sets.push(
-            spec.participants.iter().copied().filter(|&n| n != spec.src).collect(),
+            spec.participants
+                .iter()
+                .copied()
+                .filter(|&n| n != spec.src)
+                .collect(),
         );
         let program = McastProgram::new(chain, splits, spec.bytes, n_nodes)
             .with_addr_overhead(cfg.addr_bytes);
@@ -128,14 +135,21 @@ pub fn run_concurrent(
             .map(|req| SendReq {
                 dest: req.dest,
                 bytes: req.bytes,
-                payload: Tagged { mcast: mcast as u32, range: req.payload },
+                payload: Tagged {
+                    mcast: mcast as u32,
+                    range: req.payload,
+                },
                 not_before: req.not_before,
             })
             .collect();
         engine.start(root, 0, tagged);
     }
     let (multi, sim) = engine.run();
-    assert_eq!(multi.deliveries(), expected, "a concurrent multicast lost messages");
+    assert_eq!(
+        multi.deliveries(),
+        expected,
+        "a concurrent multicast lost messages"
+    );
 
     let outcomes = dest_sets
         .iter()
@@ -150,7 +164,10 @@ pub fn run_concurrent(
                 })
                 .max()
                 .unwrap_or(0);
-            ConcurrentOutcome { latency, analytic: a }
+            ConcurrentOutcome {
+                latency,
+                analytic: a,
+            }
         })
         .collect();
     (outcomes, sim)
@@ -166,7 +183,11 @@ mod tests {
         // Disjoint participant sets drawn from one shuffled pool.
         let pool = random_placement(n, k * count, seed);
         pool.chunks(k)
-            .map(|c| McastSpec { participants: c.to_vec(), src: c[0], bytes: 4096 })
+            .map(|c| McastSpec {
+                participants: c.to_vec(),
+                src: c[0],
+                bytes: 4096,
+            })
             .collect()
     }
 
@@ -189,7 +210,11 @@ mod tests {
         let cfg = SimConfig::paragon_like();
         let parts = random_placement(256, 16, 5);
         let solo = crate::run_multicast(&m, &cfg, Algorithm::OptArch, &parts, parts[0], 4096);
-        let spec = McastSpec { participants: parts.clone(), src: parts[0], bytes: 4096 };
+        let spec = McastSpec {
+            participants: parts.clone(),
+            src: parts[0],
+            bytes: 4096,
+        };
         let (outs, _) = run_concurrent(&m, &cfg, Algorithm::OptArch, &[spec]);
         assert_eq!(outs[0].latency, solo.latency);
     }

@@ -45,7 +45,11 @@ pub fn check_schedule(topo: &dyn Topology, chain: &Chain, schedule: &Schedule) -
             // Open-interval overlap of (start, arrive).
             if ea.start < eb.arrive && eb.start < ea.arrive {
                 if let Some(ch) = topo::graph::shared_channel(&paths[a], &paths[b]) {
-                    conflicts.push(Conflict { send_a: a, send_b: b, channel: ch });
+                    conflicts.push(Conflict {
+                        send_a: a,
+                        send_b: b,
+                        channel: ch,
+                    });
                 }
             }
         }
@@ -63,7 +67,7 @@ pub fn is_contention_free(topo: &dyn Topology, chain: &Chain, schedule: &Schedul
 mod tests {
     use super::*;
     use crate::algorithm::Algorithm;
-    use mtree::SplitStrategy;
+
     use topo::{Mesh, NodeId};
 
     fn schedule_for(

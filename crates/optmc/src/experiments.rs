@@ -20,7 +20,10 @@ use crate::runner::run_multicast;
 /// uniformly at random, in random order — the "placement order" the
 /// architecture-independent OPT-tree has to live with.
 pub fn random_placement(n_nodes: usize, k: usize, seed: u64) -> Vec<NodeId> {
-    assert!(k <= n_nodes, "cannot place {k} participants on {n_nodes} nodes");
+    assert!(
+        k <= n_nodes,
+        "cannot place {k} participants on {n_nodes} nodes"
+    );
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
     let mut all: Vec<NodeId> = (0..n_nodes as u32).map(NodeId).collect();
     all.shuffle(&mut rng);
@@ -69,9 +72,16 @@ pub fn run_trials(
         let placement = random_placement(topo.graph().n_nodes(), k, seed + t as u64);
         let src = placement[0];
         let out = run_multicast(topo, cfg, algorithm, &placement, src, bytes);
-        (out.latency, out.analytic, out.sim.blocked_cycles, out.sim.contention_free())
+        (
+            out.latency,
+            out.analytic,
+            out.sim.blocked_cycles,
+            out.sim.contention_free(),
+        )
     };
-    let workers = std::thread::available_parallelism().map_or(1, |n| n.get()).min(trials);
+    let workers = std::thread::available_parallelism()
+        .map_or(1, |n| n.get())
+        .min(trials);
     let results: Vec<(Time, Time, Time, bool)> = if workers <= 1 {
         (0..trials).map(one).collect()
     } else {
@@ -99,8 +109,7 @@ pub fn run_trials(
         max_latency: *latencies.iter().max().expect("at least one trial"),
         mean_analytic: results.iter().map(|r| r.1 as f64).sum::<f64>() / trials as f64,
         mean_blocked: results.iter().map(|r| r.2 as f64).sum::<f64>() / trials as f64,
-        contention_free_fraction:
-            results.iter().filter(|r| r.3).count() as f64 / trials as f64,
+        contention_free_fraction: results.iter().filter(|r| r.3).count() as f64 / trials as f64,
     }
 }
 
@@ -109,8 +118,14 @@ pub fn run_trials(
 pub fn clustered_placement(n_nodes: usize, k: usize, cluster: usize, seed: u64) -> Vec<NodeId> {
     assert!(cluster <= n_nodes && k <= cluster.max(1));
     let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-    let offset = if n_nodes > cluster { rng.gen_range(0..n_nodes - cluster) } else { 0 };
-    let mut region: Vec<NodeId> = (offset..offset + cluster).map(|i| NodeId(i as u32)).collect();
+    let offset = if n_nodes > cluster {
+        rng.gen_range(0..n_nodes - cluster)
+    } else {
+        0
+    };
+    let mut region: Vec<NodeId> = (offset..offset + cluster)
+        .map(|i| NodeId(i as u32))
+        .collect();
     region.shuffle(&mut rng);
     region.truncate(k);
     region

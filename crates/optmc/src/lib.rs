@@ -64,6 +64,9 @@ pub use concurrent::{run_concurrent, McastSpec};
 pub use contention::{check_schedule, Conflict};
 pub use experiments::{random_placement, TrialStats};
 pub use gather::{run_gather, GatherOutcome};
-pub use runner::{run_multicast, run_multicast_opts, run_multicast_with, RunOptions, RunOutcome};
+pub use runner::{
+    run_multicast, run_multicast_observed, run_multicast_opts, run_multicast_with, RunOptions,
+    RunOutcome,
+};
 pub use scatter::{run_scatter, ScatterOutcome};
 pub use temporal::{temporal_schedule, TemporalSchedule};

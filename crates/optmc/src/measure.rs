@@ -8,8 +8,8 @@
 //! (and, per the crate tests, does) agree with the closed-form
 //! [`SimConfig::effective_pair`].
 
-use flitsim::{Engine, SimConfig, SendReq};
 use flitsim::program::SinkProgram;
+use flitsim::{Engine, SendReq, SimConfig};
 use pcm::calibrate::{fit_linear, Sample};
 use pcm::{LinearFn, MsgSize, Time};
 use topo::{NodeId, Topology};
@@ -63,8 +63,10 @@ pub fn calibrate(
         .iter()
         .map(|&m| Sample::new(m, measure_t_hold(topo, cfg, src, dst, m, 8)))
         .collect();
-    let end_samples: Vec<Sample> =
-        sizes.iter().map(|&m| Sample::new(m, measure_t_end(topo, cfg, src, dst, m))).collect();
+    let end_samples: Vec<Sample> = sizes
+        .iter()
+        .map(|&m| Sample::new(m, measure_t_end(topo, cfg, src, dst, m)))
+        .collect();
     let hold = fit_linear(&hold_samples).expect("two or more distinct sizes");
     let end = fit_linear(&end_samples).expect("two or more distinct sizes");
     (hold, end)
@@ -108,7 +110,11 @@ mod tests {
         let (hold, end) = calibrate(&m, &cfg, NodeId(0), NodeId(36), &sizes);
         // Slopes: hold = max(0.13 CPU, 0.125 drain) = 0.13; end has
         // software + streaming = 0.15 + 0.15 + 0.125 = 0.425.
-        assert!((hold.slope - 0.13).abs() < 0.01, "hold slope {}", hold.slope);
+        assert!(
+            (hold.slope - 0.13).abs() < 0.01,
+            "hold slope {}",
+            hold.slope
+        );
         assert!((end.slope - 0.425).abs() < 0.01, "end slope {}", end.slope);
         assert!(hold.base > 0.0 && end.base > 0.0);
     }

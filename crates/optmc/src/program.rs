@@ -46,7 +46,15 @@ impl McastProgram {
         for (pos, &n) in chain.nodes().iter().enumerate() {
             pos_of[n.idx()] = Some(pos as u32);
         }
-        Self { chain, splits, bytes, pos_of, deliveries: 0, not_before: None, addr_bytes: 0 }
+        Self {
+            chain,
+            splits,
+            bytes,
+            pos_of,
+            deliveries: 0,
+            not_before: None,
+            addr_bytes: 0,
+        }
     }
 
     /// Account `addr_bytes` of message payload per destination address a
@@ -65,7 +73,11 @@ impl McastProgram {
     /// # Panics
     /// If `times` does not have one entry per chain position.
     pub fn with_timing(mut self, times: Vec<Time>) -> Self {
-        assert_eq!(times.len(), self.chain.len(), "one earliest-start per chain position");
+        assert_eq!(
+            times.len(),
+            self.chain.len(),
+            "one earliest-start per chain position"
+        );
         self.not_before = Some(times);
         self
     }
@@ -94,7 +106,10 @@ impl McastProgram {
             let mut req = SendReq::to(
                 self.chain.node(rec),
                 self.bytes + self.addr_bytes * extra_addrs,
-                Range { lo: d_lo as u32, hi: d_hi as u32 },
+                Range {
+                    lo: d_lo as u32,
+                    hi: d_hi as u32,
+                },
             );
             if let Some(times) = &self.not_before {
                 req = req.not_before(times[rec]);
@@ -141,7 +156,7 @@ impl Program for McastProgram {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use topo::{Mesh, Topology};
+    use topo::Mesh;
 
     #[test]
     fn root_sends_match_mtree_schedule() {
@@ -183,7 +198,7 @@ mod tests {
         let parts: Vec<NodeId> = (0..13u32).map(NodeId).collect();
         let chain = Chain::unsorted(&parts, NodeId(4));
         let prog = McastProgram::new(chain, SplitStrategy::Binomial, 8, 16);
-        let mut seen = vec![false; 13];
+        let mut seen = [false; 13];
         seen[4] = true;
         let mut work: Vec<SendReq<Range>> = prog.root_sends();
         while let Some(req) = work.pop() {

@@ -1,6 +1,6 @@
 //! One multicast experiment, end to end.
 
-use flitsim::{Engine, SimConfig, SimResult};
+use flitsim::{Engine, SimConfig, SimResult, TraceSink};
 use mtree::Schedule;
 use pcm::{MsgSize, Time};
 use topo::{NodeId, Topology};
@@ -41,8 +41,11 @@ impl RunOutcome {
 /// model's distance-insensitive `(t_hold, t_end)`: the mean deterministic
 /// distance from the source to each destination.
 pub fn nominal_hops(topo: &dyn Topology, participants: &[NodeId], src: NodeId) -> usize {
-    let dists: Vec<usize> =
-        participants.iter().filter(|&&n| n != src).map(|&n| topo.distance(src, n)).collect();
+    let dists: Vec<usize> = participants
+        .iter()
+        .filter(|&&n| n != src)
+        .map(|&n| topo.distance(src, n))
+        .collect();
     if dists.is_empty() {
         0
     } else {
@@ -105,7 +108,10 @@ pub fn run_multicast_with(
         participants,
         src,
         bytes,
-        &RunOptions { temporal, ..RunOptions::default() },
+        &RunOptions {
+            temporal,
+            ..RunOptions::default()
+        },
     )
 }
 
@@ -119,6 +125,25 @@ pub fn run_multicast_opts(
     bytes: MsgSize,
     opts: &RunOptions,
 ) -> RunOutcome {
+    run_multicast_observed(topo, cfg, algorithm, participants, src, bytes, opts, None)
+}
+
+/// [`run_multicast_opts`] with an explicit engine observer.  `observer`
+/// (any [`TraceSink`] arm — bounded ring, streaming JSONL, custom hooks)
+/// replaces whatever [`SimConfig::trace`] would have selected; `None`
+/// keeps the config-derived default.  This is what `optmc inspect` uses to
+/// stream traces without holding them in memory.
+#[allow(clippy::too_many_arguments)]
+pub fn run_multicast_observed(
+    topo: &dyn Topology,
+    cfg: &SimConfig,
+    algorithm: Algorithm,
+    participants: &[NodeId],
+    src: NodeId,
+    bytes: MsgSize,
+    opts: &RunOptions,
+    observer: Option<TraceSink>,
+) -> RunOutcome {
     let temporal = opts.temporal;
     let k = participants.len();
     let hops = nominal_hops(topo, participants, src);
@@ -131,10 +156,14 @@ pub fn run_multicast_opts(
         // lets the scheduler overlap a send's software phase with the
         // predecessor's drain.
         let lead = cfg.software.t_send.eval(bytes);
-        let t = crate::temporal::temporal_schedule_with_lead(topo, &chain, &splits, hold, end, lead);
+        let t =
+            crate::temporal::temporal_schedule_with_lead(topo, &chain, &splits, hold, end, lead);
         (t.schedule, Some(t.not_before))
     } else {
-        (Schedule::build(k, chain.src_pos(), &splits, hold, end), None)
+        (
+            Schedule::build(k, chain.src_pos(), &splits, hold, end),
+            None,
+        )
     };
     let analytic = schedule.latency();
     let chain_nodes = chain.nodes().to_vec();
@@ -147,11 +176,27 @@ pub fn run_multicast_opts(
     let root = program.root();
     let first = program.root_sends();
     let mut engine = Engine::new(topo, cfg.clone(), program);
+    if let Some(sink) = observer {
+        engine.set_observer(sink);
+    }
     engine.start(root, 0, first);
     let (program, sim) = engine.run();
-    assert_eq!(program.deliveries(), program.n_dests(), "multicast did not reach everyone");
+    assert_eq!(
+        program.deliveries(),
+        program.n_dests(),
+        "multicast did not reach everyone"
+    );
 
-    RunOutcome { latency: sim.last_completion(), analytic, pair: (hold, end), schedule, chain_nodes, sim }
+    // A single-node multicast has no destinations and finishes at 0.
+    let latency = sim.last_completion().unwrap_or(0);
+    RunOutcome {
+        latency,
+        analytic,
+        pair: (hold, end),
+        schedule,
+        chain_nodes,
+        sim,
+    }
 }
 
 #[cfg(test)]
@@ -168,11 +213,21 @@ mod tests {
     fn opt_mesh_meets_analytic_bound() {
         let m = Mesh::new(&[6, 6]);
         let cfg = SimConfig::paragon_like();
-        let out =
-            run_multicast(&m, &cfg, Algorithm::OptArch, &mesh_participants(), NodeId(0), 1024);
+        let out = run_multicast(
+            &m,
+            &cfg,
+            Algorithm::OptArch,
+            &mesh_participants(),
+            NodeId(0),
+            1024,
+        );
         assert_eq!(out.sim.messages.len(), 7);
         // Contention-free (Theorem 1) …
-        assert!(out.sim.contention_free(), "blocked {} cycles", out.sim.blocked_cycles);
+        assert!(
+            out.sim.contention_free(),
+            "blocked {} cycles",
+            out.sim.blocked_cycles
+        );
         // … and within the distance-sensitivity slack of the bound: the
         // model folds a *mean* hop count into t_end, individual paths vary
         // by at most the network diameter of extra head cycles.
@@ -189,22 +244,46 @@ mod tests {
     fn u_mesh_matches_binomial_shape() {
         let m = Mesh::new(&[6, 6]);
         let cfg = SimConfig::paragon_like();
-        let out = run_multicast(&m, &cfg, Algorithm::UArch, &mesh_participants(), NodeId(0), 1024);
+        let out = run_multicast(
+            &m,
+            &cfg,
+            Algorithm::UArch,
+            &mesh_participants(),
+            NodeId(0),
+            1024,
+        );
         assert!(out.sim.contention_free(), "U-mesh is contention-free too");
         // But its tree is worse: analytic latency strictly above OPT's.
-        let opt =
-            run_multicast(&m, &cfg, Algorithm::OptArch, &mesh_participants(), NodeId(0), 1024);
-        assert!(out.analytic > opt.analytic, "{} vs {}", out.analytic, opt.analytic);
+        let opt = run_multicast(
+            &m,
+            &cfg,
+            Algorithm::OptArch,
+            &mesh_participants(),
+            NodeId(0),
+            1024,
+        );
+        assert!(
+            out.analytic > opt.analytic,
+            "{} vs {}",
+            out.analytic,
+            opt.analytic
+        );
     }
 
     #[test]
     fn opt_min_on_bmin_runs_clean() {
         let b = Bmin::new(5, UpPolicy::Straight);
         let cfg = SimConfig::paragon_like();
-        let parts: Vec<NodeId> = [0u32, 3, 7, 12, 15, 18, 22, 25, 28, 31].map(NodeId).to_vec();
+        let parts: Vec<NodeId> = [0u32, 3, 7, 12, 15, 18, 22, 25, 28, 31]
+            .map(NodeId)
+            .to_vec();
         let out = run_multicast(&b, &cfg, Algorithm::OptArch, &parts, NodeId(12), 2048);
         assert_eq!(out.sim.messages.len(), 9);
-        assert_eq!(out.overhead().unsigned_abs() <= 60, true, "overhead {}", out.overhead());
+        assert!(
+            out.overhead().unsigned_abs() <= 60,
+            "overhead {}",
+            out.overhead()
+        );
     }
 
     #[test]

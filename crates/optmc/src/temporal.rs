@@ -114,7 +114,13 @@ pub fn temporal_schedule_with_lead(
                 free_at.insert(*ch, (start + end, s));
             }
             let arrive = start + end;
-            sends.push(SendEvent { from: s, to: rec, start, arrive, range: (d_lo, d_hi) });
+            sends.push(SendEvent {
+                from: s,
+                to: rec,
+                start,
+                arrive,
+                range: (d_lo, d_hi),
+            });
             recv_time[rec] = arrive;
             not_before[rec] = start;
             stack.push((d_lo, d_hi, rec, arrive));
@@ -124,7 +130,14 @@ pub fn temporal_schedule_with_lead(
     // `added` accumulates start − cursor per send: exactly the delay
     // injected relative to running every sender at full speed.
     TemporalSchedule {
-        schedule: Schedule { k, src: chain.src_pos(), hold, end, sends, recv_time },
+        schedule: Schedule {
+            k,
+            src: chain.src_pos(),
+            hold,
+            end,
+            sends,
+            recv_time,
+        },
         not_before,
         added_delay: added,
     }

@@ -1,0 +1,78 @@
+//! The observability acceptance demo from the paper's flagship workload: a
+//! 60-node multicast on the 16×16 mesh, traced and exported to Perfetto.
+//! OPT-tree ignores the architecture ordering and contends (blocking
+//! instants appear on the timeline); OPT-mesh is contention-free
+//! (Theorem 1), so its export has none.
+
+use flitsim::SimConfig;
+use optmc::{random_placement, run_multicast_observed, Algorithm, RunOptions};
+use topo::{Mesh, Topology};
+
+fn traced_run(alg: Algorithm, seed: u64) -> (optmc::RunOutcome, String) {
+    let mesh = Mesh::new(&[16, 16]);
+    let mut cfg = SimConfig::paragon_like();
+    cfg.trace = true;
+    let parts = random_placement(256, 60, seed);
+    let out = run_multicast_observed(
+        &mesh,
+        &cfg,
+        alg,
+        &parts,
+        parts[0],
+        16 * 1024,
+        &RunOptions::default(),
+        Some(flitsim::TraceSink::memory()),
+    );
+    let json = flitsim::perfetto::export_string(&out.sim, Some(mesh.graph()));
+    (out, json)
+}
+
+fn blocking_instants(json: &str) -> usize {
+    let v: serde_json::Value = serde_json::from_str(json).expect("perfetto export parses");
+    let events = match &v {
+        serde_json::Value::Object(fields) => {
+            match fields.iter().find(|(k, _)| k == "traceEvents") {
+                Some((_, serde_json::Value::Array(evs))) => evs.clone(),
+                other => panic!("no traceEvents array: {other:?}"),
+            }
+        }
+        other => panic!("expected object, got {other:?}"),
+    };
+    events
+        .iter()
+        .filter(|e| match e {
+            serde_json::Value::Object(f) => f
+                .iter()
+                .any(|(k, val)| k == "ph" && *val == serde_json::Value::Str("i".into())),
+            _ => false,
+        })
+        .count()
+}
+
+#[test]
+fn opt_tree_trace_shows_blocking_opt_mesh_does_not() {
+    // Not every random placement makes the placement-ordered tree contend;
+    // sweep a few (deterministic) seeds and demo the first that does.
+    // OPT-mesh must stay contention-free on every one of them (Theorem 1).
+    let mut contended = None;
+    for seed in 0..8u64 {
+        let (opt, opt_json) = traced_run(Algorithm::OptArch, seed);
+        assert!(
+            opt.sim.contention_free(),
+            "OPT-mesh contended at seed {seed}"
+        );
+        assert_eq!(blocking_instants(&opt_json), 0, "seed {seed}");
+
+        let (u, u_json) = traced_run(Algorithm::OptTree, seed);
+        if !u.sim.contention_free() && contended.is_none() {
+            contended = Some((u, u_json));
+        }
+    }
+
+    // The simulator agrees with the paper — OPT-tree contends at 60 nodes
+    // / 16 KB — and the exported timeline shows every blocking episode as
+    // an instant event.
+    let (u, u_json) = contended.expect("no OPT-tree placement contended in 8 seeds");
+    assert!(u.sim.blocked_events > 0);
+    assert_eq!(blocking_instants(&u_json), u.sim.blocked_events as usize);
+}

@@ -41,7 +41,10 @@ impl std::fmt::Display for FitError {
         match self {
             FitError::TooFewSamples => write!(f, "need at least two samples to fit a line"),
             FitError::DegenerateSizes => {
-                write!(f, "all samples have the same message size; slope unidentifiable")
+                write!(
+                    f,
+                    "all samples have the same message size; slope unidentifiable"
+                )
             }
         }
     }
@@ -121,12 +124,17 @@ pub fn fit_errors(f: &LinearFn, samples: &[Sample]) -> Option<FitErrors> {
     }
     let n = samples.len() as f64;
     let mean_x = samples.iter().map(|s| s.msg_size as f64).sum::<f64>() / n;
-    let sxx: f64 = samples.iter().map(|s| (s.msg_size as f64 - mean_x).powi(2)).sum();
+    let sxx: f64 = samples
+        .iter()
+        .map(|s| (s.msg_size as f64 - mean_x).powi(2))
+        .sum();
     if sxx == 0.0 {
         return None;
     }
-    let ss_res: f64 =
-        samples.iter().map(|s| (s.time as f64 - f.eval_f64(s.msg_size)).powi(2)).sum();
+    let ss_res: f64 = samples
+        .iter()
+        .map(|s| (s.time as f64 - f.eval_f64(s.msg_size)).powi(2))
+        .sum();
     let var = ss_res / (n - 2.0);
     let sum_x2: f64 = samples.iter().map(|s| (s.msg_size as f64).powi(2)).sum();
     Some(FitErrors {
@@ -159,8 +167,9 @@ mod tests {
     #[test]
     fn fits_exact_line() {
         let f = LinearFn::new(100.0, 0.5);
-        let samples: Vec<Sample> =
-            (0..10).map(|i| Sample::new(i * 1000, f.eval(i * 1000))).collect();
+        let samples: Vec<Sample> = (0..10)
+            .map(|i| Sample::new(i * 1000, f.eval(i * 1000)))
+            .collect();
         let fitted = fit_linear(&samples).unwrap();
         assert!((fitted.base - 100.0).abs() < 1.0, "base {}", fitted.base);
         assert!((fitted.slope - 0.5).abs() < 1e-3, "slope {}", fitted.slope);
@@ -169,7 +178,10 @@ mod tests {
 
     #[test]
     fn rejects_too_few() {
-        assert_eq!(fit_linear(&[Sample::new(1, 1)]), Err(FitError::TooFewSamples));
+        assert_eq!(
+            fit_linear(&[Sample::new(1, 1)]),
+            Err(FitError::TooFewSamples)
+        );
     }
 
     #[test]
@@ -197,9 +209,14 @@ mod tests {
     #[test]
     fn perfect_fit_has_zero_errors() {
         let f = LinearFn::new(10.0, 2.0);
-        let samples: Vec<Sample> = (0..6).map(|i| Sample::new(i * 10, f.eval(i * 10))).collect();
+        let samples: Vec<Sample> = (0..6)
+            .map(|i| Sample::new(i * 10, f.eval(i * 10)))
+            .collect();
         let e = fit_errors(&f, &samples).unwrap();
-        assert!(e.base_se < 1e-6 && e.slope_se < 1e-9 && e.residual_sd < 1e-6, "{e:?}");
+        assert!(
+            e.base_se < 1e-6 && e.slope_se < 1e-9 && e.residual_sd < 1e-6,
+            "{e:?}"
+        );
     }
 
     #[test]
@@ -227,7 +244,10 @@ mod tests {
     #[test]
     fn burst_and_pingpong_helpers() {
         assert_eq!(hold_sample_from_burst(64, 1, 100), None);
-        assert_eq!(hold_sample_from_burst(64, 11, 1000), Some(Sample::new(64, 100)));
+        assert_eq!(
+            hold_sample_from_burst(64, 11, 1000),
+            Some(Sample::new(64, 100))
+        );
         assert_eq!(end_sample_from_pingpong(64, 222), Sample::new(64, 111));
     }
 }

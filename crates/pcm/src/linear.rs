@@ -30,7 +30,10 @@ impl LinearFn {
 
     /// The constant function `f(m) = c`.
     pub const fn constant(c: f64) -> Self {
-        Self { base: c, slope: 0.0 }
+        Self {
+            base: c,
+            slope: 0.0,
+        }
     }
 
     /// The zero function.

@@ -85,7 +85,12 @@ mod tests {
 
     #[test]
     fn roundtrip_at_fixed_size() {
-        let lp = LogP { l: 100, o: 30, g: 40, p: 64 };
+        let lp = LogP {
+            l: 100,
+            o: 30,
+            g: 40,
+            p: 64,
+        };
         let params = lp.to_params();
         let back = LogP::from_params(&params, 4096, 64);
         assert_eq!(back.l, 100);
@@ -95,7 +100,12 @@ mod tests {
 
     #[test]
     fn t_end_and_hold() {
-        let lp = LogP { l: 100, o: 30, g: 10, p: 4 };
+        let lp = LogP {
+            l: 100,
+            o: 30,
+            g: 10,
+            p: 4,
+        };
         assert_eq!(lp.t_end(), 160);
         assert_eq!(lp.t_hold(), 30); // o > g
     }
@@ -104,7 +114,12 @@ mod tests {
     fn broadcast_bound_binomial_when_hold_equals_end() {
         // With o = 0 and g = L... make hold == end: o=0, g = l => hold = g = l,
         // end = l.  Binomial: ceil(log2(k)) * l.
-        let lp = LogP { l: 50, o: 0, g: 50, p: 16 };
+        let lp = LogP {
+            l: 50,
+            o: 0,
+            g: 50,
+            p: 16,
+        };
         assert_eq!(lp.broadcast_lower_bound(1), 0);
         assert_eq!(lp.broadcast_lower_bound(2), 50);
         assert_eq!(lp.broadcast_lower_bound(4), 100);
@@ -116,7 +131,12 @@ mod tests {
     fn broadcast_bound_small_hold_prefers_wide_trees() {
         // hold = 1, end = 100: the root can spray messages nearly for free, so
         // t[k] grows far slower than binomial.
-        let lp = LogP { l: 100, o: 0, g: 1, p: 32 };
+        let lp = LogP {
+            l: 100,
+            o: 0,
+            g: 1,
+            p: 32,
+        };
         let t8 = lp.broadcast_lower_bound(8);
         // Binomial would be 300; spraying gives about end + a few holds.
         assert!(t8 < 120, "expected a flat tree, got {t8}");

@@ -117,7 +117,17 @@ mod tests {
 
     #[test]
     fn depth_is_ceil_log2() {
-        let cases = [(1, 0), (2, 1), (3, 2), (4, 2), (5, 3), (8, 3), (9, 4), (16, 4), (17, 5)];
+        let cases = [
+            (1, 0),
+            (2, 1),
+            (3, 2),
+            (4, 2),
+            (5, 3),
+            (8, 3),
+            (9, 4),
+            (16, 4),
+            (17, 5),
+        ];
         for (k, d) in cases {
             assert_eq!(binomial_depth(k), d, "k={k}");
         }

@@ -64,7 +64,10 @@ impl Bmin {
     /// # Panics
     /// If `s == 0` or `s > 20` (over a million nodes is surely a typo).
     pub fn new(s: u32, policy: UpPolicy) -> Self {
-        assert!((1..=20).contains(&s), "s={s} out of the sensible range 1..=20");
+        assert!(
+            (1..=20).contains(&s),
+            "s={s} out of the sensible range 1..=20"
+        );
         let n = 1usize << s;
         let w = n / 2; // switches per stage
         let stages = s as usize;
@@ -87,7 +90,13 @@ impl Bmin {
                 }
             }
         }
-        Self { s, graph: b.build(), up, down, policy }
+        Self {
+            s,
+            graph: b.build(),
+            up,
+            down,
+            policy,
+        }
     }
 
     /// Number of address bits / stages.
@@ -126,13 +135,21 @@ impl Bmin {
 
     fn up_channel(&self, l: usize, r: usize, u: usize) -> ChannelId {
         let c = self.up[(l * self.width() + r) * 2 + u];
-        debug_assert_ne!(c.0, u32::MAX, "no up channel at stage {l} switch {r} port {u}");
+        debug_assert_ne!(
+            c.0,
+            u32::MAX,
+            "no up channel at stage {l} switch {r} port {u}"
+        );
         c
     }
 
     fn down_channel(&self, l: usize, r: usize, c: usize) -> ChannelId {
         let ch = self.down[(l * self.width() + r) * 2 + c];
-        debug_assert_ne!(ch.0, u32::MAX, "no down channel at stage {l} switch {r} port {c}");
+        debug_assert_ne!(
+            ch.0,
+            u32::MAX,
+            "no down channel at stage {l} switch {r} port {c}"
+        );
         ch
     }
 }

@@ -172,20 +172,29 @@ impl NetworkGraphBuilder {
     /// Add a router→router channel, returning its id.
     pub fn link(&mut self, from: RouterId, to: RouterId) -> ChannelId {
         assert!(from.idx() < self.n_routers && to.idx() < self.n_routers);
-        self.push(Channel { src: Endpoint::Router(from), dst: Endpoint::Router(to) })
+        self.push(Channel {
+            src: Endpoint::Router(from),
+            dst: Endpoint::Router(to),
+        })
     }
 
     /// Add an injection channel for node `n` into router `r` (call several
     /// times for a multi-port NI).
     pub fn injection(&mut self, n: NodeId, r: RouterId) -> ChannelId {
-        let c = self.push(Channel { src: Endpoint::Node(n), dst: Endpoint::Router(r) });
+        let c = self.push(Channel {
+            src: Endpoint::Node(n),
+            dst: Endpoint::Router(r),
+        });
         self.injection[n.idx()].push(c);
         c
     }
 
     /// Add a consumption channel for node `n` from router `r`.
     pub fn consumption(&mut self, n: NodeId, r: RouterId) -> ChannelId {
-        let c = self.push(Channel { src: Endpoint::Router(r), dst: Endpoint::Node(n) });
+        let c = self.push(Channel {
+            src: Endpoint::Router(r),
+            dst: Endpoint::Node(n),
+        });
         self.consumption[n.idx()].push(c);
         c
     }

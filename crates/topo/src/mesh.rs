@@ -75,7 +75,12 @@ impl Mesh {
                 }
             }
         }
-        Self { dims: dims_v, ports, graph: b.build(), links }
+        Self {
+            dims: dims_v,
+            ports,
+            graph: b.build(),
+            links,
+        }
     }
 
     /// A binary `d`-cube: the mesh `[2; d]`.  E-cube routing on it is the
@@ -172,8 +177,8 @@ impl Topology for Mesh {
         // with up-chain traffic — verified by the contention checker.)
         let c = self.coords(n);
         let mut key = 0u64;
-        for d in 0..self.dims.len() {
-            key = key * self.dims[d] as u64 + c[d] as u64;
+        for (&dim, &coord) in self.dims.iter().zip(&c) {
+            key = key * dim as u64 + coord as u64;
         }
         key
     }

@@ -36,7 +36,10 @@ impl Omega {
     /// # Panics
     /// If `s` is outside `1..=20`.
     pub fn new(s: u32) -> Self {
-        assert!((1..=20).contains(&s), "s={s} out of the sensible range 1..=20");
+        assert!(
+            (1..=20).contains(&s),
+            "s={s} out of the sensible range 1..=20"
+        );
         let n = 1usize << s;
         let w = n / 2;
         let stages = s as usize;
@@ -60,7 +63,11 @@ impl Omega {
                 }
             }
         }
-        Self { s, graph: b.build(), inter }
+        Self {
+            s,
+            graph: b.build(),
+            inter,
+        }
     }
 
     /// Number of stages (`log2 N`).
@@ -183,9 +190,13 @@ mod tests {
         };
         // Each side needs >= 2 nodes to host an internal send.
         for cut in 2..n - 1 {
-            let aligned = cut.is_power_of_two() || (n - cut).is_power_of_two() && cut % (n - cut) == 0;
+            let aligned =
+                cut.is_power_of_two() || (n - cut).is_power_of_two() && cut % (n - cut) == 0;
             if !aligned {
-                assert!(!cut_is_clean(cut), "unaligned cut {cut} unexpectedly partitions omega");
+                assert!(
+                    !cut_is_clean(cut),
+                    "unaligned cut {cut} unexpectedly partitions omega"
+                );
             }
         }
         // And the block structure shows through at the half cut.

@@ -35,7 +35,9 @@ pub trait Topology: Send + Sync {
         assert_ne!(src, dst, "no path from a node to itself");
         let g = self.graph();
         let mut path = vec![g.injection(src)];
-        let mut at = g.dst_router(g.injection(src)).expect("injection leads to a router");
+        let mut at = g
+            .dst_router(g.injection(src))
+            .expect("injection leads to a router");
         let mut cand = Vec::new();
         // A worm never needs more hops than channels exist.
         for _ in 0..=g.n_channels() {

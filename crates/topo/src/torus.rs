@@ -39,7 +39,10 @@ impl Torus {
     /// If `dims` is empty or any side is < 2.
     pub fn new(dims: &[usize]) -> Self {
         assert!(!dims.is_empty(), "a torus needs at least one dimension");
-        assert!(dims.iter().all(|&m| m >= 2), "torus sides must be at least 2");
+        assert!(
+            dims.iter().all(|&m| m >= 2),
+            "torus sides must be at least 2"
+        );
         let n: usize = dims.iter().product();
         let ndim = dims.len();
         let mut b = NetworkGraph::builder(n, n);
@@ -64,7 +67,11 @@ impl Torus {
                 }
             }
         }
-        Self { dims: dims_v, graph: b.build(), links }
+        Self {
+            dims: dims_v,
+            graph: b.build(),
+            links,
+        }
     }
 
     /// Side lengths.
@@ -159,8 +166,8 @@ impl Topology for Torus {
         // that is precisely what `torus_study` measures.)
         let c = self.coords(n);
         let mut key = 0u64;
-        for d in 0..self.dims.len() {
-            key = key * self.dims[d] as u64 + c[d] as u64;
+        for (&dim, &coord) in self.dims.iter().zip(&c) {
+            key = key * dim as u64 + coord as u64;
         }
         key
     }
@@ -193,7 +200,7 @@ mod tests {
     }
 
     #[test]
-    fn every_pair_routes(){
+    fn every_pair_routes() {
         let t = Torus::new(&[4, 3]);
         for a in 0..12u32 {
             for b in 0..12u32 {
@@ -202,7 +209,11 @@ mod tests {
                 }
                 let p = t.det_path(NodeId(a), NodeId(b));
                 assert_eq!(t.graph().dst_node(*p.last().unwrap()), Some(NodeId(b)));
-                assert_eq!(p.len() - 2, t.distance_coords(NodeId(a), NodeId(b)), "{a}->{b}");
+                assert_eq!(
+                    p.len() - 2,
+                    t.distance_coords(NodeId(a), NodeId(b)),
+                    "{a}->{b}"
+                );
                 for (i, c) in p.iter().enumerate() {
                     assert!(!p[..i].contains(c), "cycle in {a}->{b}");
                 }

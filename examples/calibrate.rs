@@ -34,13 +34,22 @@ fn main() {
 
     let (hold_fn, end_fn) = measure::calibrate(&mesh, &cfg, src, dst, &sizes);
     println!("\nFitted model:");
-    println!("  t_hold(m) = {hold_fn}   (R² = {:.6})", r_squared(&hold_fn, &hold_samples));
-    println!("  t_end(m)  = {end_fn}   (R² = {:.6})", r_squared(&end_fn, &end_samples));
+    println!(
+        "  t_hold(m) = {hold_fn}   (R² = {:.6})",
+        r_squared(&hold_fn, &hold_samples)
+    );
+    println!(
+        "  t_end(m)  = {end_fn}   (R² = {:.6})",
+        r_squared(&end_fn, &end_samples)
+    );
 
     // Use the fitted functions the way a library would: build optimal
     // multicast trees for a few message sizes.
     println!("\nOptimal 32-node multicast trees from the fitted model:");
-    println!("{:>10} {:>8} {:>8} {:>12} {:>12}", "bytes", "t_hold", "t_end", "opt t[32]", "binomial");
+    println!(
+        "{:>10} {:>8} {:>8} {:>12} {:>12}",
+        "bytes", "t_hold", "t_end", "opt t[32]", "binomial"
+    );
     for &m in &sizes {
         let (h, e) = (hold_fn.eval(m), end_fn.eval(m));
         let opt = SplitStrategy::opt(h, e, 32).latency(h, e, 32);

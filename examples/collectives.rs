@@ -11,7 +11,7 @@ use optmc::concurrent::{run_concurrent, McastSpec};
 use optmc::experiments::random_placement;
 use optmc::gather::run_gather;
 use optmc::{run_multicast, run_multicast_with, Algorithm};
-use topo::{Mesh, Omega, Topology, Torus};
+use topo::{Mesh, Omega, Torus};
 
 fn main() {
     let cfg = SimConfig::paragon_like();
@@ -32,12 +32,19 @@ fn main() {
     let pool = random_placement(256, 16 * 4, 21);
     let specs: Vec<McastSpec> = pool
         .chunks(16)
-        .map(|c| McastSpec { participants: c.to_vec(), src: c[0], bytes: 4096 })
+        .map(|c| McastSpec {
+            participants: c.to_vec(),
+            src: c[0],
+            bytes: 4096,
+        })
         .collect();
     let (outs, sim) = run_concurrent(&mesh, &cfg, Algorithm::OptArch, &specs);
     println!("four concurrent 16-node OPT-mesh multicasts:");
     for (i, o) in outs.iter().enumerate() {
-        println!("  multicast {i}: latency {:>6} (solo bound {})", o.latency, o.analytic);
+        println!(
+            "  multicast {i}: latency {:>6} (solo bound {})",
+            o.latency, o.analytic
+        );
     }
     println!(
         "  joint blocking {} cycles — each tree is contention-free alone, \
@@ -49,8 +56,15 @@ fn main() {
     let omega = Omega::new(7);
     let parts = random_placement(128, 32, 3);
     let plain = run_multicast(&omega, &cfg, Algorithm::OptArch, &parts, parts[0], 16384);
-    let temporal =
-        run_multicast_with(&omega, &cfg, Algorithm::OptArch, &parts, parts[0], 16384, true);
+    let temporal = run_multicast_with(
+        &omega,
+        &cfg,
+        Algorithm::OptArch,
+        &parts,
+        parts[0],
+        16384,
+        true,
+    );
     println!("omega-128 (no contention-free partition exists, paper §6):");
     println!(
         "  ordered chain          latency {:>6}, blocked {:>5} cycles",
@@ -63,8 +77,15 @@ fn main() {
 
     let torus = Torus::new(&[16, 16]);
     let plain = run_multicast(&torus, &cfg, Algorithm::OptArch, &parts, parts[0], 16384);
-    let temporal =
-        run_multicast_with(&torus, &cfg, Algorithm::OptArch, &parts, parts[0], 16384, true);
+    let temporal = run_multicast_with(
+        &torus,
+        &cfg,
+        Algorithm::OptArch,
+        &parts,
+        parts[0],
+        16384,
+        true,
+    );
     println!("torus-16x16 (wrap paths escape Theorem 1's geometry):");
     println!(
         "  ordered chain          latency {:>6}, blocked {:>5} cycles",

@@ -11,7 +11,7 @@ use flitsim::SimConfig;
 use mtree::Schedule;
 use optmc::experiments::random_placement;
 use optmc::{check_schedule, run_multicast, Algorithm};
-use topo::{Mesh, Topology};
+use topo::Mesh;
 
 fn main() {
     let mesh = Mesh::new(&[16, 16]);
@@ -27,7 +27,10 @@ fn main() {
             !check_schedule(&mesh, &chain, &sched).is_empty()
         })
         .expect("some placement collides");
-    println!("Placement (seed {seed}): {:?}\n", placement.iter().map(|n| n.0).collect::<Vec<_>>());
+    println!(
+        "Placement (seed {seed}): {:?}\n",
+        placement.iter().map(|n| n.0).collect::<Vec<_>>()
+    );
 
     let src = placement[0];
     for alg in [Algorithm::OptTree, Algorithm::OptArch] {

@@ -9,7 +9,7 @@ use flitsim::SimConfig;
 use mtree::{dot, MulticastTree, Schedule};
 use optmc::experiments::{random_placement, run_trials};
 use optmc::Algorithm;
-use topo::{Mesh, NodeId, Topology};
+use topo::{Mesh, NodeId};
 
 fn main() {
     // --- Part 1: the worked example (Fig. 1). --------------------------
@@ -21,7 +21,13 @@ fn main() {
     let sched = Schedule::build(8, chain.src_pos(), &splits, hold, end);
     println!("Fig. 1 example — OPT-mesh on a 6x6 mesh (t_hold=20, t_end=55)");
     println!("  multicast latency: {} (paper: 130)", sched.latency());
-    let umesh = Schedule::build(8, chain.src_pos(), &Algorithm::UArch.splits(hold, end, 8), hold, end);
+    let umesh = Schedule::build(
+        8,
+        chain.src_pos(),
+        &Algorithm::UArch.splits(hold, end, 8),
+        hold,
+        end,
+    );
     println!("  U-mesh latency:    {} (paper: 165)\n", umesh.latency());
 
     let tree = MulticastTree::from_schedule(&sched);

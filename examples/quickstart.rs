@@ -7,7 +7,7 @@
 
 use flitsim::SimConfig;
 use optmc::{run_multicast, Algorithm};
-use topo::{Mesh, NodeId, Topology};
+use topo::{Mesh, NodeId};
 
 fn main() {
     // 1. A network: the paper's 16×16 wormhole mesh with XY routing.
@@ -17,10 +17,11 @@ fn main() {
     let cfg = SimConfig::paragon_like();
 
     // 3. Who participates: a source and 15 destinations.
-    let participants: Vec<NodeId> =
-        [0u32, 17, 34, 51, 68, 85, 102, 119, 136, 153, 170, 187, 204, 221, 238, 255]
-            .map(NodeId)
-            .to_vec();
+    let participants: Vec<NodeId> = [
+        0u32, 17, 34, 51, 68, 85, 102, 119, 136, 153, 170, 187, 204, 221, 238, 255,
+    ]
+    .map(NodeId)
+    .to_vec();
     let source = participants[0];
 
     // 4. Run the paper's three algorithms on the same placement.

@@ -1,0 +1,203 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the small slice of the criterion API the workspace benches
+//! use (`benchmark_group`, `bench_with_input`, `bench_function`,
+//! `BenchmarkId::from_parameter`, `Bencher::iter`, `criterion_group!`,
+//! `criterion_main!`) as a plain wall-clock harness: each benchmark is
+//! warmed up briefly, then timed over enough iterations to fill a short
+//! measurement window, and the mean ns/iter is printed.  There is no
+//! statistical analysis, HTML report, or baseline comparison.
+
+use std::fmt::Display;
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` also resolves.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+const WARM_UP: Duration = Duration::from_millis(50);
+const MEASURE: Duration = Duration::from_millis(300);
+
+/// Identifies one parameterized benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id rendered from the sweep parameter alone.
+    pub fn from_parameter<P: Display>(p: P) -> Self {
+        BenchmarkId {
+            label: p.to_string(),
+        }
+    }
+
+    /// An id with both a function name and a parameter.
+    pub fn new<S: Display, P: Display>(name: S, p: P) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{p}"),
+        }
+    }
+}
+
+/// Passed to benchmark closures; `iter` runs and times the payload.
+pub struct Bencher {
+    /// Mean nanoseconds per iteration, filled in by [`Bencher::iter`].
+    ns_per_iter: f64,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Time `f`, repeating it until the measurement window is filled.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: also estimates the cost of one call so the measured
+        // batch size can be chosen up front.
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARM_UP {
+            std_black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let batch = ((MEASURE.as_secs_f64() / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000_000);
+
+        let start = Instant::now();
+        for _ in 0..batch {
+            std_black_box(f());
+        }
+        let elapsed = start.elapsed();
+        self.iters = batch;
+        self.ns_per_iter = elapsed.as_nanos() as f64 / batch as f64;
+    }
+}
+
+fn report(path: &str, b: &Bencher) {
+    let ns = b.ns_per_iter;
+    let human = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    println!("{path:<44} {human:>12}/iter  ({} iters)", b.iters);
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Run one benchmark over `input`.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b, input);
+        report(&format!("{}/{}", self.name, id.label), &b);
+        self
+    }
+
+    /// Run one unparameterized benchmark in this group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(&format!("{}/{}", self.name, id), &b);
+        self
+    }
+
+    /// End the group (upstream flushes reports here; the shim prints
+    /// eagerly, so this is a no-op kept for API compatibility).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            _criterion: self,
+        }
+    }
+
+    /// Run one standalone benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        f(&mut b);
+        report(name, &b);
+        self
+    }
+
+    /// Upstream's config hook; the shim has no sampling config.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+}
+
+/// Collect benchmark functions into one named runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Emit `main` running each group (benches are built with `harness = false`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher {
+            ns_per_iter: 0.0,
+            iters: 0,
+        };
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.iters > 0);
+        assert!(b.ns_per_iter > 0.0);
+    }
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::from_parameter(64).label, "64");
+        assert_eq!(BenchmarkId::new("f", 2).label, "f/2");
+    }
+}

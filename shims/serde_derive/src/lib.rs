@@ -1,0 +1,377 @@
+//! Offline shim for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the shimmed `serde` traits (`to_value`/`from_value` over a JSON `Value`),
+//! without `syn`/`quote`: the item is parsed directly from the
+//! `proc_macro::TokenStream` and the impl is emitted as source text.
+//!
+//! Supported shapes — exactly the ones this workspace defines:
+//!
+//! * structs with named fields → JSON objects keyed by field name;
+//! * tuple structs — one field serializes transparently (newtype), several
+//!   serialize as an array;
+//! * enums with unit variants (→ the variant name as a string) and tuple
+//!   variants (→ `{"Variant": payload}` with a lone payload unwrapped).
+//!
+//! Generics and struct-variant enums are rejected with a compile error.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of the derive input.
+enum Shape {
+    /// Named-field struct: field names in declaration order.
+    NamedStruct(Vec<String>),
+    /// Tuple struct with this many fields.
+    TupleStruct(usize),
+    /// Enum: `(variant name, tuple arity)` — arity 0 is a unit variant.
+    Enum(Vec<(String, usize)>),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Skip attributes (`#[...]`, including doc comments) and visibility
+/// (`pub`, `pub(...)`) from the front of `toks`, starting at `i`.
+fn skip_attrs_and_vis(toks: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then the bracketed attribute body.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = toks.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1; // pub(crate) etc.
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+/// Count comma-separated entries at angle-bracket depth 0 of a type list
+/// (tuple-struct bodies, tuple-variant payloads).  `Vec<Option<usize>>`
+/// style commas inside `<...>` do not split entries.
+fn count_top_level_entries(toks: &[TokenTree]) -> usize {
+    let mut depth: i32 = 0;
+    let mut entries = 0usize;
+    let mut saw_tokens = false;
+    for t in toks {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                saw_tokens = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                entries += 1;
+                saw_tokens = false;
+            }
+            _ => saw_tokens = true,
+        }
+    }
+    entries + usize::from(saw_tokens)
+}
+
+/// Parse the field names of a named-field struct body.
+fn parse_named_fields(toks: &[TokenTree]) -> Result<Vec<String>, String> {
+    let mut names = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(toks, i);
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            return Err(format!(
+                "expected field name, found {:?}",
+                toks.get(i).map(|t| t.to_string())
+            ));
+        };
+        names.push(name.to_string());
+        i += 1;
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => {
+                return Err(format!(
+                    "expected ':' after field, found {:?}",
+                    other.map(|t| t.to_string())
+                ))
+            }
+        }
+        // Consume the type: everything up to the next comma at angle depth 0.
+        let mut depth: i32 = 0;
+        while i < toks.len() {
+            match &toks[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(names)
+}
+
+/// Parse enum variants: names plus tuple arity (0 for unit variants).
+fn parse_variants(toks: &[TokenTree]) -> Result<Vec<(String, usize)>, String> {
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < toks.len() {
+        i = skip_attrs_and_vis(toks, i);
+        if i >= toks.len() {
+            break;
+        }
+        let Some(TokenTree::Ident(name)) = toks.get(i) else {
+            return Err(format!(
+                "expected variant name, found {:?}",
+                toks.get(i).map(|t| t.to_string())
+            ));
+        };
+        let name = name.to_string();
+        i += 1;
+        let arity = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                i += 1;
+                count_top_level_entries(&inner)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                return Err(format!(
+                    "struct variant '{name}' is not supported by the serde shim"
+                ));
+            }
+            _ => 0,
+        };
+        variants.push((name, arity));
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            None => break,
+            other => {
+                return Err(format!(
+                    "expected ',' after variant, found {:?}",
+                    other.map(|t| t.to_string())
+                ))
+            }
+        }
+    }
+    Ok(variants)
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&toks, 0);
+    let kind = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "expected 'struct' or 'enum', found {:?}",
+                other.map(|t| t.to_string())
+            ))
+        }
+    };
+    i += 1;
+    let name = match toks.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => {
+            return Err(format!(
+                "expected item name, found {:?}",
+                other.map(|t| t.to_string())
+            ))
+        }
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = toks.get(i) {
+        if p.as_char() == '<' {
+            return Err(format!(
+                "generic type '{name}' is not supported by the serde shim"
+            ));
+        }
+    }
+    let shape = match (kind.as_str(), toks.get(i)) {
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::NamedStruct(parse_named_fields(&inner)?)
+        }
+        ("struct", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Parenthesis => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::TupleStruct(count_top_level_entries(&inner))
+        }
+        ("enum", Some(TokenTree::Group(g))) if g.delimiter() == Delimiter::Brace => {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            Shape::Enum(parse_variants(&inner)?)
+        }
+        _ => return Err(format!("unsupported item shape for '{name}'")),
+    };
+    Ok(Item { name, shape })
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});")
+        .parse()
+        .expect("literal compile_error")
+}
+
+/// `#[derive(Serialize)]`: `impl serde::Serialize` via `to_value`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(it) => it,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let pairs: Vec<String> = fields
+                .iter()
+                .map(|f| format!("({f:?}.to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Object(vec![{}])", pairs.join(", "))
+        }
+        Shape::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Shape::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|(v, arity)| match arity {
+                    0 => format!("{name}::{v} => ::serde::Value::Str({v:?}.to_string()),"),
+                    1 => format!(
+                        "{name}::{v}(x0) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                         ::serde::Serialize::to_value(x0))]),"
+                    ),
+                    n => {
+                        let binds: Vec<String> = (0..*n).map(|i| format!("x{i}")).collect();
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| format!("::serde::Serialize::to_value(x{i})"))
+                            .collect();
+                        format!(
+                            "{name}::{v}({}) => ::serde::Value::Object(vec![({v:?}.to_string(), \
+                             ::serde::Value::Array(vec![{}]))]),",
+                            binds.join(", "),
+                            items.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(" "))
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Serialize impl parses")
+}
+
+/// `#[derive(Deserialize)]`: `impl serde::Deserialize` via `from_value`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = match parse_item(input) {
+        Ok(it) => it,
+        Err(e) => return compile_error(&e),
+    };
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(::serde::field(fields, {f:?})?)?,"
+                    )
+                })
+                .collect();
+            format!(
+                "let fields = v.as_object().ok_or_else(|| ::serde::de_err(format!(\
+                     \"{name}: expected object, found {{}}\", v.kind())))?;\n\
+                 Ok({name} {{ {} }})",
+                inits.join(" ")
+            )
+        }
+        Shape::TupleStruct(1) => {
+            format!("Ok({name}(::serde::Deserialize::from_value(v)?))")
+        }
+        Shape::TupleStruct(n) => {
+            let inits: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                .collect();
+            format!(
+                "let items = v.as_array().ok_or_else(|| ::serde::de_err(format!(\
+                     \"{name}: expected array, found {{}}\", v.kind())))?;\n\
+                 if items.len() != {n} {{ return Err(::serde::de_err(format!(\
+                     \"{name}: expected {n} elements, found {{}}\", items.len()))); }}\n\
+                 Ok({name}({}))",
+                inits.join(", ")
+            )
+        }
+        Shape::Enum(variants) => {
+            let str_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity == 0)
+                .map(|(v, _)| format!("{v:?} => Ok({name}::{v}),"))
+                .collect();
+            let obj_arms: Vec<String> = variants
+                .iter()
+                .filter(|(_, arity)| *arity > 0)
+                .map(|(v, arity)| {
+                    if *arity == 1 {
+                        format!("{v:?} => Ok({name}::{v}(::serde::Deserialize::from_value(payload)?)),")
+                    } else {
+                        let inits: Vec<String> = (0..*arity)
+                            .map(|i| format!("::serde::Deserialize::from_value(&items[{i}])?"))
+                            .collect();
+                        format!(
+                            "{v:?} => {{\n\
+                                 let items = payload.as_array().ok_or_else(|| ::serde::de_err(\
+                                     \"{name}::{v}: expected array payload\".to_string()))?;\n\
+                                 if items.len() != {arity} {{ return Err(::serde::de_err(format!(\
+                                     \"{name}::{v}: expected {arity} elements, found {{}}\", items.len()))); }}\n\
+                                 Ok({name}::{v}({}))\n\
+                             }}",
+                            inits.join(", ")
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(s) => match s.as_str() {{\n\
+                         {}\n\
+                         other => Err(::serde::de_err(format!(\"unknown {name} variant '{{other}}'\"))),\n\
+                     }},\n\
+                     ::serde::Value::Object(fields) if fields.len() == 1 => {{\n\
+                         let (tag, payload) = &fields[0];\n\
+                         let _ = payload;\n\
+                         match tag.as_str() {{\n\
+                             {}\n\
+                             other => Err(::serde::de_err(format!(\"unknown {name} variant '{{other}}'\"))),\n\
+                         }}\n\
+                     }},\n\
+                     other => Err(::serde::de_err(format!(\"{name}: expected variant, found {{}}\", other.kind()))),\n\
+                 }}",
+                str_arms.join("\n"),
+                obj_arms.join("\n")
+            )
+        }
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+    .parse()
+    .expect("generated Deserialize impl parses")
+}

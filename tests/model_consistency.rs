@@ -81,7 +81,12 @@ fn comm_params_projection_consistent() {
 /// the OPT DP on the projected pair.
 #[test]
 fn logp_projection_agrees_with_opt_dp() {
-    let lp = pcm::logp::LogP { l: 500, o: 300, g: 250, p: 64 };
+    let lp = pcm::logp::LogP {
+        l: 500,
+        o: 300,
+        g: 250,
+        p: 64,
+    };
     for k in [2usize, 8, 32, 64] {
         assert_eq!(
             lp.broadcast_lower_bound(k),

@@ -15,9 +15,21 @@ fn fig1_values_reproduce() {
     let parts: Vec<NodeId> = [1u32, 4, 9, 13, 19, 25, 28, 33].map(NodeId).to_vec();
     for src in &parts {
         let chain = Algorithm::OptArch.chain(&mesh, &parts, *src);
-        let opt = Schedule::build(8, chain.src_pos(), &Algorithm::OptArch.splits(20, 55, 8), 20, 55);
+        let opt = Schedule::build(
+            8,
+            chain.src_pos(),
+            &Algorithm::OptArch.splits(20, 55, 8),
+            20,
+            55,
+        );
         assert_eq!(opt.latency(), 130);
-        let u = Schedule::build(8, chain.src_pos(), &Algorithm::UArch.splits(20, 55, 8), 20, 55);
+        let u = Schedule::build(
+            8,
+            chain.src_pos(),
+            &Algorithm::UArch.splits(20, 55, 8),
+            20,
+            55,
+        );
         assert_eq!(u.latency(), 165);
     }
 }

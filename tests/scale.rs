@@ -7,7 +7,7 @@ use std::time::Instant;
 use flitsim::SimConfig;
 use optmc::experiments::random_placement;
 use optmc::{run_multicast, Algorithm};
-use topo::{Bmin, Mesh, NodeId, Topology, UpPolicy};
+use topo::{Bmin, Mesh, NodeId, UpPolicy};
 
 /// The heaviest Figure 2 point: 32 nodes, 64 KiB messages.
 #[test]
@@ -33,7 +33,11 @@ fn full_mesh_broadcast() {
     let parts: Vec<NodeId> = (0..256u32).map(NodeId).collect();
     let out = run_multicast(&mesh, &cfg, Algorithm::OptArch, &parts, NodeId(93), 4096);
     assert_eq!(out.sim.messages.len(), 255);
-    assert!(out.sim.contention_free(), "blocked {}", out.sim.blocked_cycles);
+    assert!(
+        out.sim.contention_free(),
+        "blocked {}",
+        out.sim.blocked_cycles
+    );
 }
 
 /// Full-density broadcast on the BMIN.

@@ -13,7 +13,7 @@ use flitsim::SimConfig;
 use mtree::Schedule;
 use optmc::experiments::random_placement;
 use optmc::{check_schedule, run_multicast, Algorithm};
-use topo::{Bmin, Mesh, Topology, UpPolicy};
+use topo::{Bmin, Mesh, UpPolicy};
 
 /// Theorem 1, static form: OPT-mesh and U-mesh schedules on random
 /// placements of a 16×16 mesh never share a channel between
@@ -111,10 +111,12 @@ fn bmin_softens_opt_tree_contention() {
     let (mut mesh_blocked, mut bmin_blocked) = (0u64, 0u64);
     for seed in 0..12u64 {
         let parts = random_placement(128, 32, seed);
-        mesh_blocked +=
-            run_multicast(&mesh, &cfg, Algorithm::OptTree, &parts, parts[0], 16384).sim.blocked_cycles;
-        bmin_blocked +=
-            run_multicast(&bmin, &cfg, Algorithm::OptTree, &parts, parts[0], 16384).sim.blocked_cycles;
+        mesh_blocked += run_multicast(&mesh, &cfg, Algorithm::OptTree, &parts, parts[0], 16384)
+            .sim
+            .blocked_cycles;
+        bmin_blocked += run_multicast(&bmin, &cfg, Algorithm::OptTree, &parts, parts[0], 16384)
+            .sim
+            .blocked_cycles;
     }
     assert!(
         bmin_blocked < mesh_blocked,
