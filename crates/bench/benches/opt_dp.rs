@@ -11,7 +11,7 @@ fn bench_opt_table(c: &mut Criterion) {
     let mut g = c.benchmark_group("opt_table_incremental");
     for k in [64usize, 256, 1024, 4096, 16384] {
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| mtree::opt::opt_table(black_box(250), black_box(1000), k))
+            b.iter(|| mtree::opt::opt_table(black_box(250), black_box(1000), k));
         });
     }
     g.finish();
@@ -19,7 +19,7 @@ fn bench_opt_table(c: &mut Criterion) {
     let mut g = c.benchmark_group("opt_table_reference_quadratic");
     for k in [64usize, 256, 1024] {
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| mtree::opt::opt_table_reference(black_box(250), black_box(1000), k))
+            b.iter(|| mtree::opt::opt_table_reference(black_box(250), black_box(1000), k));
         });
     }
     g.finish();
@@ -30,7 +30,7 @@ fn bench_schedule_build(c: &mut Criterion) {
     for k in [32usize, 256, 2048] {
         let strat = mtree::SplitStrategy::opt(250, 1000, k);
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
-            b.iter(|| mtree::Schedule::build(k, k / 3, black_box(&strat), 250, 1000))
+            b.iter(|| mtree::Schedule::build(k, k / 3, black_box(&strat), 250, 1000));
         });
     }
     g.finish();

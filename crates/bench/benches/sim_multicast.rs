@@ -49,7 +49,7 @@ fn bench_message_size_scaling(c: &mut Criterion) {
     let mut g = c.benchmark_group("optmesh_msg_scaling");
     for bytes in [1024u64, 16384, 65536] {
         g.bench_with_input(BenchmarkId::from_parameter(bytes), &bytes, |b, &bytes| {
-            b.iter(|| run_multicast(&mesh, &cfg, Algorithm::OptArch, &parts, src, bytes))
+            b.iter(|| run_multicast(&mesh, &cfg, Algorithm::OptArch, &parts, src, bytes));
         });
     }
     g.finish();

@@ -11,10 +11,10 @@ fn bench_det_path(c: &mut Criterion) {
     let mesh = Mesh::new(&[16, 16]);
     let bmin = Bmin::new(7, UpPolicy::Straight);
     c.bench_function("det_path_mesh16x16", |b| {
-        b.iter(|| mesh.det_path(black_box(NodeId(0)), black_box(NodeId(255))))
+        b.iter(|| mesh.det_path(black_box(NodeId(0)), black_box(NodeId(255))));
     });
     c.bench_function("det_path_bmin128", |b| {
-        b.iter(|| bmin.det_path(black_box(NodeId(0)), black_box(NodeId(127))))
+        b.iter(|| bmin.det_path(black_box(NodeId(0)), black_box(NodeId(127))));
     });
 }
 
@@ -24,7 +24,7 @@ fn bench_chain_sort(c: &mut Criterion) {
     for k in [32usize, 128, 256] {
         let parts = random_placement(256, k, 3);
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| Chain::sorted(&mesh, black_box(&parts), parts[0]))
+            b.iter(|| Chain::sorted(&mesh, black_box(&parts), parts[0]));
         });
     }
     g.finish();
@@ -39,7 +39,7 @@ fn bench_contention_check(c: &mut Criterion) {
         let splits = Algorithm::OptArch.splits(250, 1000, k);
         let sched = Schedule::build(k, chain.src_pos(), &splits, 250, 1000);
         g.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, _| {
-            b.iter(|| check_schedule(&mesh, black_box(&chain), black_box(&sched)))
+            b.iter(|| check_schedule(&mesh, black_box(&chain), black_box(&sched)));
         });
     }
     g.finish();

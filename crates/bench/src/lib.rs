@@ -4,6 +4,8 @@
 //! series as CSV under `results/` (current directory), so EXPERIMENTS.md
 //! rows can be checked against machine-readable data.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Write as _;
 use std::fs;
 use std::path::Path;
@@ -391,7 +393,7 @@ mod tests {
     fn arg_parsing() {
         let args: Vec<String> = ["--nodes", "128", "--fast"]
             .iter()
-            .map(|s| s.to_string())
+            .map(std::string::ToString::to_string)
             .collect();
         assert_eq!(arg_value(&args, "--nodes").as_deref(), Some("128"));
         assert_eq!(arg_value(&args, "--seed"), None);

@@ -6,17 +6,21 @@ use std::fmt::Write as _;
 use flitsim::SimConfig;
 use mtree::{dot, MulticastTree, Schedule, SplitStrategy};
 use optmc::experiments::{random_placement, run_trials};
-use optmc::{check_schedule, measure, run_multicast_opts, RunOptions};
+use optmc::{
+    check_schedule, check_schedule_windowed, measure, run_multicast_opts, OccupancyParams,
+    RunOptions,
+};
 use pcm::Time;
 
 use crate::args::Args;
-use crate::spec::{parse_algorithm, parse_topology};
+use crate::spec::{discipline_for, parse_algorithm, parse_topology};
 use crate::{err, CliError};
 
 /// Dispatch a parsed argument set.
 pub fn dispatch(a: &Args) -> Result<String, CliError> {
     match a.command.as_str() {
         "tree" => cmd_tree(a),
+        "check" => cmd_check(a),
         "run" => cmd_run(a),
         "inspect" => cmd_inspect(a),
         "compare" => cmd_compare(a),
@@ -72,6 +76,208 @@ fn cmd_tree(a: &Args) -> Result<String, CliError> {
         let _ = write!(out, "\n{}", dot::to_dot(&tree, None));
     }
     Ok(out)
+}
+
+/// `optmc check` — static verification with structured diagnostics:
+/// channel-dependency-graph deadlock analysis and routing lints always;
+/// with `--alg`, schedule contention certification (windowed occupancy by
+/// default, `--conservative` for the interval approximation) plus the
+/// differential oracle against the instrumented simulator.  Exits nonzero
+/// when any error-level finding exists.
+fn cmd_check(a: &Args) -> Result<String, CliError> {
+    use netcheck::{Diagnostic, Severity};
+
+    let spec = a.require("topo")?;
+    let topo = parse_topology(spec)?;
+    let discipline = discipline_for(spec)?;
+    let mut report = netcheck::check_topology(topo.as_ref(), &discipline);
+
+    if let Some(alg_name) = a.get("alg") {
+        let alg = parse_algorithm(alg_name)?;
+        let n = topo.graph().n_nodes();
+        let k: usize = a.num("nodes", n)?;
+        if k > n || k < 2 {
+            return Err(err(format!("--nodes must be in 2..={n}")));
+        }
+        let bytes: u64 = a.num("bytes", 4096)?;
+        let seed: u64 = a.num("seed", 1997)?;
+        let mut cfg = build_cfg(a)?;
+        // The windowed replay and the differential oracle are exact only
+        // for deterministic routing; adaptivity is disabled for the check.
+        cfg.adaptive = false;
+        let mut parts = random_placement(n, k, seed);
+        if let Some(s) = a.get("src") {
+            let s: u32 = s
+                .parse()
+                .map_err(|_| err(format!("--src: cannot parse '{s}'")))?;
+            if s as usize >= n {
+                return Err(err(format!("--src {s} out of range 0..{n}")));
+            }
+            // Pin the multicast source: move it to the front of the
+            // placement (swapping in for the seed-chosen source if absent).
+            match parts.iter().position(|&p| p.0 == s) {
+                Some(i) => parts.swap(0, i),
+                None => parts[0] = topo::NodeId(s),
+            }
+        }
+        let src = parts[0];
+        let hops = optmc::runner::nominal_hops(topo.as_ref(), &parts, src);
+        let (hold, end) = cfg.effective_pair_ports(hops, bytes, topo.graph().ports() as u64);
+        let chain = alg.chain(topo.as_ref(), &parts, src);
+        let splits = alg.splits(hold, end, k.max(2));
+        let schedule = Schedule::build(k, chain.src_pos(), &splits, hold, end);
+        report.target = format!(
+            "{} on {} (k={k}, {bytes} bytes, seed {seed})",
+            alg.display_name(topo.as_ref()),
+            topo.name()
+        );
+
+        if a.has("conservative") {
+            // Legacy interval approximation: sound for the mesh, but
+            // over-approximates worm lifetimes (it can flag BMIN schedules
+            // the engine runs clean), so no simulator agreement is demanded.
+            let conflicts = check_schedule(topo.as_ref(), &chain, &schedule);
+            if conflicts.is_empty() {
+                report.push(Diagnostic::new(
+                    Severity::Info,
+                    "NC0202",
+                    format!(
+                        "conservative interval analysis: no two concurrently-live sends \
+                         share a channel ({} sends)",
+                        schedule.sends.len()
+                    ),
+                ));
+            } else {
+                let c = conflicts[0];
+                report.push(
+                    Diagnostic::new(
+                        Severity::Error,
+                        "NC0201",
+                        format!(
+                            "conservative interval analysis finds {} conflicting send pairs \
+                             (may over-approximate; the windowed default is exact)",
+                            conflicts.len()
+                        ),
+                    )
+                    .with_nodes(vec![
+                        chain.node(schedule.sends[c.send_a].from),
+                        chain.node(schedule.sends[c.send_a].to),
+                        chain.node(schedule.sends[c.send_b].from),
+                        chain.node(schedule.sends[c.send_b].to),
+                    ])
+                    .with_channels(vec![c.channel]),
+                );
+            }
+        } else {
+            let params = OccupancyParams::from_config(&cfg, bytes);
+            let conflicts = check_schedule_windowed(topo.as_ref(), &chain, &schedule, &params)
+                .map_err(|e| err(format!("cannot materialise schedule paths: {e}")))?;
+            if conflicts.is_empty() {
+                report.push(Diagnostic::new(
+                    Severity::Info,
+                    "NC0202",
+                    format!(
+                        "windowed occupancy analysis certifies the schedule contention-free \
+                         ({} sends, deterministic routing)",
+                        schedule.sends.len()
+                    ),
+                ));
+            } else {
+                let c = conflicts[0];
+                report.push(
+                    Diagnostic::new(
+                        Severity::Error,
+                        "NC0201",
+                        format!(
+                            "windowed occupancy analysis finds {} conflicting \
+                             (send pair, channel) overlaps; first overlap spans cycles {}..{}",
+                            conflicts.len(),
+                            c.from,
+                            c.until
+                        ),
+                    )
+                    .with_nodes(vec![
+                        chain.node(schedule.sends[c.send_a].from),
+                        chain.node(schedule.sends[c.send_a].to),
+                        chain.node(schedule.sends[c.send_b].from),
+                        chain.node(schedule.sends[c.send_b].to),
+                    ])
+                    .with_channels(vec![c.channel]),
+                );
+            }
+
+            // Differential leg: the instrumented simulator must agree with
+            // the static verdict, and the run must uphold every engine
+            // invariant.
+            let (validator, handle) = netcheck::Validator::new(topo.graph());
+            let out = optmc::run_multicast_observed(
+                topo.as_ref(),
+                &cfg,
+                alg,
+                &parts,
+                src,
+                bytes,
+                &RunOptions::default(),
+                Some(validator.into_sink()),
+            );
+            let blocked = out.sim.blocked_cycles;
+            let validation = handle.summary();
+            if !validation.ok() {
+                report.push(
+                    Diagnostic::new(
+                        Severity::Error,
+                        "NC0301",
+                        format!(
+                            "simulator run violated {} engine invariant(s); first: {}",
+                            validation.n_violations.max(validation.outstanding),
+                            validation
+                                .violations
+                                .first()
+                                .map_or("channels left held at finish", String::as_str)
+                        ),
+                    )
+                    .with_help("this is a simulator bug, not a schedule property"),
+                );
+            }
+            if conflicts.is_empty() == (blocked == 0) {
+                report.push(Diagnostic::new(
+                    Severity::Info,
+                    "NC0203",
+                    format!(
+                        "differential oracle agrees: {} static conflicts vs {} blocked cycles \
+                         in the simulator",
+                        conflicts.len(),
+                        blocked
+                    ),
+                ));
+            } else {
+                report.push(
+                    Diagnostic::new(
+                        Severity::Error,
+                        "NC0302",
+                        format!(
+                            "static analysis and simulator disagree: {} conflicts predicted \
+                             but {} blocked cycles observed",
+                            conflicts.len(),
+                            blocked
+                        ),
+                    )
+                    .with_help("one of the windowed replay or the engine timing is wrong"),
+                );
+            }
+        }
+    }
+
+    let text = if a.has("json") {
+        report.to_json()
+    } else {
+        report.render_human()
+    };
+    if report.has_errors() {
+        Err(CliError(text))
+    } else {
+        Ok(text)
+    }
 }
 
 fn build_cfg(a: &Args) -> Result<SimConfig, CliError> {
@@ -523,6 +729,64 @@ mod tests {
     fn growth_curve_prints() {
         let out = run("growth --hold 20 --end 55 --until 200").unwrap();
         assert!(out.lines().count() > 5);
+    }
+
+    #[test]
+    fn check_certifies_mesh_topology() {
+        let out = run("check --topo mesh:8x8").unwrap();
+        assert!(out.contains("info[NC0002]"), "{out}");
+        assert!(out.contains("cannot deadlock"), "{out}");
+        assert!(out.contains("info[NC0104]"), "{out}");
+        assert!(out.contains("clean (no findings above info)"), "{out}");
+    }
+
+    #[test]
+    fn check_flags_unvirtualized_torus_with_witness() {
+        let e = run("check --topo torus:4x4:novc").unwrap_err();
+        assert!(e.0.contains("error[NC0001]"), "{}", e.0);
+        assert!(e.0.contains("channel dependency cycle"), "{}", e.0);
+        assert!(e.0.contains("= channels: ch"), "{}", e.0);
+        assert!(e.0.contains("virtual channels"), "{}", e.0);
+        // The virtualized torus is fine.
+        assert!(run("check --topo torus:4x4").is_ok());
+    }
+
+    #[test]
+    fn check_certifies_opt_schedules_and_oracle_agreement() {
+        let out = run("check --topo mesh:8x8 --alg opt-arch --nodes 16 --bytes 4096").unwrap();
+        assert!(out.contains("info[NC0202]"), "{out}");
+        assert!(out.contains("contention-free"), "{out}");
+        assert!(out.contains("info[NC0203]"), "{out}");
+        assert!(out.contains("0 blocked cycles"), "{out}");
+    }
+
+    #[test]
+    fn check_counts_opt_tree_conflicts() {
+        // Seed 0 on mesh-8x8 contends for OPT-tree (see netcheck's oracle
+        // sweep); the check must count the overlaps and still agree with
+        // the simulator.
+        let e = run("check --topo mesh:8x8 --alg opt-tree --nodes 14 --bytes 1024 --seed 0")
+            .unwrap_err();
+        assert!(e.0.contains("error[NC0201]"), "{}", e.0);
+        assert!(e.0.contains("conflicting"), "{}", e.0);
+        assert!(e.0.contains("info[NC0203]"), "{}", e.0);
+        assert!(!e.0.contains("NC0302"), "{}", e.0);
+    }
+
+    #[test]
+    fn check_conservative_mode_is_available() {
+        let out =
+            run("check --topo mesh:8x8 --alg opt-arch --nodes 16 --bytes 4096 --conservative")
+                .unwrap();
+        assert!(out.contains("conservative interval analysis"), "{out}");
+    }
+
+    #[test]
+    fn check_json_is_machine_readable() {
+        let out = run("check --topo mesh:4x4 --json").unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v.get("target").unwrap().as_str().unwrap(), "mesh-4x4");
+        assert!(v.get("diagnostics").unwrap().as_array().unwrap().len() >= 3);
     }
 
     #[test]

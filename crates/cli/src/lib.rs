@@ -5,6 +5,8 @@
 //! hand-rolled (`--flag value` pairs) to keep the dependency set to the
 //! workspace crates.
 
+#![forbid(unsafe_code)]
+
 pub mod args;
 pub mod commands;
 pub mod spec;
@@ -34,6 +36,8 @@ optmc — architecture-tuned optimal multicast (IPPS'97 reproduction)
 
 USAGE:
   optmc tree      --hold H --end E --k K [--dot] [--src POS]
+  optmc check     --topo SPEC [--alg ALG --nodes K --bytes B --seed S --src NODE]
+                  [--conservative] [--json]
   optmc run       --topo SPEC --alg ALG --nodes K --bytes B [--seed S] [--temporal] [--trace]
                   [--trace-limit N]
   optmc inspect   --topo SPEC --alg ALG --nodes K --bytes B [--seed S] [--temporal]
@@ -45,12 +49,24 @@ USAGE:
 
 TOPO SPEC:
   mesh:16x16[:ports]   n-dimensional mesh, e.g. mesh:8x8, mesh:4x4x4, mesh:16x16:2
+  torus:4x4[:novc]     n-dimensional torus; :novc drops the dateline virtual
+                       channels (deadlock-prone — for exercising 'check')
   hypercube:D          binary D-cube
   bmin:N               bidirectional MIN on N=2^s nodes (turnaround routing)
   omega:N              unidirectional omega MIN on N=2^s nodes
 
 ALG:
   opt-arch | u-arch | opt-tree | binomial | sequential
+
+CHECK:
+  Static verification with rustc-style diagnostics: channel-dependency-graph
+  deadlock analysis (Dally–Seitz) and routing lints (termination,
+  minimality, discipline conformance) always; with --alg also contention
+  certification of that schedule (windowed occupancy analysis by default,
+  --conservative for the interval approximation) and a differential oracle
+  run asserting the simulator agrees with the static verdict.  --nodes
+  defaults to the whole machine.  Exits 1 on any error-level finding;
+  --json emits the report as JSON.
 
 INSPECT:
   Runs one fully-observed multicast and prints the run report (latency

@@ -15,7 +15,14 @@ fn main() {
     match dispatch(&parsed) {
         Ok(text) => print!("{text}"),
         Err(e) => {
-            eprintln!("error: {e}");
+            let msg = e.to_string();
+            if msg.contains('\n') {
+                // A fully-rendered report (`optmc check` findings) — print
+                // verbatim so `--json` output stays machine-parseable.
+                eprintln!("{msg}");
+            } else {
+                eprintln!("error: {msg}");
+            }
             std::process::exit(1);
         }
     }

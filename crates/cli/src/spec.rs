@@ -1,14 +1,24 @@
 //! Topology and algorithm specifications (`mesh:16x16`, `opt-arch`, …).
 
+use netcheck::Discipline;
 use optmc::Algorithm;
-use topo::{Bmin, Mesh, Omega, Topology, UpPolicy};
+use topo::{Bmin, Mesh, Omega, Topology, Torus, UpPolicy};
 
 use crate::{err, CliError};
 
+fn parse_dims(kind: &str, arg: &str) -> Result<Vec<usize>, CliError> {
+    let dims: Result<Vec<usize>, _> = arg.split('x').map(str::parse).collect();
+    let dims = dims.map_err(|_| err(format!("bad {kind} dimensions '{arg}'")))?;
+    if dims.is_empty() || dims.contains(&0) {
+        return Err(err(format!("bad {kind} dimensions '{arg}'")));
+    }
+    Ok(dims)
+}
+
 /// Parse a topology spec into a boxed topology.
 ///
-/// Grammar: `mesh:AxB[xC…][:ports]`, `hypercube:D`, `bmin:N`, `omega:N`
-/// (`N` a power of two).
+/// Grammar: `mesh:AxB[xC…][:ports]`, `torus:AxB[xC…][:novc]`,
+/// `hypercube:D`, `bmin:N`, `omega:N` (`N` a power of two).
 pub fn parse_topology(spec: &str) -> Result<Box<dyn Topology>, CliError> {
     let mut parts = spec.split(':');
     let kind = parts.next().unwrap_or_default();
@@ -18,11 +28,7 @@ pub fn parse_topology(spec: &str) -> Result<Box<dyn Topology>, CliError> {
     let extra = parts.next();
     match kind {
         "mesh" => {
-            let dims: Result<Vec<usize>, _> = arg.split('x').map(str::parse).collect();
-            let dims = dims.map_err(|_| err(format!("bad mesh dimensions '{arg}'")))?;
-            if dims.is_empty() || dims.contains(&0) {
-                return Err(err(format!("bad mesh dimensions '{arg}'")));
-            }
+            let dims = parse_dims(kind, arg)?;
             let ports = match extra {
                 None => 1,
                 Some(p) => p
@@ -30,6 +36,16 @@ pub fn parse_topology(spec: &str) -> Result<Box<dyn Topology>, CliError> {
                     .map_err(|_| err(format!("bad port count '{p}'")))?,
             };
             Ok(Box::new(Mesh::with_ports(&dims, ports)))
+        }
+        "torus" => {
+            let dims = parse_dims(kind, arg)?;
+            match extra {
+                // `novc` drops the dateline virtual channels — deliberately
+                // deadlock-prone, for exercising `optmc check`.
+                Some("novc") => Ok(Box::new(Torus::unvirtualized(&dims))),
+                None => Ok(Box::new(Torus::new(&dims))),
+                Some(other) => Err(err(format!("bad torus option '{other}' (only 'novc')"))),
+            }
         }
         "hypercube" => {
             let d: usize = arg
@@ -57,8 +73,36 @@ pub fn parse_topology(spec: &str) -> Result<Box<dyn Topology>, CliError> {
             }
         }
         other => Err(err(format!(
-            "unknown topology '{other}' (expected mesh / hypercube / bmin / omega)"
+            "unknown topology '{other}' (expected mesh / torus / hypercube / bmin / omega)"
         ))),
+    }
+}
+
+/// The routing discipline `optmc check` should lint a topology spec
+/// against: dimension-order for meshes, tori, and hypercubes; turnaround
+/// for BMINs; unconstrained for the unidirectional omega.
+pub fn discipline_for(spec: &str) -> Result<Discipline, CliError> {
+    let mut parts = spec.split(':');
+    let kind = parts.next().unwrap_or_default();
+    let arg = parts.next().unwrap_or_default();
+    match kind {
+        "mesh" | "torus" => Ok(Discipline::DimensionOrder {
+            dims: parse_dims(kind, arg)?,
+        }),
+        "hypercube" => {
+            let d: usize = arg
+                .parse()
+                .map_err(|_| err(format!("bad cube dimension '{arg}'")))?;
+            Ok(Discipline::DimensionOrder { dims: vec![2; d] })
+        }
+        "bmin" => {
+            let n: usize = arg
+                .parse()
+                .map_err(|_| err(format!("bad node count '{arg}'")))?;
+            Ok(Discipline::Turnaround { width: n / 2 })
+        }
+        "omega" => Ok(Discipline::Unconstrained),
+        other => Err(err(format!("unknown topology '{other}'"))),
     }
 }
 
@@ -88,15 +132,54 @@ mod tests {
         assert_eq!(parse_topology("hypercube:5").unwrap().graph().n_nodes(), 32);
         assert_eq!(parse_topology("bmin:128").unwrap().graph().n_nodes(), 128);
         assert_eq!(parse_topology("omega:64").unwrap().graph().n_nodes(), 64);
+        assert_eq!(parse_topology("torus:4x4").unwrap().name(), "torus-4x4");
+        assert_eq!(
+            parse_topology("torus:4x4:novc").unwrap().name(),
+            "torus-4x4-novc"
+        );
     }
 
     #[test]
     fn rejects_bad_specs() {
         for bad in [
-            "mesh", "mesh:0x4", "mesh:ax4", "bmin:100", "omega:1", "ring:8", "bmin:",
+            "mesh",
+            "mesh:0x4",
+            "mesh:ax4",
+            "bmin:100",
+            "omega:1",
+            "ring:8",
+            "bmin:",
+            "torus:4x4:vc9",
         ] {
             assert!(parse_topology(bad).is_err(), "{bad} should fail");
         }
+    }
+
+    #[test]
+    fn discipline_matches_architecture() {
+        assert_eq!(
+            discipline_for("mesh:4x6").unwrap(),
+            Discipline::DimensionOrder { dims: vec![4, 6] }
+        );
+        assert_eq!(
+            discipline_for("torus:8x8:novc").unwrap(),
+            Discipline::DimensionOrder { dims: vec![8, 8] }
+        );
+        assert_eq!(
+            discipline_for("hypercube:3").unwrap(),
+            Discipline::DimensionOrder {
+                dims: vec![2, 2, 2]
+            }
+        );
+        assert_eq!(
+            discipline_for("bmin:128").unwrap(),
+            Discipline::Turnaround { width: 64 }
+        );
+        assert_eq!(
+            discipline_for("omega:16").unwrap(),
+            Discipline::Unconstrained
+        );
+        assert!(discipline_for("ring:8").is_err());
     }
 
     #[test]

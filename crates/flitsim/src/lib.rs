@@ -57,6 +57,8 @@
 //! assert_eq!(result.messages[0].latency(), cfg.predict_p2p(hops, 4096));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod engine;
 pub mod obs;

@@ -535,7 +535,8 @@ pub struct Metrics {
 impl Metrics {
     /// Derive metrics from a finished run.
     pub fn from_result(r: &SimResult) -> Self {
-        let latency = Histogram::from_samples(r.messages.iter().map(|m| m.latency()));
+        let latency =
+            Histogram::from_samples(r.messages.iter().map(super::stats::MessageRecord::latency));
         let blocked = Histogram::from_samples(r.messages.iter().map(|m| m.blocked));
         let mut phases = PhaseBreakdown::default();
         for m in &r.messages {

@@ -140,7 +140,7 @@ pub fn export_events(trace: &[TraceEvent], graph: Option<&NetworkGraph>) -> Valu
         if e.kind != TraceKind::Blocked {
             continue;
         }
-        let tid = e.channel.map(|c| c.0 as u64).unwrap_or(0);
+        let tid = e.channel.map_or(0, |c| c.0 as u64);
         events.push(obj(&[
             ("ph", s("i")),
             ("name", Value::Str(format!("blocked worm {}", e.worm))),

@@ -41,6 +41,8 @@
 //! assert!(mtree::growth::reachable(20, 55, 129) < 8);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod dot;
 pub mod growth;
@@ -52,5 +54,5 @@ pub mod tree;
 
 pub use opt::OptTable;
 pub use schedule::{Schedule, SendEvent};
-pub use split::SplitStrategy;
+pub use split::{SplitError, SplitStrategy};
 pub use tree::MulticastTree;

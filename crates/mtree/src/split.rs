@@ -5,6 +5,44 @@ use pcm::Time;
 
 use crate::opt::{opt_table, OptTable};
 
+/// Why a split rule could not produce `j(i)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitError {
+    /// Splitting needs a segment of at least two nodes.
+    TooSmall {
+        /// The offending segment size.
+        i: usize,
+    },
+    /// A `Custom` table has no entry for this segment size.
+    MissingEntry {
+        /// The segment size looked up.
+        i: usize,
+    },
+    /// A `Custom` table entry violates `1 ≤ j(i) < i`.
+    InvalidEntry {
+        /// The segment size looked up.
+        i: usize,
+        /// The out-of-range table value.
+        j: usize,
+    },
+}
+
+impl std::fmt::Display for SplitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SplitError::TooSmall { i } => {
+                write!(f, "splitting needs at least two nodes, got {i}")
+            }
+            SplitError::MissingEntry { i } => write!(f, "no split entry for i={i}"),
+            SplitError::InvalidEntry { i, j } => {
+                write!(f, "custom table has invalid j({i}) = {j}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SplitError {}
+
 /// A rule giving, for a segment of `i` nodes (source + `i-1` destinations),
 /// the number `j(i)` of nodes the *source-containing* part keeps, with
 /// `1 ≤ j(i) < i`.
@@ -39,19 +77,38 @@ impl SplitStrategy {
     /// `i` nodes.
     ///
     /// # Panics
-    /// If `i < 2`, or if the strategy is `Opt` and `i` exceeds the table.
+    /// If `i < 2`, or if the strategy is `Opt` and `i` exceeds the table, or
+    /// a `Custom` table lacks/mangles the entry.  Use
+    /// [`SplitStrategy::try_j`] for a typed error instead.
     pub fn j(&self, i: usize) -> usize {
-        assert!(i >= 2, "splitting needs at least two nodes, got {i}");
+        match self.try_j(i) {
+            Ok(j) => j,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible form of [`SplitStrategy::j`]: returns a typed [`SplitError`]
+    /// instead of panicking, so static analysis can report malformed split
+    /// tables as diagnostics.
+    pub fn try_j(&self, i: usize) -> Result<usize, SplitError> {
+        if i < 2 {
+            return Err(SplitError::TooSmall { i });
+        }
         match self {
-            SplitStrategy::Binomial => i.div_ceil(2),
-            SplitStrategy::Sequential => i - 1,
-            SplitStrategy::Opt(tab) => tab.j(i),
+            SplitStrategy::Binomial => Ok(i.div_ceil(2)),
+            SplitStrategy::Sequential => Ok(i - 1),
+            SplitStrategy::Opt(tab) => {
+                if i > tab.k() {
+                    return Err(SplitError::MissingEntry { i });
+                }
+                Ok(tab.j(i))
+            }
             SplitStrategy::Custom(table) => {
-                let j = *table
-                    .get(i)
-                    .unwrap_or_else(|| panic!("no split entry for i={i}"));
-                assert!(j >= 1 && j < i, "custom table has invalid j({i}) = {j}");
-                j
+                let j = *table.get(i).ok_or(SplitError::MissingEntry { i })?;
+                if j < 1 || j >= i {
+                    return Err(SplitError::InvalidEntry { i, j });
+                }
+                Ok(j)
             }
         }
     }
@@ -157,6 +214,27 @@ mod tests {
     #[should_panic(expected = "invalid j")]
     fn custom_table_rejects_bad_entries() {
         SplitStrategy::Custom(vec![0, 0, 2]).j(2);
+    }
+
+    #[test]
+    fn try_j_returns_typed_errors() {
+        assert_eq!(
+            SplitStrategy::Binomial.try_j(1),
+            Err(SplitError::TooSmall { i: 1 })
+        );
+        assert_eq!(
+            SplitStrategy::Custom(vec![0, 0, 1]).try_j(3),
+            Err(SplitError::MissingEntry { i: 3 })
+        );
+        assert_eq!(
+            SplitStrategy::Custom(vec![0, 0, 2]).try_j(2),
+            Err(SplitError::InvalidEntry { i: 2, j: 2 })
+        );
+        assert_eq!(
+            SplitStrategy::opt(20, 55, 4).try_j(9),
+            Err(SplitError::MissingEntry { i: 9 })
+        );
+        assert_eq!(SplitStrategy::Binomial.try_j(8), Ok(4));
     }
 
     proptest! {

@@ -1,0 +1,240 @@
+//! Structured, rustc-style diagnostics.
+//!
+//! Every analysis in this crate reports through [`Report`]: a flat list of
+//! [`Diagnostic`]s, each carrying a severity, a stable code (`NC…`), a
+//! one-line message, and a *span over the network* — the nodes and channels
+//! the finding is about, so tooling can highlight them on a topology
+//! drawing.  [`Report::render_human`] prints the familiar
+//! `error[NC0001]: …` shape; the whole report serializes to JSON for
+//! machine consumers (`optmc check --json`).
+
+use serde::{Deserialize, Serialize};
+use topo::{ChannelId, NodeId};
+
+/// How bad a finding is.  `Info` records a positive certification ("CDG is
+/// acyclic"), not a problem — a clean run is evidence, and evidence should
+/// be printable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// A certification or measurement, not a defect.
+    Info,
+    /// Suspicious but not a correctness hazard (e.g. a non-minimal route).
+    Warning,
+    /// A correctness hazard: deadlock cycle, routing failure, contention on
+    /// a schedule that claims to be contention-free, invariant violation.
+    Error,
+}
+
+impl Severity {
+    /// The rustc-style label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Severity::Info => "info",
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        }
+    }
+}
+
+/// One finding.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// Finding severity.
+    pub severity: Severity,
+    /// Stable machine-readable code (`NC0001`, …).
+    pub code: String,
+    /// One-line human message.
+    pub message: String,
+    /// Nodes the finding spans (may be empty).
+    pub nodes: Vec<NodeId>,
+    /// Channels the finding spans — e.g. a witness deadlock cycle, or the
+    /// contended channel of a conflict (may be empty).
+    pub channels: Vec<ChannelId>,
+    /// Optional remediation hint.
+    pub help: Option<String>,
+}
+
+impl Diagnostic {
+    /// A bare diagnostic; attach spans and help with the builder methods.
+    pub fn new(severity: Severity, code: &str, message: impl Into<String>) -> Self {
+        Diagnostic {
+            severity,
+            code: code.to_string(),
+            message: message.into(),
+            nodes: Vec::new(),
+            channels: Vec::new(),
+            help: None,
+        }
+    }
+
+    /// Attach the node span.
+    #[must_use]
+    pub fn with_nodes(mut self, nodes: Vec<NodeId>) -> Self {
+        self.nodes = nodes;
+        self
+    }
+
+    /// Attach the channel span.
+    #[must_use]
+    pub fn with_channels(mut self, channels: Vec<ChannelId>) -> Self {
+        self.channels = channels;
+        self
+    }
+
+    /// Attach a remediation hint.
+    #[must_use]
+    pub fn with_help(mut self, help: impl Into<String>) -> Self {
+        self.help = Some(help.into());
+        self
+    }
+}
+
+/// All findings for one target (a topology, or a schedule on a topology).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Report {
+    /// What was analyzed, e.g. `mesh-16x16` or `opt-min on bmin-128x2x2`.
+    pub target: String,
+    /// The findings, in the order the analyses produced them.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty report for `target`.
+    pub fn new(target: impl Into<String>) -> Self {
+        Report {
+            target: target.into(),
+            diagnostics: Vec::new(),
+        }
+    }
+
+    /// Append a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// The worst severity present, `None` when the report is empty.
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Whether any `Error`-level finding exists.
+    pub fn has_errors(&self) -> bool {
+        self.max_severity() == Some(Severity::Error)
+    }
+
+    /// Count of findings at exactly `severity`.
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// Render rustc-style human output, one block per finding plus a
+    /// summary line.
+    pub fn render_human(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for d in &self.diagnostics {
+            let _ = writeln!(out, "{}[{}]: {}", d.severity.label(), d.code, d.message);
+            let _ = writeln!(out, "  --> {}", self.target);
+            if !d.nodes.is_empty() {
+                let nodes: Vec<String> = d.nodes.iter().map(|n| n.0.to_string()).collect();
+                let _ = writeln!(out, "  = nodes: {}", nodes.join(", "));
+            }
+            if !d.channels.is_empty() {
+                let chs: Vec<String> = d.channels.iter().map(|c| format!("ch{}", c.0)).collect();
+                let _ = writeln!(out, "  = channels: {}", chs.join(" -> "));
+            }
+            if let Some(h) = &d.help {
+                let _ = writeln!(out, "  = help: {h}");
+            }
+        }
+        let errors = self.count(Severity::Error);
+        let warnings = self.count(Severity::Warning);
+        if errors == 0 && warnings == 0 {
+            let _ = writeln!(out, "{}: clean (no findings above info)", self.target);
+        } else {
+            let _ = writeln!(
+                out,
+                "{}: {} error{}, {} warning{}",
+                self.target,
+                errors,
+                if errors == 1 { "" } else { "s" },
+                warnings,
+                if warnings == 1 { "" } else { "s" },
+            );
+        }
+        out
+    }
+
+    /// Serialize the whole report as pretty JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_orders_info_warning_error() {
+        assert!(Severity::Info < Severity::Warning);
+        assert!(Severity::Warning < Severity::Error);
+    }
+
+    #[test]
+    fn report_tracks_max_severity_and_counts() {
+        let mut r = Report::new("mesh-4x4");
+        assert_eq!(r.max_severity(), None);
+        assert!(!r.has_errors());
+        r.push(Diagnostic::new(Severity::Info, "NC0002", "acyclic"));
+        assert_eq!(r.max_severity(), Some(Severity::Info));
+        r.push(Diagnostic::new(Severity::Warning, "NC0102", "non-minimal"));
+        r.push(Diagnostic::new(Severity::Error, "NC0001", "cycle"));
+        assert!(r.has_errors());
+        assert_eq!(r.count(Severity::Warning), 1);
+        assert_eq!(r.count(Severity::Error), 1);
+    }
+
+    #[test]
+    fn human_rendering_is_rustc_shaped() {
+        let mut r = Report::new("torus-4x4-novc");
+        r.push(
+            Diagnostic::new(Severity::Error, "NC0001", "channel-dependency cycle")
+                .with_channels(vec![ChannelId(3), ChannelId(7), ChannelId(3)])
+                .with_help("virtualize the wrap links"),
+        );
+        let text = r.render_human();
+        assert!(
+            text.contains("error[NC0001]: channel-dependency cycle"),
+            "{text}"
+        );
+        assert!(text.contains("--> torus-4x4-novc"), "{text}");
+        assert!(text.contains("ch3 -> ch7 -> ch3"), "{text}");
+        assert!(text.contains("= help: virtualize"), "{text}");
+        assert!(text.contains("1 error, 0 warnings"), "{text}");
+    }
+
+    #[test]
+    fn clean_report_says_so() {
+        let mut r = Report::new("mesh-8x8");
+        r.push(
+            Diagnostic::new(Severity::Info, "NC0002", "CDG acyclic").with_nodes(vec![NodeId(1)]),
+        );
+        assert!(r.render_human().contains("clean (no findings above info)"));
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let mut r = Report::new("bmin-128x2x2");
+        r.push(
+            Diagnostic::new(Severity::Warning, "NC0102", "route 3 hops above minimal")
+                .with_nodes(vec![NodeId(0), NodeId(5)]),
+        );
+        let json = r.to_json();
+        let back: Report = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+}

@@ -1,0 +1,143 @@
+//! The differential oracle: static analysis vs. the flit simulator.
+//!
+//! For a seeded random multicast configuration, the oracle runs both
+//! sides of the same question —
+//!
+//! * **static**: the windowed contention checker
+//!   ([`optmc::check_schedule_windowed`]) replays the schedule under the
+//!   engine's contention-free timing and predicts whether any two worms
+//!   ever want the same channel at the same time;
+//! * **dynamic**: the wormhole simulator executes the schedule for real,
+//!   with the [`crate::validate::Validator`] riding along, and reports the
+//!   blocked cycles it actually observed —
+//!
+//! and demands they agree: *analyzer-says-clean ⇔ simulator-observes-zero
+//! blocked time*.  The configuration must be non-adaptive: the windowed
+//! replay materialises first-preference deterministic paths, and only then
+//! is it an exact model of what the engine will do.
+
+use flitsim::SimConfig;
+use mtree::Schedule;
+use optmc::{
+    check_schedule_windowed, random_placement, run_multicast_observed, Algorithm, OccupancyParams,
+    RunOptions,
+};
+use pcm::MsgSize;
+use topo::Topology;
+
+use crate::validate::{ValidationSummary, Validator};
+
+/// One differential comparison, with everything needed to reproduce it.
+#[derive(Debug, Clone)]
+pub struct OracleCase {
+    /// Topology name (e.g. `mesh-8x8`).
+    pub topology: String,
+    /// Algorithm under test (Debug form, e.g. `OptArch`).
+    pub algorithm: String,
+    /// Placement seed.
+    pub seed: u64,
+    /// Multicast set size.
+    pub k: usize,
+    /// Conflicts the windowed checker predicted.
+    pub conflicts: usize,
+    /// Blocked cycles the simulator observed.
+    pub blocked_cycles: u64,
+    /// `conflicts == 0  ⇔  blocked_cycles == 0`.
+    pub agree: bool,
+    /// The runtime validator's verdict for the simulated run.
+    pub validation: ValidationSummary,
+}
+
+/// Run one differential case: `algorithm` multicasting `bytes` among a
+/// seeded random `k`-subset of `topo`'s nodes.
+///
+/// # Panics
+/// If `cfg.adaptive` is set (the static replay would not be exact) or the
+/// topology's routing fails to materialise a path (a bug `check_topology`
+/// reports properly).
+pub fn differential_case(
+    topo: &dyn Topology,
+    cfg: &SimConfig,
+    algorithm: Algorithm,
+    k: usize,
+    bytes: MsgSize,
+    seed: u64,
+) -> OracleCase {
+    assert!(
+        !cfg.adaptive,
+        "the differential oracle requires deterministic routing"
+    );
+    let g = topo.graph();
+    let parts = random_placement(g.n_nodes(), k, seed);
+    let src = parts[0];
+    // Reconstruct exactly the schedule the runner will execute.
+    let hops = optmc::runner::nominal_hops(topo, &parts, src);
+    let (hold, end) = cfg.effective_pair_ports(hops, bytes, g.ports() as u64);
+    let chain = algorithm.chain(topo, &parts, src);
+    let splits = algorithm.splits(hold, end, k.max(2));
+    let schedule = Schedule::build(k, chain.src_pos(), &splits, hold, end);
+    let params = OccupancyParams::from_config(cfg, bytes);
+    let conflicts = check_schedule_windowed(topo, &chain, &schedule, &params)
+        .expect("deterministic routing materialises every scheduled path");
+
+    let (validator, handle) = Validator::new(g);
+    let out = run_multicast_observed(
+        topo,
+        cfg,
+        algorithm,
+        &parts,
+        src,
+        bytes,
+        &RunOptions::default(),
+        Some(validator.into_sink()),
+    );
+    let blocked_cycles = out.sim.blocked_cycles;
+    OracleCase {
+        topology: topo.name(),
+        algorithm: format!("{algorithm:?}"),
+        seed,
+        k,
+        conflicts: conflicts.len(),
+        blocked_cycles,
+        agree: conflicts.is_empty() == (blocked_cycles == 0),
+        validation: handle.summary(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo::Mesh;
+
+    fn det_cfg() -> SimConfig {
+        let mut cfg = SimConfig::paragon_like();
+        cfg.adaptive = false;
+        cfg
+    }
+
+    #[test]
+    fn opt_mesh_case_is_clean_and_agrees() {
+        let m = Mesh::new(&[6, 6]);
+        let case = differential_case(&m, &det_cfg(), Algorithm::OptArch, 10, 1024, 7);
+        assert!(case.agree, "{case:?}");
+        assert_eq!(case.conflicts, 0, "{case:?}");
+        assert_eq!(case.blocked_cycles, 0);
+        assert!(case.validation.ok(), "{:?}", case.validation.violations);
+    }
+
+    #[test]
+    fn opt_tree_cases_agree_even_when_contended() {
+        let m = Mesh::new(&[8, 8]);
+        let mut contended = 0;
+        for seed in 0..10 {
+            let case = differential_case(&m, &det_cfg(), Algorithm::OptTree, 14, 1024, seed);
+            assert!(case.agree, "{case:?}");
+            assert!(case.validation.ok(), "{:?}", case.validation.violations);
+            if case.conflicts > 0 {
+                contended += 1;
+                assert!(case.blocked_cycles > 0);
+            }
+        }
+        assert!(contended > 0, "no scrambled placement contended");
+    }
+}

@@ -1,0 +1,339 @@
+//! Routing-function lints: termination, minimality, and conformance to the
+//! architecture's routing discipline.
+//!
+//! These are whole-function checks — every ordered `(src, dst)` pair is
+//! walked — so a pass is a certificate, not a sample.  Failures surface as
+//! structured diagnostics ([`crate::diag`]) rather than panics: the typed
+//! [`topo::RoutingError`] from [`Topology::try_det_path`] becomes an
+//! `NC0101` finding with the offending pair as its node span.
+
+use std::collections::VecDeque;
+
+use topo::{Endpoint, NodeId, Topology};
+
+use crate::diag::{Diagnostic, Report, Severity};
+
+/// The routing discipline a topology claims to follow; the lint proves the
+/// deterministic routes actually do.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Discipline {
+    /// Dimension-ordered (e-cube / XY) routing: the sequence of dimensions a
+    /// path corrects must be non-decreasing.  `dims` are the side lengths,
+    /// first dimension least significant in the router index.
+    DimensionOrder {
+        /// Side lengths of the mesh/torus, matching the router numbering.
+        dims: Vec<usize>,
+    },
+    /// BMIN turnaround routing: stage numbers along the path climb
+    /// monotonically to the turn, then descend monotonically — `up* down*`.
+    Turnaround {
+        /// Switches per stage (`n_nodes / 2`); stage of router `r` is
+        /// `r.idx() / width`.
+        width: usize,
+    },
+    /// No discipline asserted; only termination and minimality are checked.
+    Unconstrained,
+}
+
+impl Discipline {
+    fn name(&self) -> &'static str {
+        match self {
+            Discipline::DimensionOrder { .. } => "dimension-order (e-cube)",
+            Discipline::Turnaround { .. } => "turnaround (up* then down*)",
+            Discipline::Unconstrained => "unconstrained",
+        }
+    }
+}
+
+fn coords_of(dims: &[usize], mut idx: usize) -> Vec<usize> {
+    dims.iter()
+        .map(|&m| {
+            let c = idx % m;
+            idx /= m;
+            c
+        })
+        .collect()
+}
+
+/// BFS router-hop distances from `start` over the router graph.
+fn router_distances(adj: &[Vec<u32>], start: u32) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; adj.len()];
+    dist[start as usize] = 0;
+    let mut q = VecDeque::from([start]);
+    while let Some(v) = q.pop_front() {
+        for &w in &adj[v as usize] {
+            if dist[w as usize] == u32::MAX {
+                dist[w as usize] = dist[v as usize] + 1;
+                q.push_back(w);
+            }
+        }
+    }
+    dist
+}
+
+/// Check one path's dimension sequence; returns a violation description.
+fn dimension_order_violation(dims: &[usize], routers: &[u32]) -> Option<String> {
+    let mut highest = 0usize;
+    for pair in routers.windows(2) {
+        let a = coords_of(dims, pair[0] as usize);
+        let b = coords_of(dims, pair[1] as usize);
+        let changed: Vec<usize> = (0..dims.len()).filter(|&d| a[d] != b[d]).collect();
+        match changed.as_slice() {
+            [d] => {
+                if *d < highest {
+                    return Some(format!(
+                        "corrects dimension {d} after already routing dimension {highest}"
+                    ));
+                }
+                highest = highest.max(*d);
+            }
+            _ => {
+                return Some(format!(
+                    "link {} -> {} changes {} dimensions at once",
+                    pair[0],
+                    pair[1],
+                    changed.len()
+                ))
+            }
+        }
+    }
+    None
+}
+
+/// Check one path's stage sequence for `up* down*`.
+fn turnaround_violation(width: usize, routers: &[u32]) -> Option<String> {
+    let mut descending = false;
+    for pair in routers.windows(2) {
+        let (sa, sb) = (pair[0] as usize / width, pair[1] as usize / width);
+        if sb == sa + 1 {
+            if descending {
+                return Some(format!("climbs to stage {sb} after already descending"));
+            }
+        } else if sa == sb + 1 {
+            descending = true;
+        } else {
+            return Some(format!("jumps from stage {sa} to stage {sb}"));
+        }
+    }
+    None
+}
+
+/// Lint every ordered pair's deterministic route, appending findings (and
+/// positive certifications) to `report`.
+pub fn lint_routing(topo: &dyn Topology, discipline: &Discipline, report: &mut Report) {
+    let g = topo.graph();
+    let n = g.n_nodes();
+    let n_routers = g.n_routers();
+    // Router-graph adjacency for minimality BFS.
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n_routers];
+    for ch in g.channels() {
+        if let (Endpoint::Router(a), Endpoint::Router(b)) = (ch.src, ch.dst) {
+            if !adj[a.idx()].contains(&b.0) {
+                adj[a.idx()].push(b.0);
+            }
+        }
+    }
+    // Distances lazily, one BFS per distinct injection router.
+    let mut dist_from: Vec<Option<Vec<u32>>> = vec![None; n_routers];
+
+    let mut pairs = 0usize;
+    let mut route_errors: Vec<(NodeId, NodeId, String)> = Vec::new();
+    let mut non_minimal: Vec<(NodeId, NodeId, usize, usize)> = Vec::new();
+    let mut discipline_bad: Vec<(NodeId, NodeId, String)> = Vec::new();
+    let mut routers_buf: Vec<u32> = Vec::new();
+    for s in 0..n as u32 {
+        for d in 0..n as u32 {
+            if s == d {
+                continue;
+            }
+            pairs += 1;
+            let (src, dst) = (NodeId(s), NodeId(d));
+            let path = match topo.try_det_path(src, dst) {
+                Ok(p) => p,
+                Err(e) => {
+                    route_errors.push((src, dst, e.to_string()));
+                    continue;
+                }
+            };
+            // Router sequence: dst router of every channel except the final
+            // consumption hop.
+            routers_buf.clear();
+            routers_buf.extend(
+                path[..path.len() - 1]
+                    .iter()
+                    .filter_map(|&c| g.dst_router(c).map(|r| r.0)),
+            );
+            let (entry, exit) = (routers_buf[0], *routers_buf.last().expect("non-empty"));
+            let dist =
+                dist_from[entry as usize].get_or_insert_with(|| router_distances(&adj, entry));
+            let (actual, minimal) = (path.len() - 2, dist[exit as usize] as usize);
+            if actual > minimal {
+                non_minimal.push((src, dst, actual, minimal));
+            }
+            let violation = match discipline {
+                Discipline::DimensionOrder { dims } => {
+                    dimension_order_violation(dims, &routers_buf)
+                }
+                Discipline::Turnaround { width } => turnaround_violation(*width, &routers_buf),
+                Discipline::Unconstrained => None,
+            };
+            if let Some(v) = violation {
+                discipline_bad.push((src, dst, v));
+            }
+        }
+    }
+
+    if route_errors.is_empty() {
+        report.push(Diagnostic::new(
+            Severity::Info,
+            "NC0104",
+            format!("routing terminates at the correct destination for all {pairs} ordered pairs"),
+        ));
+    } else {
+        let (s, d, e) = &route_errors[0];
+        report.push(
+            Diagnostic::new(
+                Severity::Error,
+                "NC0101",
+                format!(
+                    "routing failed for {} of {pairs} pairs; first: {e}",
+                    route_errors.len()
+                ),
+            )
+            .with_nodes(vec![*s, *d])
+            .with_help("the routing function must reach every destination's consumption channel"),
+        );
+    }
+    if non_minimal.is_empty() {
+        report.push(Diagnostic::new(
+            Severity::Info,
+            "NC0105",
+            "every deterministic route is minimal in router hops",
+        ));
+    } else {
+        let (s, d, a, m) = non_minimal[0];
+        report.push(
+            Diagnostic::new(
+                Severity::Warning,
+                "NC0102",
+                format!(
+                    "{} of {pairs} routes exceed the minimal router distance; \
+                     first: {} -> {} takes {a} hops, minimal is {m}",
+                    non_minimal.len(),
+                    s.0,
+                    d.0
+                ),
+            )
+            .with_nodes(vec![s, d]),
+        );
+    }
+    match discipline {
+        Discipline::Unconstrained => {}
+        _ if discipline_bad.is_empty() => {
+            report.push(Diagnostic::new(
+                Severity::Info,
+                "NC0106",
+                format!("all routes follow the {} discipline", discipline.name()),
+            ));
+        }
+        _ => {
+            let (s, d, v) = &discipline_bad[0];
+            report.push(
+                Diagnostic::new(
+                    Severity::Error,
+                    "NC0103",
+                    format!(
+                        "{} of {pairs} routes violate the {} discipline; \
+                         first: {} -> {} {v}",
+                        discipline_bad.len(),
+                        discipline.name(),
+                        s.0,
+                        d.0
+                    ),
+                )
+                .with_nodes(vec![*s, *d]),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo::{Bmin, Mesh, Torus, UpPolicy};
+
+    fn lint(topo: &dyn Topology, d: &Discipline) -> Report {
+        let mut r = Report::new(topo.name());
+        lint_routing(topo, d, &mut r);
+        r
+    }
+
+    #[test]
+    fn mesh_passes_all_lints_under_dimension_order() {
+        let m = Mesh::new(&[4, 4]);
+        let r = lint(&m, &Discipline::DimensionOrder { dims: vec![4, 4] });
+        assert_eq!(
+            r.max_severity(),
+            Some(Severity::Info),
+            "{}",
+            r.render_human()
+        );
+        // All three positive certifications present.
+        for code in ["NC0104", "NC0105", "NC0106"] {
+            assert!(
+                r.diagnostics.iter().any(|d| d.code == code),
+                "{code} missing"
+            );
+        }
+    }
+
+    #[test]
+    fn bmin_passes_under_turnaround() {
+        let b = Bmin::new(4, UpPolicy::Straight);
+        let r = lint(&b, &Discipline::Turnaround { width: 8 });
+        assert_eq!(
+            r.max_severity(),
+            Some(Severity::Info),
+            "{}",
+            r.render_human()
+        );
+    }
+
+    #[test]
+    fn torus_follows_dimension_order_and_minimality() {
+        let t = Torus::new(&[4, 3]);
+        let r = lint(&t, &Discipline::DimensionOrder { dims: vec![4, 3] });
+        assert_eq!(
+            r.max_severity(),
+            Some(Severity::Info),
+            "{}",
+            r.render_human()
+        );
+    }
+
+    #[test]
+    fn wrong_discipline_is_flagged() {
+        // A mesh linted as a turnaround BMIN: its router indices don't form
+        // stages, so stage deltas are garbage and NC0103 must fire.
+        let m = Mesh::new(&[4, 4]);
+        let r = lint(&m, &Discipline::Turnaround { width: 8 });
+        assert!(r.has_errors(), "{}", r.render_human());
+        assert!(r.diagnostics.iter().any(|d| d.code == "NC0103"));
+    }
+
+    #[test]
+    fn dimension_order_checker_catches_reversed_hops() {
+        // Router walk on a 4x4 grid that corrects dim 1 then dim 0.
+        let dims = vec![4, 4];
+        assert!(dimension_order_violation(&dims, &[0, 4, 5]).is_some());
+        assert!(dimension_order_violation(&dims, &[0, 1, 5]).is_none());
+    }
+
+    #[test]
+    fn turnaround_checker_rejects_down_then_up() {
+        // width 4: routers 0..4 stage 0, 4..8 stage 1, 8..12 stage 2.
+        assert!(turnaround_violation(4, &[8, 4, 9]).is_some());
+        assert!(turnaround_violation(4, &[0, 4, 8, 5, 1]).is_none());
+        assert!(turnaround_violation(4, &[0, 8]).is_some(), "stage jump");
+    }
+}

@@ -80,7 +80,7 @@ pub fn run_trials(
         )
     };
     let workers = std::thread::available_parallelism()
-        .map_or(1, |n| n.get())
+        .map_or(1, std::num::NonZero::get)
         .min(trials);
     let results: Vec<(Time, Time, Time, bool)> = if workers <= 1 {
         (0..trials).map(one).collect()

@@ -48,6 +48,8 @@
 //! assert!(u.latency > out.latency);     // the binomial tree loses
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod algorithm;
 pub mod concurrent;
 pub mod contention;
@@ -61,7 +63,10 @@ pub mod temporal;
 
 pub use algorithm::Algorithm;
 pub use concurrent::{run_concurrent, McastSpec};
-pub use contention::{check_schedule, Conflict};
+pub use contention::{
+    check_schedule, check_schedule_windowed, occupancy_windows, ChannelWindow, Conflict,
+    ContentionMode, OccupancyParams, WindowConflict,
+};
 pub use experiments::{random_placement, TrialStats};
 pub use gather::{run_gather, GatherOutcome};
 pub use runner::{

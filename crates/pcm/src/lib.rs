@@ -49,6 +49,8 @@
 //! assert!((f.slope - 0.25).abs() < 0.01);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod calibrate;
 pub mod linear;
 pub mod logp;

@@ -11,6 +11,28 @@ use serde::{Deserialize, Serialize};
 use crate::graph::NodeId;
 use crate::topology::Topology;
 
+/// Why a participant list could not be turned into a [`Chain`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainError {
+    /// A node appears more than once among the participants.
+    Duplicate(NodeId),
+    /// The multicast source is not among the participants.
+    MissingSource(NodeId),
+}
+
+impl std::fmt::Display for ChainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ChainError::Duplicate(n) => write!(f, "duplicate participant {n:?}"),
+            ChainError::MissingSource(n) => {
+                write!(f, "source {n:?} not among the participants")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ChainError {}
+
 /// An ordered chain of participants with the source's position.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Chain {
@@ -24,29 +46,50 @@ impl Chain {
     /// `src` exactly once and no duplicates.
     ///
     /// # Panics
-    /// If `participants` has duplicates or does not contain `src`.
+    /// If `participants` has duplicates or does not contain `src`.  Use
+    /// [`Chain::try_sorted`] for a typed error instead.
     pub fn sorted<T: Topology + ?Sized>(topo: &T, participants: &[NodeId], src: NodeId) -> Self {
+        Self::try_sorted(topo, participants, src).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible form of [`Chain::sorted`].
+    pub fn try_sorted<T: Topology + ?Sized>(
+        topo: &T,
+        participants: &[NodeId],
+        src: NodeId,
+    ) -> Result<Self, ChainError> {
         let mut nodes = participants.to_vec();
         topo.sort_chain(&mut nodes);
-        Self::from_ordered(nodes, src)
+        Self::try_from_ordered(nodes, src)
     }
 
     /// Build a chain that keeps the caller's order — the
     /// architecture-independent configuration (paper §2.2: node order
     /// unspecified, so a portable library sees arrival order).
+    ///
+    /// # Panics
+    /// If `participants` has duplicates or does not contain `src`.  Use
+    /// [`Chain::try_unsorted`] for a typed error instead.
     pub fn unsorted(participants: &[NodeId], src: NodeId) -> Self {
-        Self::from_ordered(participants.to_vec(), src)
+        Self::try_unsorted(participants, src).unwrap_or_else(|e| panic!("{e}"))
     }
 
-    fn from_ordered(nodes: Vec<NodeId>, src: NodeId) -> Self {
+    /// Fallible form of [`Chain::unsorted`].
+    pub fn try_unsorted(participants: &[NodeId], src: NodeId) -> Result<Self, ChainError> {
+        Self::try_from_ordered(participants.to_vec(), src)
+    }
+
+    fn try_from_ordered(nodes: Vec<NodeId>, src: NodeId) -> Result<Self, ChainError> {
         for (i, n) in nodes.iter().enumerate() {
-            assert!(!nodes[..i].contains(n), "duplicate participant {n:?}");
+            if nodes[..i].contains(n) {
+                return Err(ChainError::Duplicate(*n));
+            }
         }
         let src_pos = nodes
             .iter()
             .position(|&n| n == src)
-            .unwrap_or_else(|| panic!("source {src:?} not among the participants"));
-        Self { nodes, src_pos }
+            .ok_or(ChainError::MissingSource(src))?;
+        Ok(Self { nodes, src_pos })
     }
 
     /// Number of participants (source included).
@@ -110,6 +153,20 @@ mod tests {
     #[should_panic(expected = "duplicate participant")]
     fn duplicate_panics() {
         Chain::unsorted(&[NodeId(1), NodeId(1)], NodeId(1));
+    }
+
+    #[test]
+    fn try_variants_return_typed_errors() {
+        assert_eq!(
+            Chain::try_unsorted(&[NodeId(1), NodeId(2)], NodeId(3)),
+            Err(ChainError::MissingSource(NodeId(3)))
+        );
+        assert_eq!(
+            Chain::try_unsorted(&[NodeId(1), NodeId(1)], NodeId(1)),
+            Err(ChainError::Duplicate(NodeId(1)))
+        );
+        let m = Mesh::new(&[4, 4]);
+        assert!(Chain::try_sorted(&m, &[NodeId(2), NodeId(5)], NodeId(5)).is_ok());
     }
 
     #[test]

@@ -36,6 +36,8 @@
 //! assert_eq!(nodes[0], a);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod bmin;
 pub mod chain;
 pub mod graph;
@@ -45,9 +47,9 @@ pub mod topology;
 pub mod torus;
 
 pub use bmin::{Bmin, UpPolicy};
-pub use chain::Chain;
+pub use chain::{Chain, ChainError};
 pub use graph::{Channel, ChannelId, Endpoint, NetworkGraph, NodeId, RouterId};
 pub use mesh::Mesh;
 pub use omega::Omega;
-pub use topology::Topology;
+pub use topology::{RoutingError, Topology};
 pub use torus::Torus;

@@ -184,7 +184,11 @@ impl Topology for Mesh {
     }
 
     fn name(&self) -> String {
-        let dims: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
+        let dims: Vec<String> = self
+            .dims
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
         if self.ports == 1 {
             format!("mesh-{}", dims.join("x"))
         } else {

@@ -3,6 +3,79 @@
 
 use crate::graph::{ChannelId, NetworkGraph, NodeId, RouterId};
 
+/// Why a deterministic route could not be materialised.
+///
+/// Routing bugs used to surface as panics deep inside the contention
+/// checker; static analysis wants them as *findings*, so the walk is
+/// fallible and the panic lives only in the infallible convenience wrapper
+/// [`Topology::det_path`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RoutingError {
+    /// `src == dst` — a node does not route to itself.
+    SelfRoute {
+        /// The node in question.
+        node: NodeId,
+    },
+    /// The routing function returned no candidate at an intermediate router.
+    NoCandidate {
+        /// Router where the worm was stranded.
+        at: RouterId,
+        /// Worm source.
+        src: NodeId,
+        /// Worm destination.
+        dst: NodeId,
+    },
+    /// The walk exceeded the channel count without reaching a consumption
+    /// channel — the routing function loops.
+    NonTerminating {
+        /// Worm source.
+        src: NodeId,
+        /// Worm destination.
+        dst: NodeId,
+        /// Number of hops taken before giving up (= channel count + 1).
+        hops: usize,
+    },
+    /// The path ended on a consumption channel of the wrong node.
+    WrongConsumption {
+        /// Worm source.
+        src: NodeId,
+        /// Intended destination.
+        dst: NodeId,
+        /// Node actually reached (if the channel leads to one).
+        reached: Option<NodeId>,
+    },
+}
+
+impl std::fmt::Display for RoutingError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RoutingError::SelfRoute { node } => {
+                write!(f, "no path from a node to itself ({node:?})")
+            }
+            RoutingError::NoCandidate { at, src, dst } => {
+                write!(
+                    f,
+                    "routing {src:?} -> {dst:?} returned no candidate at {at:?}"
+                )
+            }
+            RoutingError::NonTerminating { src, dst, hops } => {
+                write!(
+                    f,
+                    "routing from {src:?} to {dst:?} did not terminate ({hops} hops)"
+                )
+            }
+            RoutingError::WrongConsumption { src, dst, reached } => {
+                write!(
+                    f,
+                    "routing {src:?} -> {dst:?} consumed at the wrong node ({reached:?})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for RoutingError {}
+
 /// A wormhole network: a channel graph plus a routing function and the
 /// architecture-specific total order (chain) over nodes.
 pub trait Topology: Send + Sync {
@@ -24,15 +97,15 @@ pub trait Topology: Send + Sync {
     /// Human-readable topology name for reports.
     fn name(&self) -> String;
 
-    /// The deterministic path from `src` to `dst`, injection and consumption
-    /// channels inclusive, following first-preference candidates.  This is
-    /// the path the static contention checker reasons about.
-    ///
-    /// # Panics
-    /// If `src == dst` (a node does not route to itself) or routing fails to
-    /// make progress (a topology bug).
-    fn det_path(&self, src: NodeId, dst: NodeId) -> Vec<ChannelId> {
-        assert_ne!(src, dst, "no path from a node to itself");
+    /// Fallible form of [`Topology::det_path`]: the deterministic path from
+    /// `src` to `dst` following first-preference candidates, or a typed
+    /// [`RoutingError`] when the routing function misbehaves.  Static
+    /// analysis (`netcheck`) reports these as diagnostics instead of
+    /// aborting.
+    fn try_det_path(&self, src: NodeId, dst: NodeId) -> Result<Vec<ChannelId>, RoutingError> {
+        if src == dst {
+            return Err(RoutingError::SelfRoute { node: src });
+        }
         let g = self.graph();
         let mut path = vec![g.injection(src)];
         let mut at = g
@@ -43,17 +116,44 @@ pub trait Topology: Send + Sync {
         for _ in 0..=g.n_channels() {
             cand.clear();
             self.route_candidates(at, src, dst, &mut cand);
-            let next = *cand.first().expect("routing returned no candidate");
+            let Some(&next) = cand.first() else {
+                return Err(RoutingError::NoCandidate { at, src, dst });
+            };
             path.push(next);
             match g.dst_router(next) {
                 Some(r) => at = r,
                 None => {
-                    debug_assert_eq!(g.dst_node(next), Some(dst), "consumed at the wrong node");
-                    return path;
+                    if g.dst_node(next) != Some(dst) {
+                        return Err(RoutingError::WrongConsumption {
+                            src,
+                            dst,
+                            reached: g.dst_node(next),
+                        });
+                    }
+                    return Ok(path);
                 }
             }
         }
-        panic!("routing from {src:?} to {dst:?} did not terminate");
+        Err(RoutingError::NonTerminating {
+            src,
+            dst,
+            hops: g.n_channels() + 1,
+        })
+    }
+
+    /// The deterministic path from `src` to `dst`, injection and consumption
+    /// channels inclusive, following first-preference candidates.  This is
+    /// the path the static contention checker reasons about.
+    ///
+    /// # Panics
+    /// If `src == dst` (a node does not route to itself) or routing fails to
+    /// make progress (a topology bug).  Use [`Topology::try_det_path`] to
+    /// get a typed error instead.
+    fn det_path(&self, src: NodeId, dst: NodeId) -> Vec<ChannelId> {
+        match self.try_det_path(src, dst) {
+            Ok(p) => p,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Number of router-to-router hops on the deterministic path.

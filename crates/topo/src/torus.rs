@@ -22,13 +22,19 @@ use crate::graph::{ChannelId, NetworkGraph, NodeId, RouterId};
 use crate::topology::Topology;
 
 /// An n-dimensional torus; every node has a router with two virtual
-/// channels per direction per dimension.
+/// channels per direction per dimension (one in the unvirtualized variant,
+/// which is deliberately deadlock-*prone* — `netcheck` uses it as the
+/// positive control for its channel-dependency-graph analysis).
 #[derive(Debug, Clone)]
 pub struct Torus {
     dims: Vec<usize>,
     graph: NetworkGraph,
     /// `links[((r * ndim + d) * 2 + dir) * 2 + vc]`; `dir` 0 = +, 1 = −.
+    /// In the unvirtualized variant both `vc` slots hold the *same*
+    /// channel, so the routing function needs no special casing.
     links: Vec<ChannelId>,
+    /// False for the unvirtualized (single-VC) variant.
+    virtualized: bool,
 }
 
 impl Torus {
@@ -38,6 +44,22 @@ impl Torus {
     /// # Panics
     /// If `dims` is empty or any side is < 2.
     pub fn new(dims: &[usize]) -> Self {
+        Self::build(dims, true)
+    }
+
+    /// Build a torus *without* dateline virtual channels: a single channel
+    /// per physical link, so every ring of every dimension closes a cycle in
+    /// the channel-dependency graph.  Wormhole routing on this network can
+    /// deadlock — it exists so the static analyzer has a known-bad topology
+    /// to flag with a witness cycle.
+    ///
+    /// # Panics
+    /// If `dims` is empty or any side is < 2.
+    pub fn unvirtualized(dims: &[usize]) -> Self {
+        Self::build(dims, false)
+    }
+
+    fn build(dims: &[usize], virtualized: bool) -> Self {
         assert!(!dims.is_empty(), "a torus needs at least one dimension");
         assert!(
             dims.iter().all(|&m| m >= 2),
@@ -60,9 +82,16 @@ impl Torus {
                     let mut nc = c.clone();
                     nc[d] = ((c[d] as isize + step + m) % m) as usize;
                     let nb = index_of(&dims_v, &nc);
-                    for vc in 0..2usize {
-                        links[((r * ndim + d) * 2 + dir) * 2 + vc] =
-                            b.link(RouterId(r as u32), RouterId(nb as u32));
+                    if virtualized {
+                        for vc in 0..2usize {
+                            links[((r * ndim + d) * 2 + dir) * 2 + vc] =
+                                b.link(RouterId(r as u32), RouterId(nb as u32));
+                        }
+                    } else {
+                        let ch = b.link(RouterId(r as u32), RouterId(nb as u32));
+                        for vc in 0..2usize {
+                            links[((r * ndim + d) * 2 + dir) * 2 + vc] = ch;
+                        }
                     }
                 }
             }
@@ -71,7 +100,14 @@ impl Torus {
             dims: dims_v,
             graph: b.build(),
             links,
+            virtualized,
         }
+    }
+
+    /// True when the torus carries dateline virtual channels (the default,
+    /// deadlock-free configuration).
+    pub fn is_virtualized(&self) -> bool {
+        self.virtualized
     }
 
     /// Side lengths.
@@ -173,8 +209,13 @@ impl Topology for Torus {
     }
 
     fn name(&self) -> String {
-        let dims: Vec<String> = self.dims.iter().map(|d| d.to_string()).collect();
-        format!("torus-{}", dims.join("x"))
+        let dims: Vec<String> = self
+            .dims
+            .iter()
+            .map(std::string::ToString::to_string)
+            .collect();
+        let suffix = if self.virtualized { "" } else { "-novc" };
+        format!("torus-{}{suffix}", dims.join("x"))
     }
 }
 
@@ -258,5 +299,26 @@ mod tests {
     #[should_panic(expected = "at least 2")]
     fn tiny_side_panics() {
         Torus::new(&[1, 4]);
+    }
+
+    #[test]
+    fn unvirtualized_torus_shares_one_channel_per_link() {
+        let t = Torus::unvirtualized(&[4, 4]);
+        assert!(!t.is_virtualized());
+        // 2 NI ports per node + ndim(2) * 2 dirs * 1 channel per router.
+        assert_eq!(t.graph().n_channels(), 16 * 2 + 16 * 2 * 2);
+        assert_eq!(t.link(RouterId(0), 0, 0, 0), t.link(RouterId(0), 0, 0, 1));
+        assert!(t.name().ends_with("-novc"));
+        // Routing still delivers everywhere (deadlock is a *dynamic*
+        // hazard; single worms are fine).
+        for a in 0..16u32 {
+            for b in 0..16u32 {
+                if a == b {
+                    continue;
+                }
+                let p = t.det_path(NodeId(a), NodeId(b));
+                assert_eq!(t.graph().dst_node(*p.last().unwrap()), Some(NodeId(b)));
+            }
+        }
     }
 }

@@ -1,0 +1,161 @@
+//! Golden-path and property tests for BMIN turnaround routing.
+//!
+//! The golden sequences are hand-derived from the butterfly construction
+//! (§4 of the paper): a send climbs straight up in its source column to the
+//! turn stage (highest differing address bit), then descends selecting
+//! destination address bits high-to-low.  The property tests pin down the
+//! channel-disjointness facts the OPT-min scheduler relies on.
+
+use proptest::prelude::*;
+use std::collections::HashSet;
+use topo::{Bmin, ChannelId, NodeId, Topology, UpPolicy};
+
+/// The (stage, switch-index) sequence of routers a path enters, in order.
+/// The final (consumption) channel ends at a node, not a router, so it
+/// contributes nothing.
+fn router_seq(b: &Bmin, x: u32, y: u32) -> Vec<(usize, usize)> {
+    b.det_path(NodeId(x), NodeId(y))
+        .iter()
+        .filter_map(|&c| b.graph().dst_router(c))
+        .map(|r| b.stage_of(r))
+        .collect()
+}
+
+/// The aligned `2^(h+1)` node block containing both endpoints of a send,
+/// where `h` is the turn stage — exactly the block of the turn switch.
+fn turn_block(b: &Bmin, x: u32, y: u32) -> std::ops::Range<usize> {
+    let h = b.turn_stage(NodeId(x), NodeId(y));
+    let a = (x >> (h + 1)) as usize;
+    (a << (h + 1))..((a + 1) << (h + 1))
+}
+
+fn disjoint(a: &std::ops::Range<usize>, b: &std::ops::Range<usize>) -> bool {
+    a.end <= b.start || b.end <= a.start
+}
+
+#[test]
+fn golden_corner_to_corner_on_the_paper_network() {
+    // 128-node BMIN, 0 -> 127: full climb in column 0, turn at stage 6,
+    // then descend taking down-port 1 at every stage (dest bits all set).
+    let b = Bmin::new(7, UpPolicy::Straight);
+    assert_eq!(
+        router_seq(&b, 0, 127),
+        vec![
+            (0, 0),
+            (1, 0),
+            (2, 0),
+            (3, 0),
+            (4, 0),
+            (5, 0),
+            (6, 0),
+            (5, 32),
+            (4, 48),
+            (3, 56),
+            (2, 60),
+            (1, 62),
+            (0, 63),
+        ]
+    );
+}
+
+#[test]
+fn golden_short_hop_across_a_block_boundary() {
+    // 8-node BMIN, 5 -> 6: addresses differ in bit 1, so one climb from
+    // stage-0 switch 2 (nodes 4..6) to stage-1 switch 2 (block 4..8),
+    // then one descent into stage-0 switch 3 (nodes 6..8).
+    let b = Bmin::new(3, UpPolicy::Straight);
+    assert_eq!(router_seq(&b, 5, 6), vec![(0, 2), (1, 2), (0, 3)]);
+}
+
+#[test]
+fn golden_sibling_send_never_leaves_stage_zero() {
+    let b = Bmin::new(7, UpPolicy::Straight);
+    assert_eq!(router_seq(&b, 40, 41), vec![(0, 20)]);
+}
+
+#[test]
+fn paths_climb_to_the_turn_stage_then_descend() {
+    // Leg structure: stages rise 0,1,…,h then fall h-1,…,0 — no
+    // double-turn, no plateau (each hop changes stage by exactly one).
+    let b = Bmin::new(6, UpPolicy::Straight);
+    for x in 0..64u32 {
+        for y in [x ^ 1, x ^ 7, x ^ 32, x ^ 63] {
+            if x == y {
+                continue;
+            }
+            let h = b.turn_stage(NodeId(x), NodeId(y)) as usize;
+            let stages: Vec<usize> = router_seq(&b, x, y).iter().map(|&(l, _)| l).collect();
+            let expect: Vec<usize> = (0..=h).chain((0..h).rev()).collect();
+            assert_eq!(stages, expect, "{x}->{y}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Sends whose aligned turnaround blocks are disjoint use disjoint
+    /// channel sets — the geometric fact behind OPT-min's contention-free
+    /// step structure.  (Plain destination-interval disjointness is NOT
+    /// enough: sibling-column sources share up-ladders.)
+    #[test]
+    fn disjoint_turn_blocks_use_disjoint_channels(
+        s in 2u32..7,
+        raw in proptest::collection::vec(any::<u32>(), 4..5),
+    ) {
+        let b = Bmin::new(s, UpPolicy::Straight);
+        let n = b.graph().n_nodes() as u32;
+        let (x1, y1, x2, y2) = (raw[0] % n, raw[1] % n, raw[2] % n, raw[3] % n);
+        prop_assume!(x1 != y1 && x2 != y2);
+        prop_assume!(disjoint(&turn_block(&b, x1, y1), &turn_block(&b, x2, y2)));
+        let p1: HashSet<ChannelId> = b.det_path(NodeId(x1), NodeId(y1)).into_iter().collect();
+        let p2: HashSet<ChannelId> = b.det_path(NodeId(x2), NodeId(y2)).into_iter().collect();
+        prop_assert!(
+            p1.is_disjoint(&p2),
+            "sends {x1}->{y1} and {x2}->{y2} share a channel"
+        );
+    }
+
+    /// Under the straight-up policy, sends from non-sibling sources
+    /// (different stage-0 switches) never share an up-phase channel, no
+    /// matter where they are going.
+    #[test]
+    fn non_sibling_sources_have_disjoint_up_ladders(
+        s in 2u32..7,
+        raw in proptest::collection::vec(any::<u32>(), 4..5),
+    ) {
+        let b = Bmin::new(s, UpPolicy::Straight);
+        let n = b.graph().n_nodes() as u32;
+        let (x1, y1, x2, y2) = (raw[0] % n, raw[1] % n, raw[2] % n, raw[3] % n);
+        prop_assume!(x1 != y1 && x2 != y2);
+        prop_assume!(x1 >> 1 != x2 >> 1);
+        let up = |x: u32, y: u32| -> HashSet<ChannelId> {
+            let h = b.turn_stage(NodeId(x), NodeId(y)) as usize;
+            // Path layout: [injection, up × h, down × h, consumption].
+            b.det_path(NodeId(x), NodeId(y))[1..=h].iter().copied().collect()
+        };
+        prop_assert!(
+            up(x1, y1).is_disjoint(&up(x2, y2)),
+            "up ladders of {x1}->{y1} and {x2}->{y2} intersect"
+        );
+    }
+
+    /// Both up policies produce simple minimal paths of length 2h+2.
+    #[test]
+    fn both_policies_are_minimal(
+        s in 2u32..7,
+        sa in any::<u32>(),
+        sb in any::<u32>(),
+    ) {
+        for policy in [UpPolicy::Straight, UpPolicy::DestColumn] {
+            let b = Bmin::new(s, policy);
+            let n = b.graph().n_nodes() as u32;
+            let (x, y) = (NodeId(sa % n), NodeId(sb % n));
+            prop_assume!(x != y);
+            let h = b.turn_stage(x, y) as usize;
+            let p = b.det_path(x, y);
+            prop_assert_eq!(p.len(), 2 * h + 2);
+            prop_assert_eq!(b.graph().dst_node(*p.last().unwrap()), Some(y));
+        }
+    }
+}

@@ -13,4 +13,15 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> cargo test -q"
 cargo test -q --workspace
 
+# Static verification gate: the flagship schedules must certify deadlock-
+# and contention-free (any error-level finding exits nonzero and fails the
+# build via `set -e`).
+echo "==> optmc check (OPT-mesh on mesh:16x16)"
+cargo run --release -q -p optmc-cli --bin optmc -- \
+    check --topo mesh:16x16 --alg opt-mesh --bytes 4096 --src 0
+
+echo "==> optmc check (OPT-min on bmin:128)"
+cargo run --release -q -p optmc-cli --bin optmc -- \
+    check --topo bmin:128 --alg opt-min --bytes 4096 --src 0
+
 echo "All checks passed."

@@ -8,6 +8,8 @@
 //! measurement window, and the mean ns/iter is printed.  There is no
 //! statistical analysis, HTML report, or baseline comparison.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};

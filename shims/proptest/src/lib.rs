@@ -14,6 +14,8 @@
 //! retried.  `prop_assume!` must appear at the top level of the test body
 //! (it expands to `continue` on the case loop).
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Per-test configuration.

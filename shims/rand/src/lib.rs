@@ -11,6 +11,8 @@
 //! (placements are reproducible per seed; they just differ from upstream
 //! `rand`'s ChaCha-based streams).
 
+#![forbid(unsafe_code)]
+
 use std::ops::Range;
 
 /// Core trait: a source of random `u64`s.

@@ -13,6 +13,8 @@
 //! `serde_json` (also shimmed) supplies the text round-trip: its parser
 //! produces [`Value`]s and its writers consume them.
 
+#![forbid(unsafe_code)]
+
 pub use serde_derive::{Deserialize, Serialize};
 
 mod value;

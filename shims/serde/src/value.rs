@@ -105,7 +105,7 @@ mod tests {
         ]);
         assert_eq!(v.get("a").and_then(Value::as_u64), Some(1));
         assert_eq!(
-            v.get("b").and_then(Value::as_array).map(|a| a.len()),
+            v.get("b").and_then(Value::as_array).map(<[Value]>::len),
             Some(2)
         );
         assert_eq!(v.get("missing"), None);

@@ -15,6 +15,8 @@
 //!
 //! Generics and struct-variant enums are rejected with a compile error.
 
+#![forbid(unsafe_code)]
+
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
 /// The parsed shape of the derive input.
@@ -87,7 +89,7 @@ fn parse_named_fields(toks: &[TokenTree]) -> Result<Vec<String>, String> {
         let Some(TokenTree::Ident(name)) = toks.get(i) else {
             return Err(format!(
                 "expected field name, found {:?}",
-                toks.get(i).map(|t| t.to_string())
+                toks.get(i).map(std::string::ToString::to_string)
             ));
         };
         names.push(name.to_string());
@@ -97,7 +99,7 @@ fn parse_named_fields(toks: &[TokenTree]) -> Result<Vec<String>, String> {
             other => {
                 return Err(format!(
                     "expected ':' after field, found {:?}",
-                    other.map(|t| t.to_string())
+                    other.map(std::string::ToString::to_string)
                 ))
             }
         }
@@ -131,7 +133,7 @@ fn parse_variants(toks: &[TokenTree]) -> Result<Vec<(String, usize)>, String> {
         let Some(TokenTree::Ident(name)) = toks.get(i) else {
             return Err(format!(
                 "expected variant name, found {:?}",
-                toks.get(i).map(|t| t.to_string())
+                toks.get(i).map(std::string::ToString::to_string)
             ));
         };
         let name = name.to_string();
@@ -156,7 +158,7 @@ fn parse_variants(toks: &[TokenTree]) -> Result<Vec<(String, usize)>, String> {
             other => {
                 return Err(format!(
                     "expected ',' after variant, found {:?}",
-                    other.map(|t| t.to_string())
+                    other.map(std::string::ToString::to_string)
                 ))
             }
         }
@@ -172,7 +174,7 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
         other => {
             return Err(format!(
                 "expected 'struct' or 'enum', found {:?}",
-                other.map(|t| t.to_string())
+                other.map(std::string::ToString::to_string)
             ))
         }
     };
@@ -182,7 +184,7 @@ fn parse_item(input: TokenStream) -> Result<Item, String> {
         other => {
             return Err(format!(
                 "expected item name, found {:?}",
-                other.map(|t| t.to_string())
+                other.map(std::string::ToString::to_string)
             ))
         }
     };

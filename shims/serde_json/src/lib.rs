@@ -5,6 +5,8 @@
 //! must be string literals; nested objects/arrays are built with nested
 //! `json!` calls or any `Serialize` expression).
 
+#![forbid(unsafe_code)]
+
 use std::fmt;
 
 pub use serde::Value;

@@ -4,6 +4,8 @@
 //! a single dependency.  See `README.md` for the tour and `DESIGN.md` for the
 //! system inventory.
 
+#![forbid(unsafe_code)]
+
 pub use flitsim;
 pub use mtree;
 pub use optmc;
