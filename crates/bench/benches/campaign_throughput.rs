@@ -1,0 +1,93 @@
+//! Criterion: campaign-runner throughput — the same small grid executed by
+//! the worker pool at `--jobs 1` and `--jobs 4`, each run against a fresh
+//! shard store so every cell actually executes.
+//!
+//! Besides the Criterion timings this bench writes
+//! `results/bench_campaign.json` with the measured cells/sec at both worker
+//! counts and the resulting speedup.  No speedup threshold is asserted: on
+//! a single-core container the pool cannot beat sequential, and that is a
+//! property of the machine, not the pool.
+
+use campaign::{run_campaign, CampaignSpec, PoolOptions, ShardStore};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::cell::Cell as StdCell;
+use std::hint::black_box;
+
+fn grid() -> CampaignSpec {
+    CampaignSpec::from_json(
+        r#"{
+            "name": "bench_throughput",
+            "topos": ["mesh:8x8"],
+            "algorithms": ["u-arch", "opt-arch"],
+            "ks": [8, 16],
+            "sizes": [1024, 4096],
+            "trials": 4
+        }"#,
+    )
+    .expect("bench grid parses")
+}
+
+fn fresh_store(tag: &str, run: u64) -> ShardStore {
+    let dir =
+        std::env::temp_dir().join(format!("bench_campaign_{tag}_{run}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    ShardStore::open(dir).expect("temp shard store")
+}
+
+/// One full campaign into a fresh store; returns cells/sec.
+fn run_once(spec: &CampaignSpec, jobs: usize, tag: &str, run: u64) -> f64 {
+    let store = fresh_store(tag, run);
+    let opts = PoolOptions {
+        jobs,
+        budget_ms: None,
+    };
+    let summary = run_campaign(spec, &store, &opts, &|_| {}).expect("campaign runs");
+    assert_eq!(summary.failed, 0, "bench grid must not fail");
+    let _ = std::fs::remove_dir_all(store.dir());
+    summary.cells_per_sec
+}
+
+fn bench_campaign_throughput(c: &mut Criterion) {
+    let spec = grid();
+    let mut g = c.benchmark_group("campaign_throughput");
+    let mut measured: Vec<(usize, f64)> = Vec::new();
+    for jobs in [1usize, 4] {
+        // One clean measurement for the JSON report, outside Criterion's
+        // timing loop.
+        measured.push((jobs, run_once(&spec, jobs, "measure", jobs as u64)));
+        let counter = StdCell::new(0u64);
+        g.bench_with_input(BenchmarkId::new("jobs", jobs), &jobs, |b, &jobs| {
+            b.iter(|| {
+                let run = counter.get();
+                counter.set(run + 1);
+                black_box(run_once(&spec, jobs, "iter", run));
+            });
+        });
+    }
+    g.finish();
+
+    let (j1, j4) = (measured[0].1, measured[1].1);
+    let speedup = if j1 > 0.0 { j4 / j1 } else { 0.0 };
+    let report = serde_json::json!({
+        "benchmark": "campaign runner throughput (16 cells, mesh:8x8, 4 trials/cell)",
+        "cells": 16,
+        "hardware_threads": std::thread::available_parallelism().map_or(0, std::num::NonZero::get),
+        "cells_per_sec_jobs1": j1,
+        "cells_per_sec_jobs4": j4,
+        "speedup_jobs4_over_jobs1": speedup,
+    });
+    let text = serde_json::to_string_pretty(&report).expect("report serializes");
+    // Cargo runs benches with the package root as cwd; the results dir
+    // lives at the workspace root.
+    let results = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../results");
+    std::fs::create_dir_all(&results).expect("results dir");
+    std::fs::write(results.join("bench_campaign.json"), text)
+        .expect("write results/bench_campaign.json");
+    println!(
+        "campaign throughput: jobs=1 {j1:.2} cells/s, jobs=4 {j4:.2} cells/s \
+         ({speedup:.2}x) -> results/bench_campaign.json"
+    );
+}
+
+criterion_group!(benches, bench_campaign_throughput);
+criterion_main!(benches);

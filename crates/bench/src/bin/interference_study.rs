@@ -45,6 +45,7 @@ fn main() {
                     participants: c.to_vec(),
                     src: c[0],
                     bytes,
+                    start: 0,
                 })
                 .collect();
             let (outs, sim) = run_concurrent(&mesh, &cfg, Algorithm::OptArch, &specs);

@@ -15,107 +15,10 @@ use optmc::{experiments::run_trials, Algorithm, TrialStats};
 use pcm::MsgSize;
 use topo::Topology;
 
-/// One plotted series: a label plus (x, y) points.
-#[derive(Debug, Clone)]
-pub struct Series {
-    /// Legend label ("U-Mesh", "OPT-Tree", ...).
-    pub label: String,
-    /// (x, mean latency) points.
-    pub points: Vec<(f64, f64)>,
-}
-
-/// A figure: axis names plus several series over the same x values.
-#[derive(Debug, Clone)]
-pub struct Figure {
-    /// Experiment id ("fig2", ...), used for the CSV filename.
-    pub id: String,
-    /// Title printed above the table.
-    pub title: String,
-    /// X-axis label.
-    pub x_label: String,
-    /// Y-axis label.
-    pub y_label: String,
-    /// The series.
-    pub series: Vec<Series>,
-}
-
-impl Figure {
-    /// Render as an aligned text table (x column + one column per series).
-    pub fn to_table(&self) -> String {
-        let mut out = String::new();
-        let _ = writeln!(out, "# {}", self.title);
-        let _ = write!(out, "{:>14}", self.x_label);
-        for s in &self.series {
-            let _ = write!(out, "{:>14}", s.label);
-        }
-        let _ = writeln!(out);
-        let nx = self.series.first().map_or(0, |s| s.points.len());
-        for i in 0..nx {
-            let _ = write!(out, "{:>14.0}", self.series[0].points[i].0);
-            for s in &self.series {
-                let _ = write!(out, "{:>14.1}", s.points[i].1);
-            }
-            let _ = writeln!(out);
-        }
-        out
-    }
-
-    /// Write `results/<id>.json` — the machine-readable record backing the
-    /// EXPERIMENTS.md tables.
-    pub fn write_json(&self) -> std::io::Result<std::path::PathBuf> {
-        let dir = Path::new("results");
-        fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{}.json", self.id));
-        let record = serde_json::json!({
-            "id": self.id,
-            "title": self.title,
-            "x_label": self.x_label,
-            "y_label": self.y_label,
-            "series": self.series.iter().map(|s| serde_json::json!({
-                "label": s.label,
-                "points": s.points,
-            })).collect::<Vec<_>>(),
-        });
-        fs::write(&path, serde_json::to_string_pretty(&record)?)?;
-        Ok(path)
-    }
-
-    /// Write `results/<id>.csv`.
-    pub fn write_csv(&self) -> std::io::Result<std::path::PathBuf> {
-        let dir = Path::new("results");
-        fs::create_dir_all(dir)?;
-        let path = dir.join(format!("{}.csv", self.id));
-        let mut csv = String::new();
-        let _ = write!(csv, "{}", self.x_label.replace(' ', "_"));
-        for s in &self.series {
-            let _ = write!(csv, ",{}", s.label.replace(' ', "_"));
-        }
-        let _ = writeln!(csv);
-        let nx = self.series.first().map_or(0, |s| s.points.len());
-        for i in 0..nx {
-            let _ = write!(csv, "{}", self.series[0].points[i].0);
-            for s in &self.series {
-                let _ = write!(csv, ",{}", s.points[i].1);
-            }
-            let _ = writeln!(csv);
-        }
-        fs::write(&path, csv)?;
-        Ok(path)
-    }
-
-    /// Print the table and write CSV + JSON, reporting the paths.
-    pub fn emit(&self) {
-        print!("{}", self.to_table());
-        match self.write_csv() {
-            Ok(p) => println!("\n[csv] {}", p.display()),
-            Err(e) => eprintln!("could not write CSV: {e}"),
-        }
-        match self.write_json() {
-            Ok(p) => println!("[json] {}", p.display()),
-            Err(e) => eprintln!("could not write JSON: {e}"),
-        }
-    }
-}
+// The figure dataset types (and their `results/` writers) live in the
+// `campaign` crate so the sequential figure binaries and the campaign
+// aggregation pass share one writer; re-exported here for the binaries.
+pub use campaign::{Figure, Series};
 
 /// The paper's three mesh algorithms with their plot labels.
 pub fn paper_algorithms(topo: &dyn Topology) -> Vec<(Algorithm, String)> {
@@ -366,28 +269,6 @@ pub const PAPER_TRIALS: usize = 16;
 #[cfg(test)]
 mod tests {
     use super::*;
-
-    #[test]
-    fn table_and_csv_roundtrip() {
-        let fig = Figure {
-            id: "selftest".into(),
-            title: "t".into(),
-            x_label: "x".into(),
-            y_label: "y".into(),
-            series: vec![
-                Series {
-                    label: "a".into(),
-                    points: vec![(1.0, 2.0), (2.0, 4.0)],
-                },
-                Series {
-                    label: "b".into(),
-                    points: vec![(1.0, 3.0), (2.0, 6.0)],
-                },
-            ],
-        };
-        let t = fig.to_table();
-        assert!(t.contains('a') && t.contains("6.0"));
-    }
 
     #[test]
     fn arg_parsing() {

@@ -1,0 +1,228 @@
+//! The aggregation pass: shards → figure datasets + campaign summary.
+//!
+//! Reduction is pure and deterministic: the same set of cell records
+//! produces byte-identical `results/fig*.csv|json` output regardless of
+//! worker count, completion order, or how many resumes it took to fill the
+//! store — the figure writers are the same code the sequential figure
+//! binaries use ([`crate::figure`]).
+
+use std::collections::HashMap;
+
+use optmc::spec::parse_topology;
+use optmc::{TrialOutcome, TrialStats};
+use pcm::Time;
+
+use crate::figure::{Figure, Series};
+use crate::spec::{expand, CampaignSpec, XAxis};
+use crate::store::CellRecord;
+
+/// Whole-campaign aggregate over every recorded trial.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignSummary {
+    /// Cells aggregated.
+    pub cells: usize,
+    /// Total trials across all cells.
+    pub trials: usize,
+    /// Mean observed latency over all trials.
+    pub mean_latency: f64,
+    /// Minimum observed latency.
+    pub min_latency: Time,
+    /// Maximum observed latency.
+    pub max_latency: Time,
+    /// Mean overhead above the analytic bound (clamped at 0 per trial,
+    /// mirroring [`optmc::RunOutcome::overhead`]).
+    pub mean_overhead: f64,
+    /// Fraction of trials that ran contention-free.
+    pub contention_free_fraction: f64,
+    /// Total wall-clock milliseconds spent inside cells.
+    pub cell_wall_ms: u64,
+    /// Cells per wall-clock second of cell time.
+    pub cells_per_sec: f64,
+}
+
+/// Aggregate all records; `None` when there are none.
+pub fn summarize(records: &[CellRecord]) -> Option<CampaignSummary> {
+    let outcomes: Vec<&TrialOutcome> = records.iter().flat_map(|r| &r.outcomes).collect();
+    if outcomes.is_empty() {
+        return None;
+    }
+    let n = outcomes.len() as f64;
+    let cell_wall_ms: u64 = records.iter().map(|r| r.wall_ms).sum();
+    Some(CampaignSummary {
+        cells: records.len(),
+        trials: outcomes.len(),
+        mean_latency: outcomes.iter().map(|o| o.latency as f64).sum::<f64>() / n,
+        min_latency: outcomes.iter().map(|o| o.latency).min().expect("non-empty"),
+        max_latency: outcomes.iter().map(|o| o.latency).max().expect("non-empty"),
+        mean_overhead: outcomes
+            .iter()
+            .map(|o| o.latency.saturating_sub(o.analytic) as f64)
+            .sum::<f64>()
+            / n,
+        contention_free_fraction: outcomes.iter().filter(|o| o.contention_free).count() as f64 / n,
+        cell_wall_ms,
+        cells_per_sec: records.len() as f64 * 1000.0 / cell_wall_ms.max(1) as f64,
+    })
+}
+
+/// Human-readable summary block for the CLI.
+pub fn render_summary(s: &CampaignSummary) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "cells          {}", s.cells);
+    let _ = writeln!(out, "trials         {}", s.trials);
+    let _ = writeln!(
+        out,
+        "latency        mean {:.1}  min {}  max {}",
+        s.mean_latency, s.min_latency, s.max_latency
+    );
+    let _ = writeln!(
+        out,
+        "overhead       mean {:.1} above analytic bound",
+        s.mean_overhead
+    );
+    let _ = writeln!(
+        out,
+        "contention     {:.0}% of trials ran contention-free",
+        s.contention_free_fraction * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "throughput     {:.2} cells/s over {} ms of cell time",
+        s.cells_per_sec, s.cell_wall_ms
+    );
+    out
+}
+
+/// Reduce the records into the figure the spec describes.
+///
+/// Requires the spec to carry a [`crate::FigureSpec`], exactly one
+/// topology, and — depending on the axis — exactly one `k` (bytes sweep)
+/// or one size (nodes sweep).  Every grid cell must be present in
+/// `records`; a missing cell is reported by key, which is exactly the
+/// resume hint the user needs.
+pub fn figure_from_records(spec: &CampaignSpec, records: &[CellRecord]) -> Result<Figure, String> {
+    let Some(fig) = &spec.figure else {
+        return Err(format!(
+            "campaign '{}' declares no figure mapping",
+            spec.name
+        ));
+    };
+    let [topo_spec] = spec.topos.as_slice() else {
+        return Err("figure aggregation needs exactly one topology".into());
+    };
+    match fig.x_axis {
+        XAxis::Bytes if spec.ks.len() != 1 => {
+            return Err("a bytes-axis figure needs exactly one k".into())
+        }
+        XAxis::Nodes if spec.sizes.len() != 1 => {
+            return Err("a nodes-axis figure needs exactly one size".into())
+        }
+        _ => {}
+    }
+    let topo = parse_topology(topo_spec)?;
+    let by_key: HashMap<&str, &CellRecord> = records.iter().map(|r| (r.key.as_str(), r)).collect();
+
+    let mean_of = |key: &str| -> Result<f64, String> {
+        let r = by_key
+            .get(key)
+            .ok_or_else(|| format!("cell not in shard store (resume the campaign?): {key}"))?;
+        Ok(TrialStats::from_outcomes(&r.outcomes).mean_latency)
+    };
+
+    let mut series = Vec::with_capacity(spec.algorithms.len());
+    for &alg in &spec.algorithms {
+        let mut points = Vec::new();
+        for cell in expand(spec).iter().filter(|c| c.algorithm == alg) {
+            let x = match fig.x_axis {
+                XAxis::Bytes => cell.bytes as f64,
+                XAxis::Nodes => cell.k as f64,
+            };
+            points.push((x, mean_of(&cell.key())?));
+        }
+        series.push(Series {
+            label: alg.display_name(topo.as_ref()),
+            points,
+        });
+    }
+    Ok(Figure {
+        id: fig.id.clone(),
+        title: fig.title.clone(),
+        x_label: fig.x_label.clone(),
+        y_label: fig.y_label.clone(),
+        series,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pool::{run_campaign, PoolOptions};
+    use crate::store::ShardStore;
+
+    fn demo_spec() -> CampaignSpec {
+        CampaignSpec::from_json(
+            r#"{
+                "name": "agg",
+                "topos": ["mesh:8x8"],
+                "algorithms": ["u-arch", "opt-arch"],
+                "ks": [8],
+                "sizes": [512, 4096],
+                "trials": 2,
+                "figure": {"id": "aggtest", "title": "agg fig", "x": "bytes"}
+            }"#,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn aggregates_shards_into_the_figure_and_summary() {
+        let spec = demo_spec();
+        let dir = std::env::temp_dir().join(format!("campaign_agg_test_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = ShardStore::open(&dir).unwrap();
+        run_campaign(&spec, &store, &PoolOptions::default(), &|_| {}).unwrap();
+        let records = store.load_cells().unwrap();
+
+        let s = summarize(&records).unwrap();
+        assert_eq!((s.cells, s.trials), (4, 8));
+        assert!(s.min_latency <= s.max_latency);
+        assert!(s.mean_overhead >= 0.0);
+        assert!(render_summary(&s).contains("cells/s"));
+
+        let fig = figure_from_records(&spec, &records).unwrap();
+        assert_eq!(fig.id, "aggtest");
+        assert_eq!(fig.series.len(), 2);
+        assert_eq!(fig.series[0].label, "U-mesh");
+        assert_eq!(fig.series[1].label, "OPT-mesh");
+        assert_eq!(fig.series[0].points.len(), 2);
+        assert_eq!(fig.series[0].points[0].0, 512.0);
+        // The figure's means equal a solo run_trials of the same cell —
+        // the bit-identical contract between campaign and sequential paths.
+        let topo = parse_topology("mesh:8x8").unwrap();
+        let cfg = flitsim::SimConfig::paragon_like();
+        let solo = optmc::experiments::run_trials(
+            topo.as_ref(),
+            &cfg,
+            optmc::Algorithm::UArch,
+            8,
+            512,
+            2,
+            1997,
+        );
+        assert_eq!(fig.series[0].points[0].1, solo.mean_latency);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_cells_are_reported_by_key() {
+        let spec = demo_spec();
+        let err = figure_from_records(&spec, &[]).unwrap_err();
+        assert!(err.contains("mesh:8x8|u-arch|k8|b512|t2|s1997"), "{err}");
+    }
+
+    #[test]
+    fn summarize_of_nothing_is_none() {
+        assert!(summarize(&[]).is_none());
+    }
+}

@@ -1,0 +1,45 @@
+//! # `campaign` — parallel, resumable experiment campaigns
+//!
+//! The paper's evaluation is a grid: topologies × algorithms × participant
+//! counts × message sizes, each point averaged over 16 random placements.
+//! This crate turns that grid into a first-class, restartable artifact:
+//!
+//! * [`spec::CampaignSpec`] — a declarative, JSON-loadable description of
+//!   the sweep, expanded into content-addressed [`spec::Cell`]s whose
+//!   placement seeds derive from [`optmc::trial_seed`], so a campaign cell
+//!   and a solo [`optmc::experiments::run_trials`] call of the same
+//!   parameters are bit-identical.
+//! * [`pool`] — a std-only worker pool (`Mutex<VecDeque>` feed,
+//!   `std::thread::scope` workers) with per-cell panic isolation
+//!   (`catch_unwind`), a wall-clock budget per cell, and a failure ledger.
+//! * [`store::ShardStore`] — completed cells append to a JSONL shard store
+//!   under `results/campaigns/<name>/`; a restarted campaign skips every
+//!   recorded cell key, tolerating a partially-written (killed mid-append)
+//!   final line.
+//! * [`aggregate`] — reduce the shards back into the repo's
+//!   `results/fig*.csv|json` figure datasets plus a campaign summary
+//!   (latency spread, overhead vs the analytic bound, cells per second).
+//! * [`workload`] — open-loop concurrent-multicast workloads on
+//!   [`optmc::concurrent`]: seeded Poisson or fixed-rate arrivals inject
+//!   multicasts with random roots and groups; the report gives
+//!   per-multicast latency distributions and the interference factor
+//!   against the solo baseline.
+//!
+//! The CLI surface is `optmc sweep run|resume|report` and
+//! `optmc workload`.
+
+#![forbid(unsafe_code)]
+
+pub mod aggregate;
+pub mod figure;
+pub mod pool;
+pub mod spec;
+pub mod store;
+pub mod workload;
+
+pub use aggregate::{figure_from_records, summarize, CampaignSummary};
+pub use figure::{Figure, Series};
+pub use pool::{run_campaign, CellReport, PoolOptions, RunSummary};
+pub use spec::{expand, CampaignSpec, Cell, FigureSpec, XAxis};
+pub use store::{CellRecord, Failure, ShardStore};
+pub use workload::{run_workload, Arrivals, WorkloadReport, WorkloadSpec};

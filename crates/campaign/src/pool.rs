@@ -1,0 +1,338 @@
+//! The std-only campaign worker pool.
+//!
+//! A `Mutex<VecDeque>` of cells feeds `std::thread::scope` workers (count
+//! from `--jobs` or `available_parallelism`).  Each cell runs under
+//! `catch_unwind` so one pathological parameter point cannot take down the
+//! campaign: panics and per-cell wall-budget overruns land in the failure
+//! ledger and the pool moves on.  Completed cells append to the
+//! [`ShardStore`] before the next cell is claimed — killing the process
+//! loses at most the cells in flight, and a resumed run skips every
+//! recorded key.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use flitsim::SimConfig;
+use optmc::spec::parse_topology;
+use optmc::{run_trials_detailed, TrialOutcome, TrialStats};
+
+use crate::spec::{expand, CampaignSpec, Cell};
+use crate::store::{CellRecord, Failure, ShardStore};
+
+/// Pool knobs, from the CLI.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PoolOptions {
+    /// Worker threads; 0 means one per available core.
+    pub jobs: usize,
+    /// Per-cell wall-clock budget in milliseconds (overrides the spec's).
+    pub budget_ms: Option<u64>,
+}
+
+/// Per-cell progress report, fed to the progress callback as each cell
+/// resolves (the engine-vitals fields come from the observability layer's
+/// [`TrialOutcome`] metrics).
+#[derive(Debug, Clone)]
+pub struct CellReport {
+    /// The cell's key.
+    pub key: String,
+    /// Cells resolved so far (including skipped).
+    pub done: usize,
+    /// Total cells in the campaign.
+    pub total: usize,
+    /// `None` if the cell failed (see `error`).
+    pub stats: Option<TrialStats>,
+    /// Simulator events processed across the cell's trials.
+    pub events: u64,
+    /// Wall-clock milliseconds for the cell.
+    pub wall_ms: u64,
+    /// The failure reason, if the cell failed.
+    pub error: Option<String>,
+}
+
+/// Whole-run summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunSummary {
+    /// Cells in the campaign grid.
+    pub total: usize,
+    /// Cells executed in this run.
+    pub executed: usize,
+    /// Cells skipped because the store already had them.
+    pub skipped: usize,
+    /// Cells that failed (panic or budget).
+    pub failed: usize,
+    /// Wall-clock milliseconds for the whole run.
+    pub wall_ms: u64,
+    /// Executed cells per wall-clock second.
+    pub cells_per_sec: f64,
+}
+
+/// Run one cell to completion (sequentially: the pool's parallelism is
+/// across cells, so nesting per-trial workers would only oversubscribe).
+pub fn run_cell(cell: &Cell) -> Result<Vec<TrialOutcome>, String> {
+    let topo = parse_topology(&cell.topo)?;
+    let cfg = SimConfig::paragon_like();
+    Ok(run_trials_detailed(
+        topo.as_ref(),
+        &cfg,
+        cell.algorithm,
+        cell.k,
+        cell.bytes,
+        cell.trials,
+        cell.seed,
+        1,
+    ))
+}
+
+fn panic_reason(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
+}
+
+/// Run (or resume) `spec` against `store`: cells whose keys the store
+/// already records are skipped; the rest are distributed over the worker
+/// pool.  `progress` is called once per resolved cell, from whichever
+/// worker resolved it (serialized by the store lock).
+pub fn run_campaign(
+    spec: &CampaignSpec,
+    store: &ShardStore,
+    opts: &PoolOptions,
+    progress: &(dyn Fn(&CellReport) + Sync),
+) -> Result<RunSummary, String> {
+    spec.validate()?;
+    let cells = expand(spec);
+    let total = cells.len();
+    let completed = store
+        .completed_keys()
+        .map_err(|e| format!("cannot read shard store: {e}"))?;
+    let todo: VecDeque<Cell> = cells
+        .into_iter()
+        .filter(|c| !completed.contains(&c.key()))
+        .collect();
+    let skipped = total - todo.len();
+    let budget_ms = opts.budget_ms.or(spec.budget_ms);
+
+    let started = Instant::now();
+    let queue = Mutex::new(todo);
+    // One lock serializes shard appends, progress lines, and the counters —
+    // contention is irrelevant next to a cell's simulation time.
+    struct Shared<'s> {
+        store: &'s ShardStore,
+        done: usize,
+        executed: usize,
+        failed: usize,
+        io_error: Option<String>,
+    }
+    let shared = Mutex::new(Shared {
+        store,
+        done: skipped,
+        executed: 0,
+        failed: 0,
+        io_error: None,
+    });
+
+    let workers = if opts.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    } else {
+        opts.jobs
+    }
+    .max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let Some(cell) = queue.lock().expect("queue poisoned").pop_front() else {
+                    return;
+                };
+                let t0 = Instant::now();
+                let result = catch_unwind(AssertUnwindSafe(|| run_cell(&cell)));
+                let wall_us = t0.elapsed().as_micros() as u64;
+                let wall_ms = wall_us / 1000;
+                let outcome = match result {
+                    Err(payload) => Err(panic_reason(payload.as_ref())),
+                    Ok(Err(e)) => Err(e),
+                    Ok(Ok(outcomes)) => match budget_ms {
+                        // Microsecond resolution, so a 0ms budget actually
+                        // rejects sub-millisecond cells.
+                        Some(b) if wall_us > b * 1000 => {
+                            Err(format!("budget: cell took {wall_us}us > {b}ms"))
+                        }
+                        _ => Ok(outcomes),
+                    },
+                };
+
+                let mut sh = shared.lock().expect("state poisoned");
+                sh.done += 1;
+                let mut report = CellReport {
+                    key: cell.key(),
+                    done: sh.done,
+                    total,
+                    stats: None,
+                    events: 0,
+                    wall_ms,
+                    error: None,
+                };
+                let io = match outcome {
+                    Ok(outcomes) => {
+                        sh.executed += 1;
+                        report.stats = Some(TrialStats::from_outcomes(&outcomes));
+                        report.events = outcomes.iter().map(|o| o.events).sum();
+                        sh.store.append_cell(&CellRecord {
+                            key: cell.key(),
+                            topo: cell.topo.clone(),
+                            algorithm: cell.algorithm.id().to_string(),
+                            k: cell.k,
+                            bytes: cell.bytes,
+                            trials: cell.trials,
+                            seed: cell.seed,
+                            outcomes,
+                            wall_ms,
+                        })
+                    }
+                    Err(reason) => {
+                        sh.executed += 1;
+                        sh.failed += 1;
+                        report.error = Some(reason.clone());
+                        sh.store.append_failure(&Failure {
+                            key: cell.key(),
+                            reason,
+                            wall_ms,
+                        })
+                    }
+                };
+                if let Err(e) = io {
+                    // Losing the checkpoint makes further work pointless:
+                    // record the error and drain the queue.
+                    sh.io_error = Some(format!("shard store write failed: {e}"));
+                    queue.lock().expect("queue poisoned").clear();
+                }
+                progress(&report);
+            });
+        }
+    });
+
+    let shared = shared.into_inner().expect("state poisoned");
+    if let Some(e) = shared.io_error {
+        return Err(e);
+    }
+    let wall_us = started.elapsed().as_micros() as u64;
+    Ok(RunSummary {
+        total,
+        executed: shared.executed,
+        skipped,
+        failed: shared.failed,
+        wall_ms: wall_us / 1000,
+        cells_per_sec: shared.executed as f64 * 1e6 / wall_us.max(1) as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo_spec(name: &str) -> CampaignSpec {
+        CampaignSpec::from_json(&format!(
+            r#"{{
+                "name": "{name}",
+                "topos": ["mesh:8x8"],
+                "algorithms": ["u-arch", "opt-arch"],
+                "ks": [8],
+                "sizes": [512, 4096],
+                "trials": 2
+            }}"#
+        ))
+        .unwrap()
+    }
+
+    fn temp_store(tag: &str) -> ShardStore {
+        let dir =
+            std::env::temp_dir().join(format!("campaign_pool_test_{tag}_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        ShardStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn runs_all_cells_then_resumes_as_a_noop() {
+        let spec = demo_spec("pool");
+        let store = temp_store("noop");
+        let opts = PoolOptions::default();
+        let s1 = run_campaign(&spec, &store, &opts, &|_| {}).unwrap();
+        assert_eq!((s1.total, s1.executed, s1.skipped, s1.failed), (4, 4, 0, 0));
+        assert!(s1.cells_per_sec > 0.0);
+        let s2 = run_campaign(&spec, &store, &opts, &|_| {}).unwrap();
+        assert_eq!((s2.executed, s2.skipped), (0, 4), "resume re-ran cells");
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn progress_carries_obs_metrics_and_counts_up() {
+        let spec = demo_spec("progress");
+        let store = temp_store("progress");
+        let reports = Mutex::new(Vec::new());
+        run_campaign(
+            &spec,
+            &store,
+            &PoolOptions {
+                jobs: 2,
+                budget_ms: None,
+            },
+            &|r| {
+                reports.lock().unwrap().push(r.clone());
+            },
+        )
+        .unwrap();
+        let reports = reports.into_inner().unwrap();
+        assert_eq!(reports.len(), 4);
+        assert!(reports.iter().all(|r| r.events > 0 && r.error.is_none()));
+        assert_eq!(reports.last().unwrap().done, 4);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn budget_overruns_land_in_the_failure_ledger() {
+        let spec = demo_spec("budget");
+        let store = temp_store("budget");
+        let opts = PoolOptions {
+            jobs: 1,
+            budget_ms: Some(0),
+        };
+        let s = run_campaign(&spec, &store, &opts, &|_| {}).unwrap();
+        assert_eq!(s.failed, 4, "a 0ms budget fails every cell");
+        assert_eq!(store.load_cells().unwrap().len(), 0);
+        let failures = store.load_failures().unwrap();
+        assert_eq!(failures.len(), 4);
+        assert!(
+            failures[0].reason.starts_with("budget:"),
+            "{}",
+            failures[0].reason
+        );
+        // A retry with a sane budget then executes everything.
+        let s = run_campaign(&spec, &store, &PoolOptions::default(), &|_| {}).unwrap();
+        assert_eq!((s.executed, s.failed), (4, 0));
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn panicking_cells_are_isolated() {
+        // k > n passes the pool's entry validation only if we bypass
+        // validate(); instead make the cell panic via an unsatisfiable
+        // placement by handing run_cell a corrupt cell directly.
+        let cell = Cell {
+            topo: "mesh:4x4".into(),
+            algorithm: optmc::Algorithm::OptArch,
+            k: 200,
+            bytes: 64,
+            trials: 1,
+            seed: 1,
+        };
+        let res = catch_unwind(AssertUnwindSafe(|| run_cell(&cell)));
+        assert!(res.is_err(), "oversized placement must panic");
+        assert!(panic_reason(res.unwrap_err().as_ref()).starts_with("panic:"));
+    }
+}

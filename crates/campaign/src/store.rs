@@ -1,0 +1,247 @@
+//! JSONL shard store: the campaign's checkpoint.
+//!
+//! Completed cells append one JSON line each to
+//! `results/campaigns/<name>/cells.jsonl`; failures (panics, budget
+//! overruns) go to `failures.jsonl`.  A line is the unit of durability: a
+//! campaign killed mid-append leaves at most one partial final line, which
+//! [`ShardStore::load_cells`] drops silently, so resume re-runs exactly the
+//! cells that never finished.
+
+use std::collections::HashSet;
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use serde::{Deserialize, Serialize};
+
+use optmc::TrialOutcome;
+
+/// One completed cell: its identity plus every trial's outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CellRecord {
+    /// The content-addressed cell key ([`crate::Cell::key`]).
+    pub key: String,
+    /// Topology spec string.
+    pub topo: String,
+    /// Canonical algorithm id ([`optmc::Algorithm::id`]).
+    pub algorithm: String,
+    /// Participant count.
+    pub k: usize,
+    /// Message bytes.
+    pub bytes: u64,
+    /// Trials run.
+    pub trials: usize,
+    /// Campaign base seed.
+    pub seed: u64,
+    /// Per-trial outcomes, in trial order.
+    pub outcomes: Vec<TrialOutcome>,
+    /// Wall-clock milliseconds this cell took.
+    pub wall_ms: u64,
+}
+
+/// A failure-ledger entry: a cell that panicked or blew its budget.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Failure {
+    /// The failing cell's key.
+    pub key: String,
+    /// What went wrong (panic payload or budget overrun).
+    pub reason: String,
+    /// Wall-clock milliseconds spent before the failure was recorded.
+    pub wall_ms: u64,
+}
+
+/// The on-disk shard store for one campaign.
+#[derive(Debug)]
+pub struct ShardStore {
+    dir: PathBuf,
+}
+
+impl ShardStore {
+    /// Open (creating if needed) the store directory.
+    ///
+    /// Opening repairs the wound of a killed campaign: a partial final
+    /// line (no trailing newline) is truncated away, so the next append
+    /// starts a fresh line instead of concatenating onto the fragment and
+    /// corrupting the file.
+    pub fn open(dir: impl Into<PathBuf>) -> std::io::Result<ShardStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        let store = ShardStore { dir };
+        Self::truncate_partial_tail(&store.cells_path())?;
+        Self::truncate_partial_tail(&store.failures_path())?;
+        Ok(store)
+    }
+
+    fn truncate_partial_tail(path: &Path) -> std::io::Result<()> {
+        let bytes = match fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        if bytes.is_empty() || bytes.ends_with(b"\n") {
+            return Ok(());
+        }
+        let keep = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |p| p + 1);
+        let f = fs::OpenOptions::new().write(true).open(path)?;
+        f.set_len(keep as u64)
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn cells_path(&self) -> PathBuf {
+        self.dir.join("cells.jsonl")
+    }
+
+    fn failures_path(&self) -> PathBuf {
+        self.dir.join("failures.jsonl")
+    }
+
+    fn append_line(path: &Path, line: &str) -> std::io::Result<()> {
+        let mut f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        // One write call per record keeps the line the atomicity unit.
+        f.write_all(format!("{line}\n").as_bytes())?;
+        f.flush()
+    }
+
+    /// Append one completed cell.
+    pub fn append_cell(&self, record: &CellRecord) -> std::io::Result<()> {
+        let line = serde_json::to_string(record)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.0))?;
+        Self::append_line(&self.cells_path(), &line)
+    }
+
+    /// Append one failure-ledger entry.
+    pub fn append_failure(&self, failure: &Failure) -> std::io::Result<()> {
+        let line = serde_json::to_string(failure)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.0))?;
+        Self::append_line(&self.failures_path(), &line)
+    }
+
+    fn load_jsonl<T: Deserialize>(path: &Path, what: &str) -> std::io::Result<Vec<T>> {
+        let text = match fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(e),
+        };
+        let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+        let mut out = Vec::with_capacity(lines.len());
+        for (i, line) in lines.iter().enumerate() {
+            match serde_json::from_str::<T>(line) {
+                Ok(v) => out.push(v),
+                // A partial final line is the expected wound of a killed
+                // campaign; anything earlier is real corruption.
+                Err(_) if i + 1 == lines.len() => break,
+                Err(e) => {
+                    return Err(std::io::Error::new(
+                        std::io::ErrorKind::InvalidData,
+                        format!("{what} line {}: {e}", i + 1),
+                    ))
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Every completed cell, tolerating a truncated final line.
+    pub fn load_cells(&self) -> std::io::Result<Vec<CellRecord>> {
+        Self::load_jsonl(&self.cells_path(), "cells.jsonl")
+    }
+
+    /// Every failure-ledger entry, tolerating a truncated final line.
+    pub fn load_failures(&self) -> std::io::Result<Vec<Failure>> {
+        Self::load_jsonl(&self.failures_path(), "failures.jsonl")
+    }
+
+    /// The set of completed cell keys (what resume skips).
+    pub fn completed_keys(&self) -> std::io::Result<HashSet<String>> {
+        Ok(self.load_cells()?.into_iter().map(|r| r.key).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(key: &str) -> CellRecord {
+        CellRecord {
+            key: key.into(),
+            topo: "mesh:8x8".into(),
+            algorithm: "opt-arch".into(),
+            k: 8,
+            bytes: 512,
+            trials: 1,
+            seed: 1,
+            outcomes: vec![TrialOutcome {
+                trial: 0,
+                placement_seed: 42,
+                latency: 100,
+                analytic: 90,
+                blocked: 0,
+                contention_free: true,
+                events: 10,
+                wall_ns: 5,
+            }],
+            wall_ms: 3,
+        }
+    }
+
+    fn temp_store(tag: &str) -> ShardStore {
+        let dir =
+            std::env::temp_dir().join(format!("campaign_store_test_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        ShardStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn roundtrips_cells_and_failures() {
+        let s = temp_store("roundtrip");
+        s.append_cell(&record("a")).unwrap();
+        s.append_cell(&record("b")).unwrap();
+        s.append_failure(&Failure {
+            key: "c".into(),
+            reason: "panic: boom".into(),
+            wall_ms: 1,
+        })
+        .unwrap();
+        assert_eq!(s.load_cells().unwrap(), vec![record("a"), record("b")]);
+        assert_eq!(s.load_failures().unwrap().len(), 1);
+        let keys = s.completed_keys().unwrap();
+        assert!(keys.contains("a") && keys.contains("b") && !keys.contains("c"));
+        let _ = fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn tolerates_a_truncated_final_line() {
+        let s = temp_store("truncate");
+        s.append_cell(&record("a")).unwrap();
+        s.append_cell(&record("b")).unwrap();
+        let path = s.dir().join("cells.jsonl");
+        let text = fs::read_to_string(&path).unwrap();
+        fs::write(&path, &text[..text.len() - 25]).unwrap();
+        let cells = s.load_cells().unwrap();
+        assert_eq!(cells, vec![record("a")], "partial line dropped");
+        // Re-opening repairs the file, so a post-crash append starts on a
+        // fresh line instead of extending the fragment.
+        let s = ShardStore::open(s.dir()).unwrap();
+        s.append_cell(&record("c")).unwrap();
+        assert_eq!(s.load_cells().unwrap(), vec![record("a"), record("c")]);
+        // Mid-file corruption is an error, not silence.
+        fs::write(&path, "{broken\n{\"also\":\"broken\"}\nmore\n").unwrap();
+        assert!(s.load_cells().is_err());
+        let _ = fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn missing_files_read_as_empty() {
+        let s = temp_store("empty");
+        assert!(s.load_cells().unwrap().is_empty());
+        assert!(s.completed_keys().unwrap().is_empty());
+        let _ = fs::remove_dir_all(s.dir());
+    }
+}

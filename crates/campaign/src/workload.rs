@@ -1,0 +1,264 @@
+//! Open-loop multicast workloads over [`optmc::concurrent`].
+//!
+//! The paper's evaluation runs one multicast at a time; a machine under
+//! load runs many, arriving independently of completions (open-loop).
+//! This module injects `count` multicasts with random roots and groups at
+//! seeded Poisson or fixed-rate arrival times, then reports per-multicast
+//! latency distributions and the *interference factor* — joint latency
+//! over the solo latency of the identical multicast on an idle network.
+
+use flitsim::Histogram;
+use pcm::Time;
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+use topo::Topology;
+
+use flitsim::SimConfig;
+use optmc::concurrent::{run_concurrent, ConcurrentOutcome, McastSpec};
+use optmc::experiments::{fnv1a64, random_placement, trial_seed};
+use optmc::Algorithm;
+
+/// The arrival process of an open-loop workload.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Arrivals {
+    /// Poisson arrivals with the given mean inter-arrival gap (cycles):
+    /// exponentially-distributed gaps, the classic open-loop injector.
+    Poisson {
+        /// Mean gap between consecutive arrivals, in cycles.
+        mean_gap: f64,
+    },
+    /// One arrival every `gap` cycles exactly.
+    Fixed {
+        /// Gap between consecutive arrivals, in cycles.
+        gap: Time,
+    },
+}
+
+/// An open-loop workload description.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadSpec {
+    /// Number of multicasts to inject.
+    pub count: usize,
+    /// Participants per multicast (root included).
+    pub k: usize,
+    /// Message bytes per multicast.
+    pub bytes: u64,
+    /// The arrival process.
+    pub arrivals: Arrivals,
+    /// Seed for groups, roots, and arrival times.
+    pub seed: u64,
+}
+
+/// A uniform draw in `[0, 1)` from the top 53 bits (exactly representable).
+fn unit_f64(rng: &mut StdRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+/// Expand the workload into concurrent-multicast specs: group `i` is an
+/// independent random placement (groups may overlap — real traffic does),
+/// its root the placement's first node, its start the cumulative arrival
+/// time.  Deterministic in `spec.seed`.
+pub fn generate_specs(n_nodes: usize, spec: &WorkloadSpec) -> Vec<McastSpec> {
+    let stream = fnv1a64(format!("workload#{}#{}", spec.k, spec.count).as_bytes());
+    let mut rng = StdRng::seed_from_u64(trial_seed(spec.seed, stream, 0));
+    let mut t: Time = 0;
+    (0..spec.count)
+        .map(|i| {
+            let gap = match spec.arrivals {
+                Arrivals::Fixed { gap } => gap,
+                Arrivals::Poisson { mean_gap } => {
+                    // Inverse-CDF exponential sample; 1-u keeps ln finite.
+                    (-(1.0 - unit_f64(&mut rng)).ln() * mean_gap).round() as Time
+                }
+            };
+            t = t.saturating_add(gap);
+            let participants =
+                random_placement(n_nodes, spec.k, trial_seed(spec.seed, stream, i + 1));
+            McastSpec {
+                src: participants[0],
+                participants,
+                bytes: spec.bytes,
+                start: t,
+            }
+        })
+        .collect()
+}
+
+/// The workload's outcome: per-multicast latencies within the joint run
+/// plus the solo baselines of the identical multicasts.
+#[derive(Debug, Clone)]
+pub struct WorkloadReport {
+    /// Per-multicast outcomes of the joint run, in injection order.
+    pub outcomes: Vec<ConcurrentOutcome>,
+    /// Latency of each multicast run alone on an idle network.
+    pub solo: Vec<Time>,
+    /// Distribution of joint latencies.
+    pub latency: Histogram,
+    /// Mean joint latency.
+    pub mean_latency: f64,
+    /// Mean of per-multicast `joint / solo` ratios.
+    pub mean_interference: f64,
+    /// The worst per-multicast `joint / solo` ratio.
+    pub max_interference: f64,
+    /// Last completion minus first injection.
+    pub makespan: Time,
+    /// Total head-blocked cycles across the joint run.
+    pub blocked_cycles: u64,
+}
+
+/// Run the workload under `algorithm` and report.
+///
+/// # Panics
+/// If `spec.count == 0` or `spec.k` exceeds the machine (placement
+/// contract).
+pub fn run_workload(
+    topo: &dyn Topology,
+    cfg: &SimConfig,
+    algorithm: Algorithm,
+    spec: &WorkloadSpec,
+) -> WorkloadReport {
+    assert!(spec.count >= 1, "workload needs at least one multicast");
+    let specs = generate_specs(topo.graph().n_nodes(), spec);
+    let (outcomes, sim) = run_concurrent(topo, cfg, algorithm, &specs);
+
+    let solo: Vec<Time> = specs
+        .iter()
+        .map(|s| {
+            optmc::run_multicast(topo, cfg, algorithm, &s.participants, s.src, s.bytes).latency
+        })
+        .collect();
+
+    let ratios: Vec<f64> = outcomes
+        .iter()
+        .zip(&solo)
+        .map(|(o, &s)| o.latency as f64 / s.max(1) as f64)
+        .collect();
+    let latency = Histogram::from_samples(outcomes.iter().map(|o| o.latency));
+    let first_start = specs.iter().map(|s| s.start).min().unwrap_or(0);
+    let last_done = outcomes
+        .iter()
+        .map(|o| o.start + o.latency)
+        .max()
+        .unwrap_or(0);
+    WorkloadReport {
+        mean_latency: latency.mean(),
+        latency,
+        mean_interference: ratios.iter().sum::<f64>() / ratios.len() as f64,
+        max_interference: ratios.iter().copied().fold(0.0, f64::max),
+        makespan: last_done.saturating_sub(first_start),
+        blocked_cycles: sim.blocked_cycles,
+        outcomes,
+        solo,
+    }
+}
+
+/// Human-readable workload report for the CLI.
+pub fn render_report(r: &WorkloadReport) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "multicasts     {}", r.outcomes.len());
+    let _ = writeln!(
+        out,
+        "joint latency  mean {:.1}  p50 {}  p95 {}  max {}",
+        r.mean_latency,
+        r.latency.quantile(0.50).unwrap_or(0),
+        r.latency.quantile(0.95).unwrap_or(0),
+        r.latency.max,
+    );
+    let _ = writeln!(
+        out,
+        "interference   mean {:.2}x  worst {:.2}x vs solo baseline",
+        r.mean_interference, r.max_interference
+    );
+    let _ = writeln!(
+        out,
+        "makespan       {} cycles, {} blocked",
+        r.makespan, r.blocked_cycles
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use topo::Mesh;
+
+    fn base(arrivals: Arrivals) -> WorkloadSpec {
+        WorkloadSpec {
+            count: 6,
+            k: 12,
+            bytes: 2048,
+            arrivals,
+            seed: 7,
+        }
+    }
+
+    #[test]
+    fn generation_is_seeded_and_open_loop() {
+        let w = base(Arrivals::Poisson { mean_gap: 500.0 });
+        let a = generate_specs(256, &w);
+        let b = generate_specs(256, &w);
+        assert_eq!(a.len(), 6);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.participants, y.participants, "same seed, same groups");
+            assert_eq!(x.start, y.start);
+        }
+        assert!(
+            a.windows(2).all(|p| p[0].start <= p[1].start),
+            "arrival order"
+        );
+        assert!(a.last().unwrap().start > 0, "arrivals actually spread out");
+        let mut w2 = w;
+        w2.seed = 8;
+        let c = generate_specs(256, &w2);
+        assert_ne!(
+            a.iter().map(|s| s.start).collect::<Vec<_>>(),
+            c.iter().map(|s| s.start).collect::<Vec<_>>(),
+            "different seed, different arrivals"
+        );
+    }
+
+    #[test]
+    fn fixed_rate_arrivals_are_evenly_spaced() {
+        let w = base(Arrivals::Fixed { gap: 300 });
+        let specs = generate_specs(256, &w);
+        for (i, s) in specs.iter().enumerate() {
+            assert_eq!(s.start, 300 * (i as u64 + 1));
+        }
+    }
+
+    #[test]
+    fn interference_is_at_least_solo_and_widely_spaced_arrivals_are_clean() {
+        let m = Mesh::new(&[16, 16]);
+        let cfg = SimConfig::paragon_like();
+        // Arrivals spaced far beyond any single multicast's latency: the
+        // network is idle at each injection, so joint == solo exactly.
+        let w = base(Arrivals::Fixed { gap: 1_000_000 });
+        let r = run_workload(&m, &cfg, Algorithm::OptArch, &w);
+        for (o, &s) in r.outcomes.iter().zip(&r.solo) {
+            assert_eq!(o.latency, s, "idle-network multicast must match solo");
+        }
+        assert!((r.mean_interference - 1.0).abs() < 1e-9);
+        assert_eq!(r.blocked_cycles, 0);
+    }
+
+    #[test]
+    fn saturating_arrivals_interfere() {
+        let m = Mesh::new(&[16, 16]);
+        let cfg = SimConfig::paragon_like();
+        let w = WorkloadSpec {
+            count: 8,
+            k: 24,
+            bytes: 8192,
+            arrivals: Arrivals::Fixed { gap: 1 },
+            seed: 3,
+        };
+        let r = run_workload(&m, &cfg, Algorithm::OptArch, &w);
+        assert!(
+            r.max_interference > 1.0,
+            "back-to-back multicasts with overlapping groups must interfere: {r:?}"
+        );
+        assert!(r.latency.count == 8);
+        assert!(render_report(&r).contains("interference"));
+    }
+}

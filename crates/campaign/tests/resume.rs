@@ -1,0 +1,136 @@
+//! Resume correctness: a campaign killed mid-write and resumed produces
+//! exactly the data an uninterrupted campaign produces.
+
+use campaign::{
+    expand, figure_from_records, run_campaign, summarize, CampaignSpec, PoolOptions, ShardStore,
+};
+
+fn spec(name: &str) -> CampaignSpec {
+    CampaignSpec::from_json(&format!(
+        r#"{{
+            "name": "{name}",
+            "topos": ["mesh:8x8"],
+            "algorithms": ["u-arch", "opt-tree", "opt-arch"],
+            "ks": [8],
+            "sizes": [0, 2048, 8192],
+            "trials": 3,
+            "figure": {{"id": "resume_test", "title": "resume test", "x": "bytes"}}
+        }}"#
+    ))
+    .unwrap()
+}
+
+fn temp_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("campaign_resume_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn killed_and_resumed_campaign_equals_uninterrupted_run() {
+    let opts = PoolOptions::default();
+
+    // Reference: one uninterrupted run.
+    let ref_dir = temp_dir("reference");
+    let ref_store = ShardStore::open(&ref_dir).unwrap();
+    let s = run_campaign(&spec("ref"), &ref_store, &opts, &|_| {}).unwrap();
+    assert_eq!((s.total, s.executed, s.failed), (9, 9, 0));
+    let mut reference = ref_store.load_cells().unwrap();
+
+    // Victim: same grid (different campaign name — keys must not care),
+    // then simulate a kill mid-append: drop one full record and leave a
+    // partial line of another.
+    let vic_dir = temp_dir("victim");
+    let vic_store = ShardStore::open(&vic_dir).unwrap();
+    run_campaign(&spec("victim"), &vic_store, &opts, &|_| {}).unwrap();
+    let path = vic_dir.join("cells.jsonl");
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 9);
+    let mut mangled: String = lines[..7].join("\n");
+    mangled.push('\n');
+    mangled.push_str(&lines[7][..lines[7].len() / 2]); // the partial line
+    std::fs::write(&path, mangled).unwrap();
+
+    // Resume (a restart re-opens the store, which truncates the partial
+    // line): exactly the two lost cells re-run.
+    let vic_store = ShardStore::open(&vic_dir).unwrap();
+    assert_eq!(vic_store.load_cells().unwrap().len(), 7);
+    let s = run_campaign(&spec("victim"), &vic_store, &opts, &|_| {}).unwrap();
+    assert_eq!((s.executed, s.skipped, s.failed), (2, 7, 0), "{s:?}");
+    let mut resumed = vic_store.load_cells().unwrap();
+
+    // Merged results equal the uninterrupted run, record for record
+    // (wall_ms is nondeterministic; everything the science depends on is
+    // compared).
+    reference.sort_by(|a, b| a.key.cmp(&b.key));
+    resumed.sort_by(|a, b| a.key.cmp(&b.key));
+    assert_eq!(reference.len(), resumed.len());
+    for (a, b) in reference.iter().zip(&resumed) {
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.outcomes.len(), b.outcomes.len());
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            // wall_ns is wall-clock; everything else must match exactly.
+            let det = |o: &optmc::TrialOutcome| {
+                (
+                    o.trial,
+                    o.placement_seed,
+                    o.latency,
+                    o.analytic,
+                    o.blocked,
+                    o.contention_free,
+                    o.events,
+                )
+            };
+            assert_eq!(det(x), det(y), "cell {} diverged on resume", a.key);
+        }
+    }
+
+    // And the aggregation pass sees identical figures and summaries.
+    let fig_ref = figure_from_records(&spec("ref"), &reference).unwrap();
+    let fig_res = figure_from_records(&spec("victim"), &resumed).unwrap();
+    assert_eq!(fig_ref, fig_res);
+    let sum_ref = summarize(&reference).unwrap();
+    let sum_res = summarize(&resumed).unwrap();
+    assert_eq!(sum_ref.mean_latency, sum_res.mean_latency);
+    assert_eq!(sum_ref.min_latency, sum_res.min_latency);
+    assert_eq!(sum_ref.max_latency, sum_res.max_latency);
+
+    let _ = std::fs::remove_dir_all(&ref_dir);
+    let _ = std::fs::remove_dir_all(&vic_dir);
+}
+
+#[test]
+fn campaign_cells_match_solo_run_trials_bit_for_bit() {
+    // The seed-derivation contract: a campaign cell and a solo
+    // `run_trials_detailed` of the same parameters agree exactly, because
+    // placement seeds derive from cell content, not enumeration order.
+    let dir = temp_dir("solo");
+    let store = ShardStore::open(&dir).unwrap();
+    let sp = spec("solo");
+    run_campaign(&sp, &store, &PoolOptions::default(), &|_| {}).unwrap();
+    let records = store.load_cells().unwrap();
+    let topo = optmc::spec::parse_topology("mesh:8x8").unwrap();
+    let cfg = flitsim::SimConfig::paragon_like();
+    for cell in expand(&sp) {
+        let rec = records.iter().find(|r| r.key == cell.key()).unwrap();
+        let solo = optmc::run_trials_detailed(
+            topo.as_ref(),
+            &cfg,
+            cell.algorithm,
+            cell.k,
+            cell.bytes,
+            cell.trials,
+            cell.seed,
+            1,
+        );
+        for (a, b) in rec.outcomes.iter().zip(&solo) {
+            assert_eq!(a.placement_seed, b.placement_seed);
+            assert_eq!(a.latency, b.latency);
+            assert_eq!(a.analytic, b.analytic);
+            assert_eq!(a.blocked, b.blocked);
+            assert_eq!(a.events, b.events);
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -2,11 +2,15 @@
 
 use crate::{err, CliError};
 
-/// Parsed arguments: positional subcommand + flag map.
+/// Parsed arguments: positional subcommand (+ optional action word, as in
+/// `sweep run`) + flag map.
 #[derive(Debug, Clone, Default)]
 pub struct Args {
     /// The subcommand (first bare word).
     pub command: String,
+    /// A second bare word right after the subcommand (`sweep run`), if any.
+    /// Commands that take no action reject it at dispatch.
+    pub action: Option<String>,
     flags: Vec<(String, Option<String>)>,
 }
 
@@ -18,6 +22,10 @@ impl Args {
         if command.starts_with("--") {
             return Err(err(format!("expected a subcommand before '{command}'")));
         }
+        let action = match it.peek() {
+            Some(tok) if !tok.starts_with("--") => Some(it.next().expect("peeked")),
+            _ => None,
+        };
         let mut flags = Vec::new();
         while let Some(tok) = it.next() {
             let Some(name) = tok.strip_prefix("--") else {
@@ -30,7 +38,11 @@ impl Args {
             };
             flags.push((name.to_string(), value));
         }
-        Ok(Args { command, flags })
+        Ok(Args {
+            command,
+            action,
+            flags,
+        })
     }
 
     /// String value of a flag.
@@ -103,8 +115,20 @@ mod tests {
 
     #[test]
     fn rejects_positional_noise() {
-        assert!(args("run mesh").is_err());
+        // A second bare word parses as the action (dispatch rejects it for
+        // commands that take none); a third is always noise.
+        assert_eq!(args("run mesh").unwrap().action.as_deref(), Some("mesh"));
+        assert!(args("sweep run extra").is_err());
         assert!(args("--topo mesh:4x4").is_err());
+    }
+
+    #[test]
+    fn parses_an_action_word() {
+        let a = args("sweep run --spec s.json --jobs 4").unwrap();
+        assert_eq!(a.command, "sweep");
+        assert_eq!(a.action.as_deref(), Some("run"));
+        assert_eq!(a.get("spec"), Some("s.json"));
+        assert!(args("sweep --spec s.json").unwrap().action.is_none());
     }
 
     #[test]

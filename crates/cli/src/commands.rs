@@ -18,6 +18,12 @@ use crate::{err, CliError};
 
 /// Dispatch a parsed argument set.
 pub fn dispatch(a: &Args) -> Result<String, CliError> {
+    // Only `sweep` takes an action word (`sweep run` etc.).
+    if a.command != "sweep" {
+        if let Some(action) = &a.action {
+            return Err(err(format!("unexpected positional argument '{action}'")));
+        }
+    }
     match a.command.as_str() {
         "tree" => cmd_tree(a),
         "check" => cmd_check(a),
@@ -27,6 +33,8 @@ pub fn dispatch(a: &Args) -> Result<String, CliError> {
         "calibrate" => cmd_calibrate(a),
         "gather" => cmd_gather(a),
         "growth" => cmd_growth(a),
+        "sweep" => crate::sweep::cmd_sweep(a),
+        "workload" => crate::sweep::cmd_workload(a),
         "" | "help" => Ok(crate::USAGE.to_string()),
         other => Err(err(format!(
             "unknown subcommand '{other}'\n\n{}",

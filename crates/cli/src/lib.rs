@@ -10,6 +10,7 @@
 pub mod args;
 pub mod commands;
 pub mod spec;
+pub mod sweep;
 
 use std::fmt;
 
@@ -46,6 +47,10 @@ USAGE:
   optmc calibrate --topo SPEC [--sizes CSV]
   optmc gather    --topo SPEC --alg ALG --nodes K --bytes B [--seed S]
   optmc growth    --hold H --end E [--until T]
+  optmc sweep     run|resume|report --spec FILE.json [--jobs N] [--budget-ms MS]
+                  [--out DIR] [--quiet]
+  optmc workload  --topo SPEC --nodes K --bytes B [--alg ALG] [--count N]
+                  [--gap G | --mean-gap F] [--seed S]
 
 TOPO SPEC:
   mesh:16x16[:ports]   n-dimensional mesh, e.g. mesh:8x8, mesh:4x4x4, mesh:16x16:2
@@ -67,6 +72,23 @@ CHECK:
   run asserting the simulator agrees with the static verdict.  --nodes
   defaults to the whole machine.  Exits 1 on any error-level finding;
   --json emits the report as JSON.
+
+SWEEP:
+  Parallel, resumable experiment campaigns.  --spec is a declarative JSON
+  grid (topos × algorithms × ks × sizes, plus trials/seed and an optional
+  figure mapping); completed cells checkpoint to a JSONL shard store under
+  --out (default results/campaigns)/<name>, so a killed campaign resumes
+  where it stopped and 'resume' re-runs nothing already recorded.  Panics
+  and per-cell --budget-ms overruns land in a failure ledger instead of
+  aborting the sweep.  'report' reduces the shards into the campaign
+  summary and (with a figure mapping) the results/<id>.csv|json dataset —
+  byte-identical to the sequential figure binaries.
+
+WORKLOAD:
+  Open-loop concurrent-multicast workload: --count multicasts with random
+  roots and groups arrive at seeded Poisson (--mean-gap, default) or
+  fixed-rate (--gap) times; reports the joint latency distribution and the
+  interference factor against each multicast's solo baseline.
 
 INSPECT:
   Runs one fully-observed multicast and prints the run report (latency

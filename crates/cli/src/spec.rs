@@ -1,8 +1,13 @@
 //! Topology and algorithm specifications (`mesh:16x16`, `opt-arch`, …).
+//!
+//! The grammar itself lives in [`optmc::spec`] (shared with the `campaign`
+//! crate's declarative sweeps); this module adapts the errors to
+//! [`CliError`] and adds the netcheck routing-discipline mapping, which is
+//! CLI-specific.
 
 use netcheck::Discipline;
 use optmc::Algorithm;
-use topo::{Bmin, Mesh, Omega, Topology, Torus, UpPolicy};
+use topo::Topology;
 
 use crate::{err, CliError};
 
@@ -15,67 +20,10 @@ fn parse_dims(kind: &str, arg: &str) -> Result<Vec<usize>, CliError> {
     Ok(dims)
 }
 
-/// Parse a topology spec into a boxed topology.
-///
-/// Grammar: `mesh:AxB[xC…][:ports]`, `torus:AxB[xC…][:novc]`,
-/// `hypercube:D`, `bmin:N`, `omega:N` (`N` a power of two).
+/// Parse a topology spec into a boxed topology (see [`optmc::spec`] for
+/// the grammar).
 pub fn parse_topology(spec: &str) -> Result<Box<dyn Topology>, CliError> {
-    let mut parts = spec.split(':');
-    let kind = parts.next().unwrap_or_default();
-    let arg = parts
-        .next()
-        .ok_or_else(|| err(format!("topology '{spec}' needs an argument")))?;
-    let extra = parts.next();
-    match kind {
-        "mesh" => {
-            let dims = parse_dims(kind, arg)?;
-            let ports = match extra {
-                None => 1,
-                Some(p) => p
-                    .parse()
-                    .map_err(|_| err(format!("bad port count '{p}'")))?,
-            };
-            Ok(Box::new(Mesh::with_ports(&dims, ports)))
-        }
-        "torus" => {
-            let dims = parse_dims(kind, arg)?;
-            match extra {
-                // `novc` drops the dateline virtual channels — deliberately
-                // deadlock-prone, for exercising `optmc check`.
-                Some("novc") => Ok(Box::new(Torus::unvirtualized(&dims))),
-                None => Ok(Box::new(Torus::new(&dims))),
-                Some(other) => Err(err(format!("bad torus option '{other}' (only 'novc')"))),
-            }
-        }
-        "hypercube" => {
-            let d: usize = arg
-                .parse()
-                .map_err(|_| err(format!("bad cube dimension '{arg}'")))?;
-            if !(1..=20).contains(&d) {
-                return Err(err(format!("cube dimension {d} out of range 1..=20")));
-            }
-            Ok(Box::new(Mesh::hypercube(d)))
-        }
-        "bmin" | "omega" => {
-            let n: usize = arg
-                .parse()
-                .map_err(|_| err(format!("bad node count '{arg}'")))?;
-            if !n.is_power_of_two() || n < 2 {
-                return Err(err(format!(
-                    "{kind} node count must be a power of two >= 2, got {n}"
-                )));
-            }
-            let s = n.trailing_zeros();
-            if kind == "bmin" {
-                Ok(Box::new(Bmin::new(s, UpPolicy::Straight)))
-            } else {
-                Ok(Box::new(Omega::new(s)))
-            }
-        }
-        other => Err(err(format!(
-            "unknown topology '{other}' (expected mesh / torus / hypercube / bmin / omega)"
-        ))),
-    }
+    optmc::spec::parse_topology(spec).map_err(CliError)
 }
 
 /// The routing discipline `optmc check` should lint a topology spec
@@ -106,18 +54,9 @@ pub fn discipline_for(spec: &str) -> Result<Discipline, CliError> {
     }
 }
 
-/// Parse an algorithm name.
+/// Parse an algorithm name ([`Algorithm::parse`] with CLI errors).
 pub fn parse_algorithm(name: &str) -> Result<Algorithm, CliError> {
-    match name {
-        "opt-arch" | "opt-mesh" | "opt-min" => Ok(Algorithm::OptArch),
-        "u-arch" | "u-mesh" | "u-min" => Ok(Algorithm::UArch),
-        "opt-tree" => Ok(Algorithm::OptTree),
-        "binomial" => Ok(Algorithm::BinomialTree),
-        "sequential" | "seq" => Ok(Algorithm::Sequential),
-        other => Err(err(format!(
-            "unknown algorithm '{other}' (expected opt-arch / u-arch / opt-tree / binomial / sequential)"
-        ))),
-    }
+    Algorithm::parse(name).map_err(CliError)
 }
 
 #[cfg(test)]

@@ -1,0 +1,293 @@
+//! `optmc sweep` (campaign runner) and `optmc workload` (open-loop
+//! concurrent-multicast workloads) — the CLI surface of the `campaign`
+//! crate.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use campaign::{
+    figure_from_records, run_campaign, run_workload, summarize, Arrivals, CampaignSpec, CellReport,
+    PoolOptions, ShardStore, WorkloadSpec,
+};
+use flitsim::SimConfig;
+
+use crate::args::Args;
+use crate::spec::{parse_algorithm, parse_topology};
+use crate::{err, CliError};
+
+fn load_spec(a: &Args) -> Result<CampaignSpec, CliError> {
+    let path = a.require("spec")?;
+    CampaignSpec::load(std::path::Path::new(path)).map_err(CliError)
+}
+
+fn store_dir(a: &Args, spec: &CampaignSpec) -> PathBuf {
+    let out = a.get("out").unwrap_or("results/campaigns");
+    PathBuf::from(out).join(&spec.name)
+}
+
+/// `optmc sweep run|resume|report`.
+pub fn cmd_sweep(a: &Args) -> Result<String, CliError> {
+    let action = a.action.as_deref().unwrap_or("");
+    match action {
+        "run" | "resume" => sweep_run(a, action == "resume"),
+        "report" => sweep_report(a),
+        "" => Err(err("sweep needs an action: run | resume | report")),
+        other => Err(err(format!(
+            "unknown sweep action '{other}' (expected run | resume | report)"
+        ))),
+    }
+}
+
+fn sweep_run(a: &Args, resume: bool) -> Result<String, CliError> {
+    let spec = load_spec(a)?;
+    let dir = store_dir(a, &spec);
+    if resume && !dir.exists() {
+        return Err(err(format!(
+            "nothing to resume: no shard store at {}",
+            dir.display()
+        )));
+    }
+    let store = ShardStore::open(&dir).map_err(|e| err(format!("{}: {e}", dir.display())))?;
+    let opts = PoolOptions {
+        jobs: a.num("jobs", 0)?,
+        budget_ms: match a.get("budget-ms") {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|_| err(format!("--budget-ms: cannot parse '{v}'")))?,
+            ),
+        },
+    };
+    let quiet = a.has("quiet");
+    let progress = |r: &CellReport| {
+        if quiet {
+            return;
+        }
+        // Streaming progress lines go to stderr so stdout stays the
+        // machine-usable summary.
+        match (&r.stats, &r.error) {
+            (Some(s), _) => eprintln!(
+                "[{:>3}/{}] {}  mean {:.1}  ({} events, {} ms)",
+                r.done, r.total, r.key, s.mean_latency, r.events, r.wall_ms
+            ),
+            (None, Some(e)) => eprintln!("[{:>3}/{}] {}  FAILED: {e}", r.done, r.total, r.key),
+            (None, None) => {}
+        }
+    };
+    let summary = run_campaign(&spec, &store, &opts, &progress).map_err(CliError)?;
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "campaign '{}': {} cells — {} executed, {} skipped, {} failed",
+        spec.name, summary.total, summary.executed, summary.skipped, summary.failed
+    );
+    let _ = writeln!(
+        out,
+        "wall {} ms ({:.2} cells/s), shard store {}",
+        summary.wall_ms,
+        summary.cells_per_sec,
+        store.dir().display()
+    );
+    if summary.failed > 0 {
+        let _ = writeln!(
+            out,
+            "failures recorded in {}; fix or raise --budget-ms and `optmc sweep resume`",
+            store.dir().join("failures.jsonl").display()
+        );
+    }
+    Ok(out)
+}
+
+fn sweep_report(a: &Args) -> Result<String, CliError> {
+    let spec = load_spec(a)?;
+    let dir = store_dir(a, &spec);
+    let store = ShardStore::open(&dir).map_err(|e| err(format!("{}: {e}", dir.display())))?;
+    let records = store
+        .load_cells()
+        .map_err(|e| err(format!("shard store: {e}")))?;
+    let mut out = String::new();
+    let Some(summary) = summarize(&records) else {
+        return Err(err(format!(
+            "no completed cells in {} — run the campaign first",
+            dir.display()
+        )));
+    };
+    if spec.figure.is_some() {
+        let fig = figure_from_records(&spec, &records).map_err(CliError)?;
+        let _ = write!(out, "{}", fig.to_table());
+        let csv = fig
+            .write_csv()
+            .map_err(|e| err(format!("writing CSV: {e}")))?;
+        let json = fig
+            .write_json()
+            .map_err(|e| err(format!("writing JSON: {e}")))?;
+        let _ = writeln!(out, "\n[csv] {}", csv.display());
+        let _ = writeln!(out, "[json] {}", json.display());
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{}", campaign::aggregate::render_summary(&summary));
+    let failures = store
+        .load_failures()
+        .map_err(|e| err(format!("failure ledger: {e}")))?;
+    if !failures.is_empty() {
+        let _ = writeln!(
+            out,
+            "failures       {} (see failures.jsonl)",
+            failures.len()
+        );
+    }
+    Ok(out)
+}
+
+/// `optmc workload` — one open-loop concurrent-multicast experiment.
+pub fn cmd_workload(a: &Args) -> Result<String, CliError> {
+    let topo = parse_topology(a.require("topo")?)?;
+    let alg = parse_algorithm(a.get("alg").unwrap_or("opt-arch"))?;
+    let count: usize = a.num("count", 8)?;
+    let k: usize = a.require_num("nodes")?;
+    let bytes: u64 = a.require_num("bytes")?;
+    let seed: u64 = a.num("seed", 1997)?;
+    let n = topo.graph().n_nodes();
+    if k > n || k < 2 {
+        return Err(err(format!("--nodes must be in 2..={n}")));
+    }
+    if count == 0 {
+        return Err(err("--count must be at least 1"));
+    }
+    let arrivals = match (a.get("gap"), a.get("mean-gap")) {
+        (Some(_), Some(_)) => return Err(err("--gap and --mean-gap are mutually exclusive")),
+        (Some(g), None) => Arrivals::Fixed {
+            gap: g
+                .parse()
+                .map_err(|_| err(format!("--gap: cannot parse '{g}'")))?,
+        },
+        (None, Some(m)) => Arrivals::Poisson {
+            mean_gap: m
+                .parse()
+                .map_err(|_| err(format!("--mean-gap: cannot parse '{m}'")))?,
+        },
+        (None, None) => Arrivals::Poisson { mean_gap: 5000.0 },
+    };
+    let spec = WorkloadSpec {
+        count,
+        k,
+        bytes,
+        arrivals,
+        seed,
+    };
+    let cfg = SimConfig::paragon_like();
+    let report = run_workload(topo.as_ref(), &cfg, alg, &spec);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "open-loop workload on {}: {} × {}-node {} multicasts of {} bytes ({:?})",
+        topo.name(),
+        count,
+        k,
+        alg.display_name(topo.as_ref()),
+        bytes,
+        arrivals,
+    );
+    let _ = write!(out, "{}", campaign::workload::render_report(&report));
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::commands::dispatch;
+
+    fn run(cmdline: &str) -> Result<String, CliError> {
+        dispatch(&Args::parse(cmdline.split_whitespace().map(String::from)).unwrap())
+    }
+
+    fn write_spec(tag: &str, out_dir: &std::path::Path) -> PathBuf {
+        let spec = format!(
+            r#"{{
+                "name": "cli_{tag}",
+                "topos": ["mesh:8x8"],
+                "algorithms": ["u-arch", "opt-arch"],
+                "ks": [8],
+                "sizes": [512, 4096],
+                "trials": 2,
+                "figure": {{"id": "cli_{tag}", "title": "cli test fig", "x": "bytes"}}
+            }}"#
+        );
+        let path = out_dir.join(format!("spec_{tag}.json"));
+        std::fs::write(&path, spec).unwrap();
+        path
+    }
+
+    #[test]
+    fn sweep_run_report_resume_roundtrip() {
+        let base = std::env::temp_dir().join(format!("optmc_sweep_cli_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let spec = write_spec("roundtrip", &base);
+        let spec_s = spec.to_str().unwrap();
+        let out_s = base.join("campaigns");
+        let out_s = out_s.to_str().unwrap();
+
+        let out = run(&format!(
+            "sweep run --spec {spec_s} --out {out_s} --jobs 2 --quiet"
+        ))
+        .unwrap();
+        assert!(out.contains("4 executed, 0 skipped, 0 failed"), "{out}");
+
+        let out = run(&format!(
+            "sweep resume --spec {spec_s} --out {out_s} --quiet"
+        ))
+        .unwrap();
+        assert!(out.contains("0 executed, 4 skipped"), "{out}");
+
+        // report writes results/<id>.csv relative to the cwd; only check
+        // the table and summary text here (figure bytes are covered by the
+        // campaign crate's tests).
+        let out = run(&format!("sweep report --spec {spec_s} --out {out_s}")).unwrap();
+        assert!(out.contains("U-mesh") && out.contains("OPT-mesh"), "{out}");
+        assert!(out.contains("cells/s"), "{out}");
+        for id in ["cli_roundtrip.csv", "cli_roundtrip.json"] {
+            let p = std::path::Path::new("results").join(id);
+            assert!(p.exists(), "missing {}", p.display());
+            let _ = std::fs::remove_file(p);
+        }
+        let _ = std::fs::remove_dir("results"); // only if the test created it
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn sweep_rejects_bad_actions_and_missing_resume() {
+        let base = std::env::temp_dir().join(format!("optmc_sweep_cli_bad_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let spec = write_spec("bad", &base);
+        let spec_s = spec.to_str().unwrap();
+        assert!(run("sweep --spec nope.json").is_err(), "missing action");
+        assert!(run("sweep explode --spec nope.json").is_err());
+        let e = run(&format!(
+            "sweep resume --spec {spec_s} --out {}/campaigns",
+            base.to_str().unwrap()
+        ))
+        .unwrap_err();
+        assert!(e.0.contains("nothing to resume"), "{}", e.0);
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn workload_reports_interference() {
+        let out = run(
+            "workload --topo mesh:8x8 --alg opt-arch --count 4 --nodes 8 --bytes 1024 --gap 200",
+        )
+        .unwrap();
+        assert!(out.contains("interference"), "{out}");
+        assert!(out.contains("multicasts     4"), "{out}");
+        // Poisson is the default arrival process.
+        let out =
+            run("workload --topo mesh:8x8 --count 3 --nodes 6 --bytes 512 --mean-gap 800").unwrap();
+        assert!(out.contains("Poisson"), "{out}");
+        assert!(run(
+            "workload --topo mesh:8x8 --count 3 --nodes 6 --bytes 512 --gap 5 --mean-gap 8"
+        )
+        .is_err());
+    }
+}

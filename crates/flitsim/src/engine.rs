@@ -59,7 +59,10 @@ struct ChanState {
 struct NodeState<P> {
     cpu_free: Time,
     queue: VecDeque<SendReq<P>>,
-    kick_scheduled: bool,
+    /// Time of the earliest pending `NodeKick`, if any.  Stale kicks (a
+    /// later one superseded by an earlier enqueue) stay in the heap and are
+    /// ignored when they fire.
+    kick_at: Option<Time>,
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -163,7 +166,7 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
                 .map(|_| NodeState {
                     cpu_free: 0,
                     queue: VecDeque::new(),
-                    kick_scheduled: false,
+                    kick_at: None,
                 })
                 .collect(),
             heap: BinaryHeap::new(),
@@ -285,23 +288,38 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
             assert_ne!(s.dest, node, "node {node:?} may not send to itself");
         }
         let ns = &mut self.nodes[node.idx()];
-        ns.queue.extend(sends);
-        if !ns.kick_scheduled {
-            ns.kick_scheduled = true;
-            let at = now.max(ns.cpu_free);
-            self.schedule(at, Event::NodeKick(node.0));
+        // Stable insert by `not_before`: a send with an earlier constraint
+        // never waits behind one constrained to the far future (concurrent
+        // multicasts with staggered starts share node CPUs).  Each
+        // program's own non-decreasing `not_before` order is preserved.
+        for s in sends {
+            let pos = ns
+                .queue
+                .iter()
+                .rposition(|q| q.not_before <= s.not_before)
+                .map_or(0, |p| p + 1);
+            ns.queue.insert(pos, s);
+        }
+        let head = ns.queue.front().expect("just inserted");
+        let want = now.max(ns.cpu_free).max(head.not_before);
+        if ns.kick_at.is_none_or(|k| want < k) {
+            ns.kick_at = Some(want);
+            self.schedule(want, Event::NodeKick(node.0));
         }
     }
 
     fn on_kick(&mut self, node: NodeId, t: Time) {
         let ns = &mut self.nodes[node.idx()];
-        ns.kick_scheduled = false;
+        if ns.kick_at != Some(t) {
+            return; // superseded by an earlier kick
+        }
+        ns.kick_at = None;
         let Some(head) = ns.queue.front() else {
             return;
         };
         let earliest = ns.cpu_free.max(head.not_before);
         if t < earliest {
-            ns.kick_scheduled = true;
+            ns.kick_at = Some(earliest);
             self.schedule(earliest, Event::NodeKick(node.0));
             return;
         }
@@ -309,10 +327,9 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
         let hold = self.cfg.software.t_hold.eval(req.bytes);
         let t_send = self.cfg.software.t_send.eval(req.bytes);
         ns.cpu_free = t + hold;
-        let more = !ns.queue.is_empty();
-        if more {
-            ns.kick_scheduled = true;
-            let at = ns.cpu_free;
+        if let Some(next) = ns.queue.front() {
+            let at = ns.cpu_free.max(next.not_before);
+            ns.kick_at = Some(at);
             self.schedule(at, Event::NodeKick(node.0));
         }
         let w = self.worms.len() as u32;

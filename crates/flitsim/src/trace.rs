@@ -32,6 +32,10 @@ pub enum TraceKind {
     CpuBusy,
     /// A node's CPU became free again.
     CpuIdle,
+    /// A run-level analysis anomaly (e.g. observed latency below the
+    /// analytic bound through model rounding) — emitted by analysis layers
+    /// above the engine, never by the engine itself.
+    Anomaly,
 }
 
 /// One trace record.

@@ -50,6 +50,43 @@ impl Algorithm {
     pub const PAPER_SET: [Algorithm; 3] =
         [Algorithm::UArch, Algorithm::OptTree, Algorithm::OptArch];
 
+    /// Every algorithm, in a stable order.
+    pub const ALL: [Algorithm; 5] = [
+        Algorithm::OptArch,
+        Algorithm::UArch,
+        Algorithm::OptTree,
+        Algorithm::BinomialTree,
+        Algorithm::Sequential,
+    ];
+
+    /// Canonical, architecture-independent identifier — the stable name
+    /// used in campaign specs, cell keys, and the CLI (`opt-arch`, …).
+    /// Inverse of [`Algorithm::parse`].
+    pub fn id(self) -> &'static str {
+        match self {
+            Algorithm::OptArch => "opt-arch",
+            Algorithm::UArch => "u-arch",
+            Algorithm::OptTree => "opt-tree",
+            Algorithm::BinomialTree => "binomial",
+            Algorithm::Sequential => "sequential",
+        }
+    }
+
+    /// Parse an algorithm name (canonical ids plus the paper's
+    /// architecture-specific aliases).
+    pub fn parse(name: &str) -> Result<Algorithm, String> {
+        match name {
+            "opt-arch" | "opt-mesh" | "opt-min" => Ok(Algorithm::OptArch),
+            "u-arch" | "u-mesh" | "u-min" => Ok(Algorithm::UArch),
+            "opt-tree" => Ok(Algorithm::OptTree),
+            "binomial" => Ok(Algorithm::BinomialTree),
+            "sequential" | "seq" => Ok(Algorithm::Sequential),
+            other => Err(format!(
+                "unknown algorithm '{other}' (expected opt-arch / u-arch / opt-tree / binomial / sequential)"
+            )),
+        }
+    }
+
     /// The ordering component.
     pub fn ordering(self) -> Ordering {
         match self {

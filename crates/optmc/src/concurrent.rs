@@ -29,12 +29,17 @@ pub struct Tagged {
 /// A program multiplexing several independent multicast runtimes.
 pub struct MultiMcast {
     programs: Vec<McastProgram>,
+    completed: Vec<Option<Time>>,
 }
 
 impl MultiMcast {
     /// Wrap the per-multicast programs.
     pub fn new(programs: Vec<McastProgram>) -> Self {
-        Self { programs }
+        let completed = vec![None; programs.len()];
+        Self {
+            programs,
+            completed,
+        }
     }
 
     /// Total deliveries across all multicasts.
@@ -46,6 +51,14 @@ impl MultiMcast {
     pub fn expected(&self) -> usize {
         self.programs.iter().map(McastProgram::n_dests).sum()
     }
+
+    /// Time the last destination of multicast `mcast` finished receiving,
+    /// or `None` if it had no destinations (k = 1).  Tracked per multicast
+    /// tag, so it stays exact even when participant groups overlap and a
+    /// node receives messages from several multicasts.
+    pub fn completed(&self, mcast: usize) -> Option<Time> {
+        self.completed[mcast]
+    }
 }
 
 impl Program for MultiMcast {
@@ -53,6 +66,8 @@ impl Program for MultiMcast {
 
     fn on_receive(&mut self, node: NodeId, payload: &Tagged, now: Time) -> Vec<SendReq<Tagged>> {
         let mcast = payload.mcast;
+        let done = &mut self.completed[mcast as usize];
+        *done = Some(done.map_or(now, |c| c.max(now)));
         let inner = self.programs[mcast as usize].on_receive(node, &payload.range, now);
         inner
             .into_iter()
@@ -78,19 +93,27 @@ pub struct McastSpec {
     pub src: NodeId,
     /// Message payload bytes.
     pub bytes: MsgSize,
+    /// Injection time of the root's first sends — 0 for the classic
+    /// all-at-once batch; an arrival process for open-loop workloads.
+    pub start: Time,
 }
 
 /// Per-multicast outcome of a concurrent run.
 #[derive(Debug, Clone, Copy)]
 pub struct ConcurrentOutcome {
-    /// Completion time of this multicast within the joint run.
+    /// This multicast's latency within the joint run, measured from its
+    /// own start (arrival) time.
     pub latency: Time,
     /// Its solo analytic bound.
     pub analytic: Time,
+    /// Its start (arrival) time.
+    pub start: Time,
 }
 
-/// Run `specs` simultaneously (all roots start at t = 0) under `algorithm`.
-/// Returns per-multicast outcomes plus the raw joint result.
+/// Run `specs` jointly under `algorithm`, each root injecting at its
+/// spec's `start` time (all zero = the classic simultaneous batch; an
+/// arrival process = an open-loop workload).  Returns per-multicast
+/// outcomes plus the raw joint result.
 ///
 /// # Panics
 /// If any spec is malformed (see [`crate::run_multicast`]'s contract).
@@ -104,7 +127,6 @@ pub fn run_concurrent(
     let mut programs = Vec::with_capacity(specs.len());
     let mut roots = Vec::with_capacity(specs.len());
     let mut analytic = Vec::with_capacity(specs.len());
-    let mut dest_sets: Vec<Vec<NodeId>> = Vec::with_capacity(specs.len());
     for spec in specs {
         let k = spec.participants.len();
         let hops = nominal_hops(topo, &spec.participants, spec.src);
@@ -113,23 +135,16 @@ pub fn run_concurrent(
         let splits = algorithm.splits(hold, end, k.max(2));
         let schedule = Schedule::build(k, chain.src_pos(), &splits, hold, end);
         analytic.push(schedule.latency());
-        dest_sets.push(
-            spec.participants
-                .iter()
-                .copied()
-                .filter(|&n| n != spec.src)
-                .collect(),
-        );
         let program = McastProgram::new(chain, splits, spec.bytes, n_nodes)
             .with_addr_overhead(cfg.addr_bytes);
-        roots.push((program.root(), program.root_sends()));
+        roots.push((program.root(), spec.start, program.root_sends()));
         programs.push(program);
     }
 
     let multi = MultiMcast::new(programs);
     let expected = multi.expected();
     let mut engine = Engine::new(topo, cfg.clone(), multi);
-    for (mcast, (root, sends)) in roots.into_iter().enumerate() {
+    for (mcast, (root, start, sends)) in roots.into_iter().enumerate() {
         let tagged: Vec<SendReq<Tagged>> = sends
             .into_iter()
             .map(|req| SendReq {
@@ -139,10 +154,14 @@ pub fn run_concurrent(
                     mcast: mcast as u32,
                     range: req.payload,
                 },
-                not_before: req.not_before,
+                // A multicast's schedule is built with its own start at 0;
+                // shifting every send constraint by the arrival time keeps a
+                // delayed multicast from launching early off a node CPU
+                // another multicast already kicked.
+                not_before: req.not_before.saturating_add(start).max(start),
             })
             .collect();
-        engine.start(root, 0, tagged);
+        engine.start(root, start, tagged);
     }
     let (multi, sim) = engine.run();
     assert_eq!(
@@ -151,22 +170,16 @@ pub fn run_concurrent(
         "a concurrent multicast lost messages"
     );
 
-    let outcomes = dest_sets
+    let outcomes = analytic
         .iter()
-        .zip(&analytic)
-        .map(|(dests, &a)| {
-            let latency = dests
-                .iter()
-                .map(|&d| {
-                    sim.delivered_to(d)
-                        .expect("every destination delivered")
-                        .completed
-                })
-                .max()
-                .unwrap_or(0);
+        .zip(specs)
+        .enumerate()
+        .map(|(i, (&a, spec))| {
+            let completed = multi.completed(i).unwrap_or(spec.start);
             ConcurrentOutcome {
-                latency,
+                latency: completed.saturating_sub(spec.start),
                 analytic: a,
+                start: spec.start,
             }
         })
         .collect();
@@ -187,6 +200,7 @@ mod tests {
                 participants: c.to_vec(),
                 src: c[0],
                 bytes: 4096,
+                start: 0,
             })
             .collect()
     }
@@ -214,9 +228,76 @@ mod tests {
             participants: parts.clone(),
             src: parts[0],
             bytes: 4096,
+            start: 0,
         };
         let (outs, _) = run_concurrent(&m, &cfg, Algorithm::OptArch, &[spec]);
         assert_eq!(outs[0].latency, solo.latency);
+    }
+
+    #[test]
+    fn delayed_multicast_on_a_shared_root_waits_for_its_start() {
+        // Two multicasts rooted at the same node, far apart in time: the
+        // second must not launch early off the root's already-kicked CPU,
+        // and each must run at its solo latency.
+        let m = Mesh::new(&[16, 16]);
+        let cfg = SimConfig::paragon_like();
+        let a = random_placement(256, 16, 21);
+        let b = random_placement(256, 16, 22);
+        let root = a[0];
+        let mut b_parts = vec![root];
+        b_parts.extend(b.iter().copied().filter(|&n| n != root).take(15));
+        let solo_a = crate::run_multicast(&m, &cfg, Algorithm::OptArch, &a, root, 4096);
+        let solo_b = crate::run_multicast(&m, &cfg, Algorithm::OptArch, &b_parts, root, 4096);
+        let specs = [
+            McastSpec {
+                participants: a,
+                src: root,
+                bytes: 4096,
+                start: 0,
+            },
+            McastSpec {
+                participants: b_parts,
+                src: root,
+                bytes: 4096,
+                start: 500_000,
+            },
+        ];
+        let (outs, _) = run_concurrent(&m, &cfg, Algorithm::OptArch, &specs);
+        assert_eq!(outs[0].latency, solo_a.latency);
+        assert_eq!(outs[1].latency, solo_b.latency, "second start not honored");
+    }
+
+    #[test]
+    fn early_forwarder_is_not_blocked_by_a_future_root() {
+        // Node X forwards for an early multicast AND roots one arriving
+        // much later.  X's queued future root-sends must not head-of-line
+        // block the early multicast's forwards.
+        let m = Mesh::new(&[16, 16]);
+        let cfg = SimConfig::paragon_like();
+        let a = random_placement(256, 24, 31);
+        let x = a[5]; // a non-root participant that will forward
+        let b = random_placement(256, 16, 32);
+        let mut b_parts = vec![x];
+        b_parts.extend(b.iter().copied().filter(|&n| n != x).take(15));
+        let solo_a = crate::run_multicast(&m, &cfg, Algorithm::OptArch, &a, a[0], 4096);
+        let solo_b = crate::run_multicast(&m, &cfg, Algorithm::OptArch, &b_parts, x, 4096);
+        let specs = [
+            McastSpec {
+                participants: a.clone(),
+                src: a[0],
+                bytes: 4096,
+                start: 0,
+            },
+            McastSpec {
+                participants: b_parts,
+                src: x,
+                bytes: 4096,
+                start: 500_000,
+            },
+        ];
+        let (outs, _) = run_concurrent(&m, &cfg, Algorithm::OptArch, &specs);
+        assert_eq!(outs[0].latency, solo_a.latency, "early multicast delayed");
+        assert_eq!(outs[1].latency, solo_b.latency);
     }
 
     #[test]

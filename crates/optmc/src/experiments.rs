@@ -16,6 +16,62 @@ use topo::{NodeId, Topology};
 use crate::algorithm::Algorithm;
 use crate::runner::run_multicast;
 
+// ---------------------------------------------------------------------------
+// Seed derivation.
+//
+// Per-trial placement seeds are *mixed*, not added: `seed + t` makes the
+// series for seed 1997 overlap the series for seed 1998 shifted by one, and
+// couples unrelated experimental cells that happen to use nearby base
+// seeds.  Instead every placement seed is
+// `trial_seed(seed, placement_stream(topo, k), trial)` — a splitmix64 chain
+// over (campaign seed, placement-cell identity, trial index).  The stream
+// id is derived from exactly the parameters that determine a placement
+// (topology identity and participant count), so all algorithms, message
+// sizes, and simulator configurations of the same cell see identical
+// placements (the paper's §5 protocol), while a campaign cell and a solo
+// rerun of that cell are bit-identical by construction.
+
+/// SplitMix64: the statistically strong 64-bit mixer used to derive seeds.
+#[must_use]
+pub fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// FNV-1a over `bytes` — stable content hashing for cell identities.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// The placement-relevant identity of an experimental cell: topology name
+/// and participant count.  Algorithms and message sizes deliberately do
+/// *not* participate — the paper compares algorithms on identical
+/// placements.
+#[must_use]
+pub fn placement_stream(topo_name: &str, k: usize) -> u64 {
+    let mut key = topo_name.as_bytes().to_vec();
+    key.push(b'#');
+    key.extend_from_slice(&(k as u64).to_le_bytes());
+    fnv1a64(&key)
+}
+
+/// Derive the placement seed for `trial` of the cell identified by
+/// `stream` under campaign/base seed `seed` (a splitmix64 chain; shared by
+/// [`run_trials`] and the `campaign` crate so solo and campaign runs of
+/// the same cell are bit-identical).
+#[must_use]
+pub fn trial_seed(seed: u64, stream: u64, trial: usize) -> u64 {
+    splitmix64(splitmix64(seed ^ splitmix64(stream)).wrapping_add(trial as u64))
+}
+
 /// Pick `k` distinct participant nodes (the first is a convenient source)
 /// uniformly at random, in random order — the "placement order" the
 /// architecture-independent OPT-tree has to live with.
@@ -50,14 +106,133 @@ pub struct TrialStats {
     pub contention_free_fraction: f64,
 }
 
-/// Run `trials` random placements of `k` participants and average, exactly
-/// mirroring the paper's protocol.  `seed` makes the whole series
-/// reproducible; trial `i` uses placement seed `seed + i` so all algorithms
-/// see identical placements.
+impl TrialStats {
+    /// Aggregate per-trial outcomes in trial order (the arithmetic is
+    /// order-stable, so parallel and sequential execution agree bit for
+    /// bit).
+    ///
+    /// # Panics
+    /// If `outcomes` is empty.
+    #[must_use]
+    pub fn from_outcomes(outcomes: &[TrialOutcome]) -> TrialStats {
+        assert!(!outcomes.is_empty(), "cannot aggregate zero trials");
+        let trials = outcomes.len();
+        let latencies: Vec<Time> = outcomes.iter().map(|o| o.latency).collect();
+        TrialStats {
+            trials,
+            mean_latency: latencies.iter().sum::<Time>() as f64 / trials as f64,
+            min_latency: *latencies.iter().min().expect("at least one trial"),
+            max_latency: *latencies.iter().max().expect("at least one trial"),
+            mean_analytic: outcomes.iter().map(|o| o.analytic as f64).sum::<f64>() / trials as f64,
+            mean_blocked: outcomes.iter().map(|o| o.blocked as f64).sum::<f64>() / trials as f64,
+            contention_free_fraction: outcomes.iter().filter(|o| o.contention_free).count() as f64
+                / trials as f64,
+        }
+    }
+}
+
+/// One trial of one experimental cell, with the engine vitals the
+/// observability layer attaches to every run — the campaign runner uses
+/// these for its progress metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrialOutcome {
+    /// Trial index within the cell.
+    pub trial: usize,
+    /// The derived placement seed ([`trial_seed`]).
+    pub placement_seed: u64,
+    /// Observed multicast latency (cycles).
+    pub latency: Time,
+    /// Analytic (contention-free) latency of the constructed tree.
+    pub analytic: Time,
+    /// Head-blocked cycles.
+    pub blocked: Time,
+    /// No head ever waited.
+    pub contention_free: bool,
+    /// Simulator events processed (deterministic).
+    pub events: u64,
+    /// Wall-clock nanoseconds inside the engine (non-deterministic).
+    pub wall_ns: u64,
+}
+
+/// Run `trials` random placements of `k` participants, exactly mirroring
+/// the paper's protocol, and return every trial's outcome in trial order.
+/// `seed` makes the whole series reproducible; trial `i` uses placement
+/// seed [`trial_seed`]`(seed, placement_stream(topo, k), i)` so all
+/// algorithms see identical placements.
 ///
-/// Trials are independent simulations, so they run on scoped worker threads
-/// (one per available core); results are aggregated in seed order, keeping
-/// the statistics bit-identical to a sequential run.
+/// `workers` caps the scoped worker threads trials run on; `0` means one
+/// per available core.  The result is identical for any worker count
+/// (results land in fixed per-trial slots).
+#[allow(clippy::too_many_arguments)]
+pub fn run_trials_detailed(
+    topo: &dyn Topology,
+    cfg: &SimConfig,
+    algorithm: Algorithm,
+    k: usize,
+    bytes: MsgSize,
+    trials: usize,
+    seed: u64,
+    workers: usize,
+) -> Vec<TrialOutcome> {
+    assert!(trials >= 1);
+    let stream = placement_stream(&topo.name(), k);
+    let one = |t: usize| {
+        let placement_seed = trial_seed(seed, stream, t);
+        let placement = random_placement(topo.graph().n_nodes(), k, placement_seed);
+        let src = placement[0];
+        let out = run_multicast(topo, cfg, algorithm, &placement, src, bytes);
+        TrialOutcome {
+            trial: t,
+            placement_seed,
+            latency: out.latency,
+            analytic: out.analytic,
+            blocked: out.sim.blocked_cycles,
+            contention_free: out.sim.contention_free(),
+            events: out.sim.meta.events_processed,
+            wall_ns: out.sim.meta.wall_ns,
+        }
+    };
+    let workers = if workers == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    } else {
+        workers
+    }
+    .min(trials);
+    if workers <= 1 {
+        return (0..trials).map(one).collect();
+    }
+    // Static block partition: worker w takes trials [lo, hi); results land
+    // in a fixed slot per trial, so aggregation order is stable.
+    let mut results = vec![
+        TrialOutcome {
+            trial: 0,
+            placement_seed: 0,
+            latency: 0,
+            analytic: 0,
+            blocked: 0,
+            contention_free: false,
+            events: 0,
+            wall_ns: 0,
+        };
+        trials
+    ];
+    std::thread::scope(|scope| {
+        let chunk = trials.div_ceil(workers);
+        for (w, slots) in results.chunks_mut(chunk).enumerate() {
+            let one = &one;
+            scope.spawn(move || {
+                for (i, slot) in slots.iter_mut().enumerate() {
+                    *slot = one(w * chunk + i);
+                }
+            });
+        }
+    });
+    results
+}
+
+/// Run `trials` random placements of `k` participants and average, exactly
+/// mirroring the paper's protocol (see [`run_trials_detailed`] for the
+/// seed derivation and parallelism contract).
 pub fn run_trials(
     topo: &dyn Topology,
     cfg: &SimConfig,
@@ -67,50 +242,9 @@ pub fn run_trials(
     trials: usize,
     seed: u64,
 ) -> TrialStats {
-    assert!(trials >= 1);
-    let one = |t: usize| {
-        let placement = random_placement(topo.graph().n_nodes(), k, seed + t as u64);
-        let src = placement[0];
-        let out = run_multicast(topo, cfg, algorithm, &placement, src, bytes);
-        (
-            out.latency,
-            out.analytic,
-            out.sim.blocked_cycles,
-            out.sim.contention_free(),
-        )
-    };
-    let workers = std::thread::available_parallelism()
-        .map_or(1, std::num::NonZero::get)
-        .min(trials);
-    let results: Vec<(Time, Time, Time, bool)> = if workers <= 1 {
-        (0..trials).map(one).collect()
-    } else {
-        // Static block partition: worker w takes trials [lo, hi); results
-        // land in a fixed slot per trial, so aggregation order is stable.
-        let mut results = vec![(0, 0, 0, false); trials];
-        std::thread::scope(|scope| {
-            let chunk = trials.div_ceil(workers);
-            for (w, slots) in results.chunks_mut(chunk).enumerate() {
-                let one = &one;
-                scope.spawn(move || {
-                    for (i, slot) in slots.iter_mut().enumerate() {
-                        *slot = one(w * chunk + i);
-                    }
-                });
-            }
-        });
-        results
-    };
-    let latencies: Vec<Time> = results.iter().map(|r| r.0).collect();
-    TrialStats {
-        trials,
-        mean_latency: latencies.iter().sum::<Time>() as f64 / trials as f64,
-        min_latency: *latencies.iter().min().expect("at least one trial"),
-        max_latency: *latencies.iter().max().expect("at least one trial"),
-        mean_analytic: results.iter().map(|r| r.1 as f64).sum::<f64>() / trials as f64,
-        mean_blocked: results.iter().map(|r| r.2 as f64).sum::<f64>() / trials as f64,
-        contention_free_fraction: results.iter().filter(|r| r.3).count() as f64 / trials as f64,
-    }
+    TrialStats::from_outcomes(&run_trials_detailed(
+        topo, cfg, algorithm, k, bytes, trials, seed, 0,
+    ))
 }
 
 /// Deterministic jitter helper for tests and ablations: a placement biased
@@ -164,6 +298,56 @@ mod tests {
         assert!(s.min_latency as f64 <= s.mean_latency);
         assert!(s.mean_latency <= s.max_latency as f64);
         assert!(s.mean_analytic > 0.0);
+    }
+
+    #[test]
+    fn trial_seeds_are_mixed_not_added() {
+        // The old `seed + t` derivation made (1997, t=1) collide with
+        // (1998, t=0); the splitmix chain must not.
+        let s = placement_stream("mesh-16x16", 32);
+        assert_ne!(trial_seed(1997, s, 1), trial_seed(1998, s, 0));
+        // Deterministic, distinct across trials and streams.
+        assert_eq!(trial_seed(7, s, 3), trial_seed(7, s, 3));
+        assert_ne!(trial_seed(7, s, 3), trial_seed(7, s, 4));
+        assert_ne!(
+            trial_seed(7, placement_stream("mesh-16x16", 32), 0),
+            trial_seed(7, placement_stream("bmin-128", 32), 0)
+        );
+    }
+
+    #[test]
+    fn placements_are_shared_across_algorithms_and_sizes() {
+        // The paper's protocol: one cell's placements depend only on
+        // (topology, k, seed) — identical for every algorithm and message
+        // size.
+        let m = Mesh::new(&[8, 8]);
+        let cfg = SimConfig::paragon_like();
+        let a = run_trials_detailed(&m, &cfg, Algorithm::OptArch, 8, 512, 3, 42, 1);
+        let b = run_trials_detailed(&m, &cfg, Algorithm::UArch, 8, 4096, 3, 42, 1);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.placement_seed, y.placement_seed);
+        }
+    }
+
+    #[test]
+    fn detailed_trials_are_worker_count_invariant() {
+        let m = Mesh::new(&[8, 8]);
+        let cfg = SimConfig::paragon_like();
+        let seq = run_trials_detailed(&m, &cfg, Algorithm::OptArch, 8, 512, 5, 42, 1);
+        let par = run_trials_detailed(&m, &cfg, Algorithm::OptArch, 8, 512, 5, 42, 4);
+        // wall_ns is non-deterministic; everything else must agree.
+        for (a, b) in seq.iter().zip(&par) {
+            assert_eq!(a.trial, b.trial);
+            assert_eq!(a.placement_seed, b.placement_seed);
+            assert_eq!(a.latency, b.latency);
+            assert_eq!(a.analytic, b.analytic);
+            assert_eq!(a.blocked, b.blocked);
+            assert_eq!(a.events, b.events);
+        }
+        assert_eq!(
+            TrialStats::from_outcomes(&seq),
+            TrialStats::from_outcomes(&par)
+        );
     }
 
     #[test]

@@ -59,6 +59,7 @@ pub mod measure;
 pub mod program;
 pub mod runner;
 pub mod scatter;
+pub mod spec;
 pub mod temporal;
 
 pub use algorithm::Algorithm;
@@ -67,7 +68,10 @@ pub use contention::{
     check_schedule, check_schedule_windowed, occupancy_windows, ChannelWindow, Conflict,
     ContentionMode, OccupancyParams, WindowConflict,
 };
-pub use experiments::{random_placement, TrialStats};
+pub use experiments::{
+    placement_stream, random_placement, run_trials_detailed, splitmix64, trial_seed, TrialOutcome,
+    TrialStats,
+};
 pub use gather::{run_gather, GatherOutcome};
 pub use runner::{
     run_multicast, run_multicast_observed, run_multicast_opts, run_multicast_with, RunOptions,

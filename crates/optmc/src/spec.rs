@@ -1,0 +1,111 @@
+//! Topology specification strings (`mesh:16x16`, `bmin:128`, …).
+//!
+//! Parsing lives here — below the CLI — so the `campaign` crate can expand
+//! declarative sweep specs into concrete topologies with exactly the same
+//! grammar `optmc` commands accept.
+
+use topo::{Bmin, Mesh, Omega, Topology, Torus, UpPolicy};
+
+fn parse_dims(kind: &str, arg: &str) -> Result<Vec<usize>, String> {
+    let dims: Result<Vec<usize>, _> = arg.split('x').map(str::parse).collect();
+    let dims = dims.map_err(|_| format!("bad {kind} dimensions '{arg}'"))?;
+    if dims.is_empty() || dims.contains(&0) {
+        return Err(format!("bad {kind} dimensions '{arg}'"));
+    }
+    Ok(dims)
+}
+
+/// Parse a topology spec into a boxed topology.
+///
+/// Grammar: `mesh:AxB[xC…][:ports]`, `torus:AxB[xC…][:novc]`,
+/// `hypercube:D`, `bmin:N`, `omega:N` (`N` a power of two).
+pub fn parse_topology(spec: &str) -> Result<Box<dyn Topology>, String> {
+    let mut parts = spec.split(':');
+    let kind = parts.next().unwrap_or_default();
+    let arg = parts
+        .next()
+        .ok_or_else(|| format!("topology '{spec}' needs an argument"))?;
+    let extra = parts.next();
+    match kind {
+        "mesh" => {
+            let dims = parse_dims(kind, arg)?;
+            let ports = match extra {
+                None => 1,
+                Some(p) => p.parse().map_err(|_| format!("bad port count '{p}'"))?,
+            };
+            Ok(Box::new(Mesh::with_ports(&dims, ports)))
+        }
+        "torus" => {
+            let dims = parse_dims(kind, arg)?;
+            match extra {
+                // `novc` drops the dateline virtual channels — deliberately
+                // deadlock-prone, for exercising `optmc check`.
+                Some("novc") => Ok(Box::new(Torus::unvirtualized(&dims))),
+                None => Ok(Box::new(Torus::new(&dims))),
+                Some(other) => Err(format!("bad torus option '{other}' (only 'novc')")),
+            }
+        }
+        "hypercube" => {
+            let d: usize = arg
+                .parse()
+                .map_err(|_| format!("bad cube dimension '{arg}'"))?;
+            if !(1..=20).contains(&d) {
+                return Err(format!("cube dimension {d} out of range 1..=20"));
+            }
+            Ok(Box::new(Mesh::hypercube(d)))
+        }
+        "bmin" | "omega" => {
+            let n: usize = arg.parse().map_err(|_| format!("bad node count '{arg}'"))?;
+            if !n.is_power_of_two() || n < 2 {
+                return Err(format!(
+                    "{kind} node count must be a power of two >= 2, got {n}"
+                ));
+            }
+            let s = n.trailing_zeros();
+            if kind == "bmin" {
+                Ok(Box::new(Bmin::new(s, UpPolicy::Straight)))
+            } else {
+                Ok(Box::new(Omega::new(s)))
+            }
+        }
+        other => Err(format!(
+            "unknown topology '{other}' (expected mesh / torus / hypercube / bmin / omega)"
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_topology_kind() {
+        assert_eq!(parse_topology("mesh:4x4").unwrap().graph().n_nodes(), 16);
+        assert_eq!(parse_topology("mesh:2x3x4").unwrap().graph().n_nodes(), 24);
+        assert_eq!(parse_topology("mesh:4x4:2").unwrap().graph().ports(), 2);
+        assert_eq!(parse_topology("hypercube:5").unwrap().graph().n_nodes(), 32);
+        assert_eq!(parse_topology("bmin:128").unwrap().graph().n_nodes(), 128);
+        assert_eq!(parse_topology("omega:64").unwrap().graph().n_nodes(), 64);
+        assert_eq!(parse_topology("torus:4x4").unwrap().name(), "torus-4x4");
+        assert_eq!(
+            parse_topology("torus:4x4:novc").unwrap().name(),
+            "torus-4x4-novc"
+        );
+    }
+
+    #[test]
+    fn rejects_bad_specs() {
+        for bad in [
+            "mesh",
+            "mesh:0x4",
+            "mesh:ax4",
+            "bmin:100",
+            "omega:1",
+            "ring:8",
+            "bmin:",
+            "torus:4x4:vc9",
+        ] {
+            assert!(parse_topology(bad).is_err(), "{bad} should fail");
+        }
+    }
+}

@@ -36,6 +36,7 @@ fn main() {
             participants: c.to_vec(),
             src: c[0],
             bytes: 4096,
+            start: 0,
         })
         .collect();
     let (outs, sim) = run_concurrent(&mesh, &cfg, Algorithm::OptArch, &specs);

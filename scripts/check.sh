@@ -24,4 +24,30 @@ echo "==> optmc check (OPT-min on bmin:128)"
 cargo run --release -q -p optmc-cli --bin optmc -- \
     check --topo bmin:128 --alg opt-min --bytes 4096 --src 0
 
+# Campaign smoke: a 4-cell sweep must run clean, and an immediate resume
+# must be a pure no-op (0 executed, 4 skipped) — the checkpoint contract.
+echo "==> optmc sweep (4-cell smoke campaign + no-op resume)"
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cat > "$SMOKE_DIR/smoke.json" <<'EOF'
+{
+    "name": "smoke",
+    "topos": ["mesh:8x8"],
+    "algorithms": ["u-arch", "opt-arch"],
+    "ks": [8],
+    "sizes": [512, 4096],
+    "trials": 2
+}
+EOF
+cargo run --release -q -p optmc-cli --bin optmc -- \
+    sweep run --spec "$SMOKE_DIR/smoke.json" --jobs 2 --quiet \
+    --out "$SMOKE_DIR/campaigns" \
+    | grep -F "4 executed, 0 skipped, 0 failed" >/dev/null \
+    || { echo "smoke campaign did not run all 4 cells" >&2; exit 1; }
+cargo run --release -q -p optmc-cli --bin optmc -- \
+    sweep resume --spec "$SMOKE_DIR/smoke.json" --quiet \
+    --out "$SMOKE_DIR/campaigns" \
+    | grep -F "0 executed, 4 skipped, 0 failed" >/dev/null \
+    || { echo "smoke campaign resume re-ran completed cells" >&2; exit 1; }
+
 echo "All checks passed."

@@ -52,7 +52,7 @@ fn theorem1_simulated_optimality() {
         let out = run_multicast(&mesh, &cfg, Algorithm::OptArch, &parts, parts[0], 4096);
         assert_eq!(out.sim.blocked_cycles, 0, "seed {seed}");
         assert!(
-            out.overhead().unsigned_abs() <= slack,
+            out.overhead_signed().unsigned_abs() <= slack,
             "seed {seed}: latency {} vs bound {}",
             out.latency,
             out.analytic
