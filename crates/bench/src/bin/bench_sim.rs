@@ -1,38 +1,61 @@
-//! Engine-vitals benchmark: run the paper's three figure workloads with the
-//! observability layer's [`flitsim::RunMeta`] instrumentation and record
-//! events processed, peak heap, wall-time, and events/sec per workload.
+//! Engine-vitals benchmark: run the paper's figure workloads plus
+//! large-scale stress configurations (32x32 mesh, 1024-node BMIN, a 64-way
+//! staggered concurrent multicast) with the observability layer's
+//! [`flitsim::RunMeta`] instrumentation and record events processed, peak
+//! heap, wall-time, and events/sec per workload.
 //!
 //! Writes `results/bench_sim.json` plus the repo-root `BENCH_sim.json`
-//! (records + totals), so regressions in simulator throughput show up in
-//! review diffs alongside the latency figures.
+//! (records + totals + seed), so regressions in simulator throughput show up
+//! in review diffs alongside the latency figures.
 //!
 //! ```text
 //! cargo run --release -p optmc-bench --bin bench_sim \
 //!     [--runs 8] [--seed 1997]
+//! cargo run --release -p optmc-bench --bin bench_sim -- --check BENCH_sim.json
 //! ```
+//!
+//! `--check` re-runs every workload recorded in the committed file (with its
+//! recorded run count and the file's seed), requires the deterministic
+//! sentinels (`events_scheduled`, `peak_heap_events`, `mean_latency`) to
+//! match **exactly**, and fails if overall throughput drops below 75% of the
+//! committed figure.  Nothing is written in check mode.
+
+use std::process::ExitCode;
 
 use flitsim::SimConfig;
 use optmc::Algorithm;
-use optmc_bench::{arg_value, bench_table, bench_workload, write_bench_sim, SimBenchRecord};
+use optmc_bench::{
+    arg_value, bench_concurrent, bench_table, bench_workload, compare_bench, parse_bench_file,
+    write_bench_sim, SimBenchRecord,
+};
 use topo::{Bmin, Mesh, Topology, UpPolicy};
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let runs: usize = arg_value(&args, "--runs").map_or(8, |v| v.parse().expect("--runs"));
-    let seed: u64 = arg_value(&args, "--seed").map_or(1997, |v| v.parse().expect("--seed"));
+/// Throughput floor for `--check`, as a fraction of the committed
+/// events/sec.  Generous (wall-clock noise, shared CI machines) while still
+/// catching order-of-magnitude hot-path regressions.
+const MIN_THROUGHPUT_RATIO: f64 = 0.75;
 
+/// Run every benchmark workload.  `runs_for(workload_id, default)` decides
+/// the per-workload run count: generation passes the defaults through,
+/// `--check` substitutes each committed record's count so event totals are
+/// comparable.
+fn run_all(seed: u64, runs_for: &dyn Fn(&str, usize) -> usize) -> Vec<SimBenchRecord> {
     let mesh = Mesh::new(&[16, 16]);
     let bmin = Bmin::new(7, UpPolicy::Straight);
+    let big_mesh = Mesh::new(&[32, 32]);
+    let big_bmin = Bmin::new(10, UpPolicy::Straight);
     let cfg = SimConfig::paragon_like();
 
-    // One workload per figure: (id, detail, topology, k, bytes).
-    let workloads: [(&str, &str, &dyn Topology, usize, u64); 3] = [
+    // (id, detail, topology, k, bytes, default runs).  The big configs
+    // default to fewer runs: each run is ~20x the events of a paper one.
+    let workloads: [(&str, &str, &dyn Topology, usize, u64, usize); 5] = [
         (
             "fig2_mesh_msgsize",
             "16x16 mesh, 32 nodes, 16 KB",
             &mesh,
             32,
             16 * 1024,
+            8,
         ),
         (
             "fig3_mesh_nodes",
@@ -40,6 +63,7 @@ fn main() {
             &mesh,
             60,
             4096,
+            8,
         ),
         (
             "fig4_bmin",
@@ -47,11 +71,29 @@ fn main() {
             &bmin,
             32,
             4096,
+            8,
+        ),
+        (
+            "big_mesh_32x32",
+            "32x32 mesh, 64 nodes, 16 KB",
+            &big_mesh,
+            64,
+            16 * 1024,
+            3,
+        ),
+        (
+            "big_bmin_1024",
+            "1024-node BMIN, 64 nodes, 4 KB",
+            &big_bmin,
+            64,
+            4096,
+            3,
         ),
     ];
 
     let mut records: Vec<SimBenchRecord> = Vec::new();
-    for (id, detail, topo, k, bytes) in workloads {
+    for (id, detail, topo, k, bytes, default_runs) in workloads {
+        let runs = runs_for(id, default_runs);
         for alg in Algorithm::PAPER_SET {
             records.push(bench_workload(
                 id, detail, topo, &cfg, alg, k, bytes, runs, seed,
@@ -59,12 +101,81 @@ fn main() {
         }
     }
 
+    // 64 concurrent 16-node multicasts on the large mesh, arrivals staggered
+    // 2000 cycles apart — an open-loop workload whose far-future injections
+    // exercise the event queue's overflow path.
+    let id = "concurrent_64way";
+    records.push(bench_concurrent(
+        id,
+        "32x32 mesh, 64 x 16-node multicasts, 4 KB, 2000-cycle stagger",
+        &big_mesh,
+        &cfg,
+        Algorithm::OptArch,
+        64,
+        16,
+        4096,
+        2000,
+        runs_for(id, 3),
+        seed,
+    ));
+    records
+}
+
+fn check(path: &str) -> ExitCode {
+    let text = match std::fs::read_to_string(path) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("bench check: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let committed = match parse_bench_file(&text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("bench check: cannot parse {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let fresh = run_all(committed.seed, &|id, default| {
+        committed
+            .records
+            .iter()
+            .find(|r| r.workload == id)
+            .map_or(default, |r| r.runs)
+    });
+    let failures = compare_bench(&committed, &fresh, MIN_THROUGHPUT_RATIO);
+    print!("{}", bench_table(&fresh));
+    if failures.is_empty() {
+        println!(
+            "\nbench check: OK — {} records match {path} exactly, throughput within bounds",
+            committed.records.len()
+        );
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("\nbench check: FAILED against {path}:");
+        for f in &failures {
+            eprintln!("  - {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if let Some(path) = arg_value(&args, "--check") {
+        return check(&path);
+    }
+    let runs: Option<usize> = arg_value(&args, "--runs").map(|v| v.parse().expect("--runs"));
+    let seed: u64 = arg_value(&args, "--seed").map_or(1997, |v| v.parse().expect("--seed"));
+
+    let records = run_all(seed, &|_, default| runs.unwrap_or(default));
     print!("{}", bench_table(&records));
-    match write_bench_sim(&records) {
+    match write_bench_sim(&records, seed) {
         Ok((detail, root)) => {
             println!("\n[json] {}", detail.display());
             println!("[json] {}", root.display());
         }
         Err(e) => eprintln!("could not write bench_sim JSON: {e}"),
     }
+    ExitCode::SUCCESS
 }

@@ -11,8 +11,8 @@ use std::fs;
 use std::path::Path;
 
 use flitsim::SimConfig;
-use optmc::{experiments::run_trials, Algorithm, TrialStats};
-use pcm::MsgSize;
+use optmc::{experiments::run_trials, run_concurrent, Algorithm, McastSpec, TrialStats};
+use pcm::{MsgSize, Time};
 use topo::Topology;
 
 // The figure dataset types (and their `results/` writers) live in the
@@ -169,6 +169,69 @@ pub fn bench_workload(
     rec
 }
 
+/// Run `runs` seeded rounds of a `ways`-way concurrent multicast workload
+/// (disjoint participant sets carved from one sampled placement, arrival
+/// times staggered `stagger` cycles apart) and aggregate the joint run's
+/// engine vitals.  The staggering pushes far-future events through the
+/// engine's overflow path, which the closed figure workloads never exercise.
+#[allow(clippy::too_many_arguments)]
+pub fn bench_concurrent(
+    workload: &str,
+    detail: &str,
+    topo: &dyn Topology,
+    cfg: &SimConfig,
+    alg: Algorithm,
+    ways: usize,
+    k: usize,
+    bytes: MsgSize,
+    stagger: Time,
+    runs: usize,
+    seed: u64,
+) -> SimBenchRecord {
+    assert!(runs >= 1 && ways >= 1 && k >= 2);
+    let n = topo.graph().n_nodes();
+    let mut rec = SimBenchRecord {
+        workload: workload.to_string(),
+        detail: detail.to_string(),
+        algorithm: alg.display_name(topo),
+        runs,
+        events_processed: 0,
+        events_scheduled: 0,
+        peak_heap_events: 0,
+        peak_heap_bytes: 0,
+        wall_ns: 0,
+        events_per_sec: 0.0,
+        mean_latency: 0.0,
+    };
+    let mut latency_sum = 0u64;
+    for t in 0..runs {
+        let placement = optmc::random_placement(n, ways * k, seed + t as u64);
+        let specs: Vec<McastSpec> = placement
+            .chunks(k)
+            .enumerate()
+            .map(|(i, chunk)| McastSpec {
+                participants: chunk.to_vec(),
+                src: chunk[0],
+                bytes,
+                start: stagger * i as Time,
+            })
+            .collect();
+        let (outcomes, sim) = run_concurrent(topo, cfg, alg, &specs);
+        let m = &sim.meta;
+        rec.events_processed += m.events_processed;
+        rec.events_scheduled += m.events_scheduled;
+        rec.peak_heap_events = rec.peak_heap_events.max(m.peak_heap_events);
+        rec.peak_heap_bytes = rec.peak_heap_bytes.max(m.peak_heap_bytes);
+        rec.wall_ns += m.wall_ns;
+        latency_sum += outcomes.iter().map(|o| o.latency).sum::<Time>();
+    }
+    rec.mean_latency = latency_sum as f64 / (runs * ways) as f64;
+    if rec.wall_ns > 0 {
+        rec.events_per_sec = rec.events_processed as f64 * 1e9 / rec.wall_ns as f64;
+    }
+    rec
+}
+
 impl SimBenchRecord {
     /// The machine-readable form shared by `results/bench_sim.json` and the
     /// repo-root `BENCH_sim.json`.
@@ -214,9 +277,11 @@ pub fn bench_table(records: &[SimBenchRecord]) -> String {
 }
 
 /// Write `results/bench_sim.json` (per-workload records) and the repo-root
-/// `BENCH_sim.json` (records + totals) and return both paths.
+/// `BENCH_sim.json` (records + totals + the generating seed, so `--check`
+/// can re-run the exact committed workloads) and return both paths.
 pub fn write_bench_sim(
     records: &[SimBenchRecord],
+    seed: u64,
 ) -> std::io::Result<(std::path::PathBuf, std::path::PathBuf)> {
     let dir = Path::new("results");
     fs::create_dir_all(dir)?;
@@ -226,6 +291,7 @@ pub fn write_bench_sim(
         &detail_path,
         serde_json::to_string_pretty(&serde_json::json!({
             "benchmark": "engine vitals (RunMeta) per figure workload",
+            "seed": seed,
             "records": entries.clone(),
         }))?,
     )?;
@@ -237,18 +303,187 @@ pub fn write_bench_sim(
     } else {
         0.0
     };
+    // Like-for-like throughput over just the paper figure workloads
+    // (`fig*` ids) — comparable across baselines even as stress workloads
+    // are added to the suite.
+    let paper: Vec<_> = records
+        .iter()
+        .filter(|r| r.workload.starts_with("fig"))
+        .collect();
+    let paper_events: u64 = paper.iter().map(|r| r.events_processed).sum();
+    let paper_wall: u64 = paper.iter().map(|r| r.wall_ns).sum();
+    let paper_overall = if paper_wall > 0 {
+        paper_events as f64 * 1e9 / paper_wall as f64
+    } else {
+        0.0
+    };
     let root_path = std::path::PathBuf::from("BENCH_sim.json");
     fs::write(
         &root_path,
         serde_json::to_string_pretty(&serde_json::json!({
             "benchmark": "flit-level engine throughput over the paper's figure workloads",
+            "seed": seed,
             "total_events_processed": total_events,
             "total_wall_ns": total_wall,
             "overall_events_per_sec": overall,
+            "paper_overall_events_per_sec": paper_overall,
             "records": entries,
         }))?,
     )?;
     Ok((detail_path, root_path))
+}
+
+// ---------------------------------------------------------------------------
+// Regression checking against a committed BENCH_sim.json.
+
+/// The deterministic sentinels of one committed benchmark record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CommittedRecord {
+    /// Workload id (matched against fresh records).
+    pub workload: String,
+    /// Algorithm display name (second half of the match key).
+    pub algorithm: String,
+    /// Runs the committed record aggregated — the check re-runs with the
+    /// same count so event totals are comparable.
+    pub runs: usize,
+    /// Exact-match determinism sentinel.
+    pub events_scheduled: u64,
+    /// Exact-match determinism sentinel.
+    pub peak_heap_events: usize,
+    /// Exact-match determinism sentinel (f64 round-trips bit-exactly
+    /// through the JSON writer).
+    pub mean_latency: f64,
+}
+
+/// A parsed committed `BENCH_sim.json`.
+#[derive(Debug, Clone)]
+pub struct CommittedBench {
+    /// Seed the committed records were generated with.
+    pub seed: u64,
+    /// Committed overall throughput (the perf-regression baseline).
+    pub overall_events_per_sec: f64,
+    /// Per-workload records.
+    pub records: Vec<CommittedRecord>,
+}
+
+/// Parse a committed `BENCH_sim.json`.  Files written before the `seed`
+/// field existed are rejected — regenerate the baseline first.
+pub fn parse_bench_file(text: &str) -> Result<CommittedBench, String> {
+    let v: serde_json::Value = serde_json::from_str(text).map_err(|e| format!("bad JSON: {e}"))?;
+    let field = |obj: &serde_json::Value, key: &str| -> Result<serde_json::Value, String> {
+        obj.get(key)
+            .cloned()
+            .ok_or_else(|| format!("missing `{key}`"))
+    };
+    let seed = field(&v, "seed")?
+        .as_u64()
+        .ok_or("`seed` is not an integer")?;
+    let overall = field(&v, "overall_events_per_sec")?
+        .as_f64()
+        .ok_or("`overall_events_per_sec` is not a number")?;
+    let mut records = Vec::new();
+    for rec in field(&v, "records")?
+        .as_array()
+        .ok_or("`records` not an array")?
+    {
+        records.push(CommittedRecord {
+            workload: field(rec, "workload")?
+                .as_str()
+                .ok_or("`workload` not a string")?
+                .to_string(),
+            algorithm: field(rec, "algorithm")?
+                .as_str()
+                .ok_or("`algorithm` not a string")?
+                .to_string(),
+            runs: field(rec, "runs")?
+                .as_u64()
+                .ok_or("`runs` not an integer")? as usize,
+            events_scheduled: field(rec, "events_scheduled")?
+                .as_u64()
+                .ok_or("`events_scheduled` not an integer")?,
+            peak_heap_events: field(rec, "peak_heap_events")?
+                .as_u64()
+                .ok_or("`peak_heap_events` not an integer")? as usize,
+            mean_latency: field(rec, "mean_latency")?
+                .as_f64()
+                .ok_or("`mean_latency` not a number")?,
+        });
+    }
+    if records.is_empty() {
+        return Err("no records".into());
+    }
+    Ok(CommittedBench {
+        seed,
+        overall_events_per_sec: overall,
+        records,
+    })
+}
+
+/// Compare freshly-run records against a committed baseline.  Returns the
+/// list of failures (empty = pass): the deterministic sentinels
+/// (`events_scheduled`, `peak_heap_events`, `mean_latency`) must match
+/// **exactly** — any drift means simulation results changed, not just
+/// performance — and the fresh overall throughput must be at least
+/// `min_throughput_ratio` × the committed one.
+pub fn compare_bench(
+    committed: &CommittedBench,
+    fresh: &[SimBenchRecord],
+    min_throughput_ratio: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    let mut matched_events = 0u64;
+    let mut matched_wall = 0u64;
+    for c in &committed.records {
+        let Some(f) = fresh
+            .iter()
+            .find(|f| f.workload == c.workload && f.algorithm == c.algorithm)
+        else {
+            failures.push(format!(
+                "{} [{}]: workload missing from fresh run",
+                c.workload, c.algorithm
+            ));
+            continue;
+        };
+        matched_events += f.events_processed;
+        matched_wall += f.wall_ns;
+        if f.runs != c.runs {
+            failures.push(format!(
+                "{} [{}]: run count {} != committed {}",
+                c.workload, c.algorithm, f.runs, c.runs
+            ));
+            continue;
+        }
+        if f.events_scheduled != c.events_scheduled {
+            failures.push(format!(
+                "{} [{}]: events_scheduled {} != committed {} (determinism sentinel)",
+                c.workload, c.algorithm, f.events_scheduled, c.events_scheduled
+            ));
+        }
+        if f.peak_heap_events != c.peak_heap_events {
+            failures.push(format!(
+                "{} [{}]: peak_heap_events {} != committed {} (determinism sentinel)",
+                c.workload, c.algorithm, f.peak_heap_events, c.peak_heap_events
+            ));
+        }
+        if f.mean_latency.to_bits() != c.mean_latency.to_bits() {
+            failures.push(format!(
+                "{} [{}]: mean_latency {} != committed {} (determinism sentinel)",
+                c.workload, c.algorithm, f.mean_latency, c.mean_latency
+            ));
+        }
+    }
+    if matched_wall > 0 && committed.overall_events_per_sec > 0.0 {
+        let fresh_overall = matched_events as f64 * 1e9 / matched_wall as f64;
+        let floor = committed.overall_events_per_sec * min_throughput_ratio;
+        if fresh_overall < floor {
+            failures.push(format!(
+                "overall throughput {fresh_overall:.0} events/sec below floor {floor:.0} \
+                 ({min_throughput_ratio:.2}x committed {:.0})",
+                committed.overall_events_per_sec
+            ));
+        }
+    }
+    failures
 }
 
 /// Minimal `--flag value` argument lookup.
@@ -269,6 +504,108 @@ pub const PAPER_TRIALS: usize = 16;
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    fn fresh(workload: &str, events_scheduled: u64, wall_ns: u64) -> SimBenchRecord {
+        SimBenchRecord {
+            workload: workload.to_string(),
+            detail: String::new(),
+            algorithm: "opt".to_string(),
+            runs: 2,
+            events_processed: events_scheduled,
+            events_scheduled,
+            peak_heap_events: 10,
+            peak_heap_bytes: 0,
+            wall_ns,
+            events_per_sec: 0.0,
+            mean_latency: 123.5,
+        }
+    }
+
+    fn committed(records: Vec<CommittedRecord>, overall: f64) -> CommittedBench {
+        CommittedBench {
+            seed: 1997,
+            overall_events_per_sec: overall,
+            records,
+        }
+    }
+
+    fn committed_of(f: &SimBenchRecord) -> CommittedRecord {
+        CommittedRecord {
+            workload: f.workload.clone(),
+            algorithm: f.algorithm.clone(),
+            runs: f.runs,
+            events_scheduled: f.events_scheduled,
+            peak_heap_events: f.peak_heap_events,
+            mean_latency: f.mean_latency,
+        }
+    }
+
+    #[test]
+    fn compare_passes_on_identical_sentinels_and_equal_throughput() {
+        let f = vec![fresh("a", 1000, 1000), fresh("b", 2000, 1000)];
+        let c = committed(f.iter().map(committed_of).collect(), 3000.0 * 1e9 / 2000.0);
+        assert_eq!(compare_bench(&c, &f, 0.75), Vec::<String>::new());
+    }
+
+    #[test]
+    fn compare_flags_sentinel_drift_exactly() {
+        let f = vec![fresh("a", 1000, 1000)];
+        let mut c = committed(f.iter().map(committed_of).collect(), 0.0);
+        c.records[0].events_scheduled += 1;
+        c.records[0].mean_latency += 0.5;
+        let fails = compare_bench(&c, &f, 0.75);
+        assert_eq!(fails.len(), 2, "{fails:?}");
+        assert!(fails[0].contains("events_scheduled"));
+        assert!(fails[1].contains("mean_latency"));
+    }
+
+    #[test]
+    fn compare_flags_missing_workload_and_throughput_floor() {
+        let f = vec![fresh("a", 1000, 1_000_000)];
+        let mut recs: Vec<CommittedRecord> = f.iter().map(committed_of).collect();
+        recs.push(CommittedRecord {
+            workload: "gone".to_string(),
+            algorithm: "opt".to_string(),
+            runs: 2,
+            events_scheduled: 1,
+            peak_heap_events: 1,
+            mean_latency: 0.0,
+        });
+        // Committed overall is 10x what the fresh records achieve.
+        let fresh_overall = 1000.0 * 1e9 / 1_000_000.0;
+        let c = committed(recs, fresh_overall * 10.0);
+        let fails = compare_bench(&c, &f, 0.75);
+        assert_eq!(fails.len(), 2, "{fails:?}");
+        assert!(fails[0].contains("missing"));
+        assert!(fails[1].contains("below floor"));
+    }
+
+    #[test]
+    fn parse_bench_file_round_trips_written_records() {
+        let recs = vec![fresh("a", 1000, 1000), fresh("b", 2000, 3000)];
+        let entries: Vec<_> = recs.iter().map(SimBenchRecord::to_json).collect();
+        let text = serde_json::to_string_pretty(&serde_json::json!({
+            "seed": 42u64,
+            "overall_events_per_sec": 1234.5,
+            "records": entries,
+        }))
+        .unwrap();
+        let parsed = parse_bench_file(&text).unwrap();
+        assert_eq!(parsed.seed, 42);
+        assert_eq!(parsed.overall_events_per_sec.to_bits(), 1234.5f64.to_bits());
+        assert_eq!(
+            parsed.records,
+            recs.iter().map(committed_of).collect::<Vec<_>>()
+        );
+        // A matching fresh set passes with no failures.
+        assert_eq!(compare_bench(&parsed, &recs, 0.0), Vec::<String>::new());
+    }
+
+    #[test]
+    fn parse_bench_file_rejects_seedless_baselines() {
+        let err = parse_bench_file(r#"{"records": []}"#).unwrap_err();
+        assert!(err.contains("seed"), "{err}");
+    }
 
     #[test]
     fn arg_parsing() {

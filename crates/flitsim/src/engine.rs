@@ -12,13 +12,13 @@
 //! * once draining with tail consumed at `T`, path index `j` of a `P`-channel
 //!   path frees at `T - (P-1-j)` (one cycle of streaming per channel).
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, VecDeque};
+use std::collections::VecDeque;
 
 use pcm::Time;
-use topo::{ChannelId, NodeId, Topology};
+use topo::{ChannelId, NetworkGraph, NodeId, RouteTable, Topology};
 
 use crate::config::SimConfig;
+use crate::equeue::{EventQueue, ENTRY_BYTES};
 use crate::obs::{Observer, RunMeta, TraceSink};
 use crate::program::{Program, SendReq};
 use crate::stats::{MessageRecord, SimResult};
@@ -48,12 +48,17 @@ struct Worm<P> {
     block_start: Option<Time>,
     phase: Phase,
     retry_scheduled: bool,
+    /// Bumped when the worm retires; waiter entries carry the generation
+    /// they were filed under, so a reused slot never receives a stale
+    /// retry meant for its previous occupant.
+    generation: u32,
 }
 
 struct ChanState {
     holder: Option<u32>,
     acquired_at: Time,
-    waiters: Vec<u32>,
+    /// Waiting worms as (slot, generation-at-blocking) pairs.
+    waiters: Vec<(u32, u32)>,
 }
 
 struct NodeState<P> {
@@ -90,14 +95,22 @@ impl Event {
 /// The simulator. Create, [`Engine::start`] the initial sends, then
 /// [`Engine::run`].
 pub struct Engine<'t, Prog: Program> {
-    topo: &'t dyn Topology,
+    graph: &'t NetworkGraph,
+    routes: &'t RouteTable,
     cfg: SimConfig,
     program: Prog,
     worms: Vec<Worm<Prog::Payload>>,
+    /// Retired worm slots available for reuse (disabled while observing so
+    /// trace worm ids stay unique).
+    free_worms: Vec<u32>,
     channels: Vec<ChanState>,
     nodes: Vec<NodeState<Prog::Payload>>,
-    heap: BinaryHeap<Reverse<(Time, u8, u64, EventKey)>>,
-    seq: u64,
+    queue: EventQueue,
+    /// Scratch for `candidates()` — reused across events so a steady-state
+    /// step allocates nothing.
+    cand_scratch: Vec<ChannelId>,
+    /// Scratch for the drain-path release schedule.
+    pending_scratch: Vec<(Time, u32)>,
     finish: Time,
     messages: Vec<MessageRecord>,
     blocked_cycles: Time,
@@ -111,30 +124,29 @@ pub struct Engine<'t, Prog: Program> {
     peak_heap: usize,
 }
 
-// BinaryHeap needs Ord; wrap the event in a plain ordered key.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
-struct EventKey(u8, u32);
-
-impl EventKey {
-    fn pack(e: Event) -> Self {
-        match e {
-            Event::Release(c) => EventKey(0, c),
-            Event::NodeKick(n) => EventKey(1, n),
-            Event::WormStart(w) => EventKey(2, w),
-            Event::HeadAdvance(w) => EventKey(3, w),
-            Event::RecvSoftware(w) => EventKey(4, w),
-            Event::RecvDone(w) => EventKey(5, w),
-        }
+impl Event {
+    /// Pack into the queue's `u64` payload: tag in the high word, id low.
+    fn pack(self) -> u64 {
+        let (tag, id) = match self {
+            Event::Release(c) => (0u64, c),
+            Event::NodeKick(n) => (1, n),
+            Event::WormStart(w) => (2, w),
+            Event::HeadAdvance(w) => (3, w),
+            Event::RecvSoftware(w) => (4, w),
+            Event::RecvDone(w) => (5, w),
+        };
+        (tag << 32) | u64::from(id)
     }
 
-    fn unpack(self) -> Event {
-        match self.0 {
-            0 => Event::Release(self.1),
-            1 => Event::NodeKick(self.1),
-            2 => Event::WormStart(self.1),
-            3 => Event::HeadAdvance(self.1),
-            4 => Event::RecvSoftware(self.1),
-            _ => Event::RecvDone(self.1),
+    fn unpack(ev: u64) -> Event {
+        let id = ev as u32;
+        match ev >> 32 {
+            0 => Event::Release(id),
+            1 => Event::NodeKick(id),
+            2 => Event::WormStart(id),
+            3 => Event::HeadAdvance(id),
+            4 => Event::RecvSoftware(id),
+            _ => Event::RecvDone(id),
         }
     }
 }
@@ -151,10 +163,12 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
             (true, Some(limit)) => TraceSink::memory_limited(limit),
         };
         Self {
-            topo,
+            graph: g,
+            routes: topo.route_table(),
             cfg,
             program,
             worms: Vec::new(),
+            free_worms: Vec::new(),
             channels: (0..g.n_channels())
                 .map(|_| ChanState {
                     holder: None,
@@ -169,8 +183,9 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
                     kick_at: None,
                 })
                 .collect(),
-            heap: BinaryHeap::new(),
-            seq: 0,
+            queue: EventQueue::new(),
+            cand_scratch: Vec::new(),
+            pending_scratch: Vec::new(),
             finish: 0,
             messages: Vec::new(),
             blocked_cycles: 0,
@@ -203,10 +218,10 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
     pub fn run(mut self) -> (Prog, SimResult) {
         let wall_start = std::time::Instant::now();
         let observing = self.obs.enabled();
-        while let Some(Reverse((t, _, _, key))) = self.heap.pop() {
+        while let Some((t, ev)) = self.queue.pop() {
             self.finish = self.finish.max(t);
             self.events_processed += 1;
-            match key.unpack() {
+            match Event::unpack(ev) {
                 Event::Release(c) => self.on_release(ChannelId(c), t),
                 Event::NodeKick(n) => self.on_kick(NodeId(n), t),
                 Event::WormStart(w) | Event::HeadAdvance(w) => self.on_advance(w, t),
@@ -239,8 +254,7 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
         let sink = self.obs.finish();
         // Peak heap estimate: pending events dominate, plus live worm and
         // channel state and whatever trace the sink retained.
-        let heap_entry = std::mem::size_of::<Reverse<(Time, u8, u64, EventKey)>>();
-        let peak_heap_bytes = (self.peak_heap * heap_entry
+        let peak_heap_bytes = (self.peak_heap * ENTRY_BYTES
             + self.worms.len() * std::mem::size_of::<Worm<Prog::Payload>>()
             + self.channels.len() * std::mem::size_of::<ChanState>()
             + sink.events.len() * std::mem::size_of::<TraceEvent>())
@@ -273,11 +287,9 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
     }
 
     fn schedule(&mut self, t: Time, e: Event) {
-        self.seq += 1;
         self.events_scheduled += 1;
-        self.heap
-            .push(Reverse((t, e.priority(), self.seq, EventKey::pack(e))));
-        self.peak_heap = self.peak_heap.max(self.heap.len());
+        self.queue.push(t, e.priority(), e.pack());
+        self.peak_heap = self.peak_heap.max(self.queue.len());
     }
 
     fn enqueue_sends(&mut self, node: NodeId, now: Time, sends: Vec<SendReq<Prog::Payload>>) {
@@ -292,12 +304,10 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
         // never waits behind one constrained to the far future (concurrent
         // multicasts with staggered starts share node CPUs).  Each
         // program's own non-decreasing `not_before` order is preserved.
+        // The queue is sorted by construction, so the insert position is a
+        // binary search: first entry with a strictly later constraint.
         for s in sends {
-            let pos = ns
-                .queue
-                .iter()
-                .rposition(|q| q.not_before <= s.not_before)
-                .map_or(0, |p| p + 1);
+            let pos = ns.queue.partition_point(|q| q.not_before <= s.not_before);
             ns.queue.insert(pos, s);
         }
         let head = ns.queue.front().expect("just inserted");
@@ -332,24 +342,49 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
             ns.kick_at = Some(at);
             self.schedule(at, Event::NodeKick(node.0));
         }
-        let w = self.worms.len() as u32;
-        self.worms.push(Worm {
-            src: node,
-            dest: req.dest,
-            bytes: req.bytes,
-            flits: self.cfg.flits(req.bytes),
-            payload: Some(req.payload),
-            path: Vec::new(),
-            release_ptr: 0,
-            initiated: t,
-            injected: 0,
-            drain_start: 0,
-            tail_consumed: 0,
-            blocked: 0,
-            block_start: None,
-            phase: Phase::Climbing,
-            retry_scheduled: false,
-        });
+        let flits = self.cfg.flits(req.bytes);
+        let w = if let Some(slot) = self.free_worms.pop() {
+            // Reuse a retired slot: the path Vec keeps its capacity, so
+            // steady-state worm turnover allocates nothing.
+            let worm = &mut self.worms[slot as usize];
+            worm.src = node;
+            worm.dest = req.dest;
+            worm.bytes = req.bytes;
+            worm.flits = flits;
+            worm.payload = Some(req.payload);
+            worm.path.clear();
+            worm.release_ptr = 0;
+            worm.initiated = t;
+            worm.injected = 0;
+            worm.drain_start = 0;
+            worm.tail_consumed = 0;
+            worm.blocked = 0;
+            worm.block_start = None;
+            worm.phase = Phase::Climbing;
+            worm.retry_scheduled = false;
+            slot
+        } else {
+            let w = self.worms.len() as u32;
+            self.worms.push(Worm {
+                src: node,
+                dest: req.dest,
+                bytes: req.bytes,
+                flits,
+                payload: Some(req.payload),
+                path: Vec::new(),
+                release_ptr: 0,
+                initiated: t,
+                injected: 0,
+                drain_start: 0,
+                tail_consumed: 0,
+                blocked: 0,
+                block_start: None,
+                phase: Phase::Climbing,
+                retry_scheduled: false,
+                generation: 0,
+            });
+            w
+        };
         if self.obs.enabled() {
             // The send software occupies the CPU for `t_hold` from pickup;
             // the idle edge is known now, so both are emitted here.
@@ -359,17 +394,20 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
         self.schedule(t + t_send, Event::WormStart(w));
     }
 
-    /// Candidate channels for the worm's next hop.
+    /// Candidate channels for the worm's next hop, via the topology's
+    /// precomputed [`RouteTable`].
     fn candidates(&self, w: u32, out: &mut Vec<ChannelId>) {
         let worm = &self.worms[w as usize];
-        let g = self.topo.graph();
         match worm.path.last() {
             // All NI ports are candidates (one in the one-port
             // architecture); port choice is not subject to cfg.adaptive.
-            None => out.extend_from_slice(g.injections(worm.src)),
+            None => out.extend_from_slice(self.graph.injections(worm.src)),
             Some(&c) => {
-                let r = g.dst_router(c).expect("climbing worm sits at a router");
-                self.topo.route_candidates(r, worm.src, worm.dest, out);
+                let r = self
+                    .graph
+                    .dst_router(c)
+                    .expect("climbing worm sits at a router");
+                self.routes.candidates(r, worm.src, worm.dest, out);
                 if !self.cfg.adaptive {
                     out.truncate(1);
                 }
@@ -382,7 +420,8 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
             return; // stale retry
         }
         self.worms[w as usize].retry_scheduled = false;
-        let mut cand = Vec::with_capacity(2);
+        let mut cand = std::mem::take(&mut self.cand_scratch);
+        cand.clear();
         self.candidates(w, &mut cand);
         let free = cand
             .iter()
@@ -392,21 +431,23 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
             None => {
                 // Blocked: remember when, wait on every candidate.
                 let worm = &mut self.worms[w as usize];
+                let generation = worm.generation;
                 if worm.block_start.is_none() {
                     worm.block_start = Some(t);
                     let first = cand.first().copied();
                     self.obs.on_blocked(t, w, first);
                 }
-                for c in cand {
-                    self.channels[c.idx()].waiters.push(w);
+                for &c in &cand {
+                    self.channels[c.idx()].waiters.push((w, generation));
                 }
             }
             Some(c) => self.acquire(w, c, t),
         }
+        self.cand_scratch = cand;
     }
 
     fn acquire(&mut self, w: u32, c: ChannelId, t: Time) {
-        let g = self.topo.graph();
+        let g = self.graph;
         let dest = self.worms[w as usize].dest;
         self.acquires += 1;
         self.obs.on_channel_acquire(t, w, c);
@@ -460,18 +501,19 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
             // Channel j frees once every flit not yet past it has drained:
             // at most B flits fit in each of the (p-1-j) downstream buffers.
             let buf = self.cfg.buffer_flits.max(1);
-            let pending: Vec<(Time, u32)> = (worm.release_ptr..p)
-                .map(|j| {
-                    let ch = worm.path[j];
-                    let downstream = buf * (p - 1 - j) as Time;
-                    (tail_consumed.saturating_sub(downstream), ch.0)
-                })
-                .collect();
+            let mut pending = std::mem::take(&mut self.pending_scratch);
+            pending.clear();
+            pending.extend((worm.release_ptr..p).map(|j| {
+                let ch = worm.path[j];
+                let downstream = buf * (p - 1 - j) as Time;
+                (tail_consumed.saturating_sub(downstream), ch.0)
+            }));
             worm.release_ptr = p;
-            for (rel_at, ch) in pending {
+            for &(rel_at, ch) in &pending {
                 let floor = self.channels[ch as usize].acquired_at + 1;
                 self.schedule(rel_at.max(floor), Event::Release(ch));
             }
+            self.pending_scratch = pending;
             self.schedule(tail_consumed, Event::RecvSoftware(w));
         } else {
             self.schedule(t + rd, Event::HeadAdvance(w));
@@ -490,14 +532,25 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
         debug_assert!(ch.holder.is_some(), "double release of {c:?}");
         ch.holder = None;
         self.channel_busy += t - ch.acquired_at;
-        let waiters = std::mem::take(&mut ch.waiters);
-        for w in waiters {
+        let mut waiters = std::mem::take(&mut ch.waiters);
+        for &(w, generation) in &waiters {
             let worm = &mut self.worms[w as usize];
-            if worm.phase == Phase::Climbing && !worm.retry_scheduled {
+            // The generation check drops entries filed by a retired
+            // occupant of a reused slot; same-generation behavior is
+            // exactly the old phase/retry filtering.
+            if worm.generation == generation
+                && worm.phase == Phase::Climbing
+                && !worm.retry_scheduled
+            {
                 worm.retry_scheduled = true;
                 self.schedule(t, Event::HeadAdvance(w));
             }
         }
+        // Hand the (now cleared) buffer back so blocking episodes don't
+        // allocate in steady state.  Nothing re-files a waiter during the
+        // loop — retries are scheduled as events, not run inline.
+        waiters.clear();
+        self.channels[c.idx()].waiters = waiters;
     }
 
     /// The tail flit is in the NI; the receive software runs as soon as the
@@ -534,6 +587,14 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
             blocked: worm.blocked,
         });
         let dest = worm.dest;
+        // Retire the slot: stale waiter entries die with the generation.
+        // Reuse is disabled while observing so trace worm ids stay unique
+        // (observation never alters simulation outcomes — ids don't feed
+        // back into timing).
+        worm.generation = worm.generation.wrapping_add(1);
+        if !self.obs.enabled() {
+            self.free_worms.push(w);
+        }
         self.obs.on_recv_done(t, w, dest);
         let sends = self.program.on_receive(dest, &payload, t);
         self.enqueue_sends(dest, t, sends);

@@ -61,6 +61,7 @@
 
 pub mod config;
 pub mod engine;
+mod equeue;
 pub mod obs;
 pub mod perfetto;
 pub mod program;

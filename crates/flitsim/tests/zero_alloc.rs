@@ -1,0 +1,60 @@
+//! Steady-state simulation steps must not touch the heap.
+//!
+//! The engine pre-sizes all per-run state (channel table, event-queue node
+//! pool, scratch buffers) and recycles worm slots, so once a run is warmed
+//! up, processing more events performs no further allocations.  This test
+//! pins that property with a counting global allocator: a long point-to-point
+//! run processes hundreds more events than a short one, yet allocates at most
+//! a handful more times (first-touch growth of the path/pool buffers), i.e.
+//! allocation count does not scale with event count.
+
+use flitsim::program::SinkProgram;
+use flitsim::{Engine, SendReq, SimConfig, SoftwareModel};
+use topo::{Mesh, NodeId, Topology};
+
+#[global_allocator]
+static COUNTER: allocmeter::Counting = allocmeter::Counting;
+
+/// Run a single p2p message down a 64-node line and return
+/// `(events_processed, allocations during Engine::run)`.
+fn run_line_p2p(m: &Mesh, dst: u32) -> (u64, u64) {
+    let cfg = SimConfig {
+        software: SoftwareModel::zero(),
+        ..SimConfig::paragon_like()
+    };
+    let mut e = Engine::new(m, cfg, SinkProgram);
+    e.start(NodeId(0), 0, vec![SendReq::to(NodeId(dst), 4096, ())]);
+    let before = allocmeter::allocations();
+    let (_, res) = e.run();
+    let allocs = allocmeter::allocations() - before;
+    (res.meta.events_processed, allocs)
+}
+
+#[test]
+fn event_processing_does_not_allocate_per_event() {
+    let m = Mesh::new(&[64]);
+    // Build the route table outside the measured window — it is a one-time,
+    // per-topology cost shared by every engine over this instance.
+    let _ = m.route_table();
+
+    let (short_events, _short_allocs) = run_line_p2p(&m, 3);
+    // Second short run: buffers for this workload shape are now warm in a
+    // fresh engine too, giving the fair per-run baseline.
+    let (short_events_2, short_allocs) = run_line_p2p(&m, 3);
+    assert_eq!(short_events, short_events_2, "engine must be deterministic");
+
+    let (long_events, long_allocs) = run_line_p2p(&m, 63);
+
+    assert!(
+        long_events > short_events + 100,
+        "long run must process far more events (short {short_events}, long {long_events})"
+    );
+    // The long run walks a 20x longer path but may allocate only a constant
+    // amount more (one longer path Vec + a few event-pool growth doublings),
+    // never per-event or per-hop.
+    assert!(
+        long_allocs <= short_allocs + 24,
+        "allocations scale with events: short run {short_allocs} allocs \
+         ({short_events} events), long run {long_allocs} allocs ({long_events} events)"
+    );
+}

@@ -11,6 +11,7 @@
 //! disjoint channels).
 
 use crate::graph::{ChannelId, NetworkGraph, NodeId, RouterId};
+use crate::route_table::{RouteCache, RouteTable};
 use crate::topology::Topology;
 
 /// An n-dimensional mesh. Each node has a dedicated router; routers connect
@@ -23,6 +24,7 @@ pub struct Mesh {
     /// `links[(router * ndim + dim) * 2 + dir]`, `dir` 0 = toward higher
     /// coordinate, 1 = toward lower.
     links: Vec<Option<ChannelId>>,
+    routes: RouteCache,
 }
 
 impl Mesh {
@@ -80,6 +82,7 @@ impl Mesh {
             ports,
             graph: b.build(),
             links,
+            routes: RouteCache::default(),
         }
     }
 
@@ -165,6 +168,15 @@ impl Topology for Mesh {
             }
         }
         out.extend_from_slice(self.graph.consumptions(dest));
+    }
+
+    fn route_table(&self) -> &RouteTable {
+        // E-cube routing ignores the source; src = dest is a placeholder.
+        self.routes.get_or_build(|| {
+            RouteTable::src_invariant(&self.graph, |r, dest, out| {
+                self.route_candidates(r, dest, dest, out);
+            })
+        })
     }
 
     fn chain_key(&self, n: NodeId) -> u64 {

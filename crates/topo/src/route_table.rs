@@ -1,0 +1,324 @@
+//! Precomputed next-hop tables — the static image of a topology's routing
+//! function.
+//!
+//! [`crate::Topology::route_candidates`] is a virtual call that recomputes
+//! coordinates (mesh/torus) or block membership (BMIN) on every head
+//! advance; the simulator asks it once per hop per worm, millions of times
+//! per campaign.  A [`RouteTable`] evaluates the routing function once per
+//! topology instance and reduces every later query to an array lookup.
+//!
+//! # Layout
+//!
+//! The table is a flat `routers × nodes` array of 8-byte [`Entry`] records
+//! indexing into one shared channel pool.  Three entry kinds cover every
+//! topology in the workspace:
+//!
+//! * **Fixed** — the candidate list is a function of (router, dest) alone:
+//!   meshes, omega, the BMIN down-phase and the BMIN up-phase under
+//!   [`crate::UpPolicy::DestColumn`].  The pool holds the candidates in
+//!   preference order.
+//! * **SrcBit** — the candidate *set* is fixed but the preference order
+//!   flips on one source-address bit: the BMIN up-phase under
+//!   [`crate::UpPolicy::Straight`] prefers up-port `δ_{ℓ+1}(src)`.  The
+//!   pool holds the port-0 and port-1 channels; `aux` is the bit index.
+//! * **Wrap** — the torus e-cube step: direction and dateline VC depend on
+//!   the *source* coordinate in the active dimension.  The pool holds the
+//!   four (direction × VC) channels; `aux` is the dimension, and the table
+//!   carries the node coordinate grid to resolve the comparison at lookup
+//!   time.  Requires router `i` to be co-located with node `i` (true for
+//!   the torus, the only wrap user).
+//!
+//! Entries left unset stay [`Entry::EMPTY`]; querying one panics.  This is
+//! deliberate: the omega network's routing function is only defined at
+//! (router, dest) pairs its single path can reach, and a table miss there
+//! is a routing bug, not a recoverable condition.
+
+use std::sync::{Arc, OnceLock};
+
+use crate::graph::{ChannelId, NetworkGraph, NodeId, RouterId};
+
+const KIND_EMPTY: u8 = 0;
+const KIND_FIXED: u8 = 1;
+const KIND_SRC_BIT: u8 = 2;
+const KIND_WRAP: u8 = 3;
+
+/// One (router, dest) record: a kind tag plus an offset into the pool.
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    off: u32,
+    len: u8,
+    kind: u8,
+    aux: u8,
+}
+
+impl Entry {
+    const EMPTY: Entry = Entry {
+        off: 0,
+        len: 0,
+        kind: KIND_EMPTY,
+        aux: 0,
+    };
+}
+
+/// A precomputed routing table for one topology instance.  Built once (see
+/// [`RouteCache`]), then read-only and lock-free.
+pub struct RouteTable {
+    n_nodes: usize,
+    entries: Vec<Entry>,
+    pool: Vec<ChannelId>,
+    /// Node coordinates, `coords[node * ndim + d]` — only populated when
+    /// wrap entries exist (torus).
+    coords: Vec<u32>,
+    /// Side lengths per dimension (wrap entries only).
+    dims: Vec<u32>,
+}
+
+impl std::fmt::Debug for RouteTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouteTable")
+            .field("routers", &(self.entries.len() / self.n_nodes.max(1)))
+            .field("nodes", &self.n_nodes)
+            .field("pool", &self.pool.len())
+            .finish()
+    }
+}
+
+impl RouteTable {
+    /// Append the preference-ordered candidates at router `r` for a worm
+    /// `src → dest` — semantically identical to the dynamic
+    /// [`crate::Topology::route_candidates`] of the topology that built the
+    /// table.
+    ///
+    /// # Panics
+    /// If the (router, dest) pair has no entry — routing is undefined there.
+    #[inline]
+    pub fn candidates(&self, r: RouterId, src: NodeId, dest: NodeId, out: &mut Vec<ChannelId>) {
+        let e = self.entries[r.idx() * self.n_nodes + dest.idx()];
+        let off = e.off as usize;
+        match e.kind {
+            KIND_FIXED => out.extend_from_slice(&self.pool[off..off + e.len as usize]),
+            KIND_SRC_BIT => {
+                let pref = ((src.0 >> e.aux) & 1) as usize;
+                out.push(self.pool[off + pref]);
+                out.push(self.pool[off + (1 - pref)]);
+            }
+            KIND_WRAP => {
+                let d = e.aux as usize;
+                let ndim = self.dims.len();
+                let m = self.dims[d];
+                let here = self.coords[r.idx() * ndim + d];
+                let from = self.coords[src.idx() * ndim + d];
+                let to = self.coords[dest.idx() * ndim + d];
+                // Same decision as the torus routing function: direction by
+                // the shortest way from the source coordinate (ties go +),
+                // dateline VC once the wrap edge has been crossed.
+                let fwd = (to + m - from) % m;
+                let (dir, crossed) = if fwd <= m - fwd {
+                    (0, here < from)
+                } else {
+                    (1, here > from)
+                };
+                out.push(self.pool[off + dir * 2 + usize::from(crossed)]);
+            }
+            _ => panic!("no route entry at {r:?} for dest {dest:?}"),
+        }
+    }
+
+    /// Build a table for a topology whose candidates depend only on
+    /// (router, dest): `route` is queried once per pair.  Covers the mesh,
+    /// and any topology whose `route_candidates` ignores `src`.
+    pub fn src_invariant(
+        g: &NetworkGraph,
+        route: impl Fn(RouterId, NodeId, &mut Vec<ChannelId>),
+    ) -> Self {
+        let mut b = RouteTableBuilder::new(g.n_routers(), g.n_nodes());
+        let mut cand = Vec::new();
+        for r in 0..g.n_routers() as u32 {
+            for dest in 0..g.n_nodes() as u32 {
+                cand.clear();
+                route(RouterId(r), NodeId(dest), &mut cand);
+                b.fixed(RouterId(r), NodeId(dest), &cand);
+            }
+        }
+        b.build()
+    }
+}
+
+/// Incremental builder for [`RouteTable`].
+pub struct RouteTableBuilder {
+    n_nodes: usize,
+    entries: Vec<Entry>,
+    pool: Vec<ChannelId>,
+    /// Offset/length of the most recently interned segment, for the
+    /// run-length dedup in [`RouteTableBuilder::intern`] (consecutive dests
+    /// at one router usually share a next hop).
+    last: (u32, u8),
+    coords: Vec<u32>,
+    dims: Vec<u32>,
+}
+
+impl RouteTableBuilder {
+    /// An empty table over `n_routers × n_nodes` entry slots.
+    pub fn new(n_routers: usize, n_nodes: usize) -> Self {
+        Self {
+            n_nodes,
+            entries: vec![Entry::EMPTY; n_routers * n_nodes],
+            pool: Vec::new(),
+            last: (0, 0),
+            coords: Vec::new(),
+            dims: Vec::new(),
+        }
+    }
+
+    /// Intern a candidate segment into the pool, reusing the previous
+    /// segment when identical, and return its offset.
+    ///
+    /// # Panics
+    /// If the segment is longer than 255 channels.
+    pub fn intern(&mut self, chans: &[ChannelId]) -> u32 {
+        assert!(chans.len() <= u8::MAX as usize, "candidate list too long");
+        let (off, len) = self.last;
+        if len as usize == chans.len()
+            && self.pool[off as usize..off as usize + len as usize] == *chans
+        {
+            return off;
+        }
+        let off = self.pool.len() as u32;
+        self.pool.extend_from_slice(chans);
+        self.last = (off, chans.len() as u8);
+        off
+    }
+
+    fn slot(&mut self, r: RouterId, dest: NodeId) -> &mut Entry {
+        &mut self.entries[r.idx() * self.n_nodes + dest.idx()]
+    }
+
+    /// Record a source-independent candidate list at (`r`, `dest`).
+    pub fn fixed(&mut self, r: RouterId, dest: NodeId, chans: &[ChannelId]) {
+        let off = self.intern(chans);
+        *self.slot(r, dest) = Entry {
+            off,
+            len: chans.len() as u8,
+            kind: KIND_FIXED,
+            aux: 0,
+        };
+    }
+
+    /// Record a source-bit entry: the pair at `pair_off` (port-0 channel
+    /// then port-1 channel, as returned by [`RouteTableBuilder::intern`])
+    /// is emitted preferred-first by bit `shift` of the source address.
+    pub fn src_bit(&mut self, r: RouterId, dest: NodeId, pair_off: u32, shift: u8) {
+        *self.slot(r, dest) = Entry {
+            off: pair_off,
+            len: 2,
+            kind: KIND_SRC_BIT,
+            aux: shift,
+        };
+    }
+
+    /// Record a torus wrap entry: the quad at `quad_off` holds the
+    /// `[+vc0, +vc1, −vc0, −vc1]` channels of dimension `dim` at router
+    /// `r`; the coordinate grid (see
+    /// [`RouteTableBuilder::set_wrap_geometry`]) resolves direction and VC
+    /// at lookup time.
+    pub fn wrap(&mut self, r: RouterId, dest: NodeId, dim: u8, quad_off: u32) {
+        *self.slot(r, dest) = Entry {
+            off: quad_off,
+            len: 1,
+            kind: KIND_WRAP,
+            aux: dim,
+        };
+    }
+
+    /// Supply the node coordinate grid wrap entries resolve against:
+    /// `coords[node * dims.len() + d]`, sides in `dims`.
+    pub fn set_wrap_geometry(&mut self, dims: Vec<u32>, coords: Vec<u32>) {
+        self.dims = dims;
+        self.coords = coords;
+    }
+
+    /// Finish building.
+    pub fn build(self) -> RouteTable {
+        RouteTable {
+            n_nodes: self.n_nodes,
+            entries: self.entries,
+            pool: self.pool,
+            coords: self.coords,
+            dims: self.dims,
+        }
+    }
+}
+
+/// Lazily-built, per-instance [`RouteTable`] cache.  Cloning a topology
+/// shares the cache (the table is a pure function of the immutable
+/// topology, so sharing is safe and saves the rebuild).
+#[derive(Debug, Clone, Default)]
+pub struct RouteCache(Arc<OnceLock<RouteTable>>);
+
+impl RouteCache {
+    /// The cached table, building it on first use.
+    pub fn get_or_build(&self, build: impl FnOnce() -> RouteTable) -> &RouteTable {
+        self.0.get_or_init(build)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_entries_round_trip() {
+        let mut b = RouteTableBuilder::new(2, 2);
+        b.fixed(RouterId(0), NodeId(0), &[ChannelId(7)]);
+        b.fixed(RouterId(0), NodeId(1), &[ChannelId(7)]); // dedup run
+        b.fixed(RouterId(1), NodeId(0), &[ChannelId(3), ChannelId(4)]);
+        b.fixed(RouterId(1), NodeId(1), &[ChannelId(5)]);
+        let t = b.build();
+        assert_eq!(t.pool.len(), 4, "run-length dedup shares the pool slot");
+        let mut out = Vec::new();
+        t.candidates(RouterId(1), NodeId(0), NodeId(0), &mut out);
+        assert_eq!(out, vec![ChannelId(3), ChannelId(4)]);
+        out.clear();
+        t.candidates(RouterId(0), NodeId(0), NodeId(1), &mut out);
+        assert_eq!(out, vec![ChannelId(7)]);
+    }
+
+    #[test]
+    fn src_bit_orders_by_source_bit() {
+        let mut b = RouteTableBuilder::new(1, 2);
+        let pair = b.intern(&[ChannelId(10), ChannelId(11)]);
+        b.src_bit(RouterId(0), NodeId(0), pair, 1);
+        b.src_bit(RouterId(0), NodeId(1), pair, 1);
+        let t = b.build();
+        let mut out = Vec::new();
+        t.candidates(RouterId(0), NodeId(0), NodeId(1), &mut out);
+        assert_eq!(out, vec![ChannelId(10), ChannelId(11)], "bit 1 of src 0");
+        out.clear();
+        t.candidates(RouterId(0), NodeId(2), NodeId(1), &mut out);
+        assert_eq!(out, vec![ChannelId(11), ChannelId(10)], "bit 1 of src 2");
+    }
+
+    #[test]
+    #[should_panic(expected = "no route entry")]
+    fn empty_entry_panics() {
+        let t = RouteTableBuilder::new(1, 1).build();
+        let mut out = Vec::new();
+        t.candidates(RouterId(0), NodeId(0), NodeId(0), &mut out);
+    }
+
+    #[test]
+    fn cache_builds_once_and_shares_across_clones() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let builds = AtomicUsize::new(0);
+        let cache = RouteCache::default();
+        let clone = cache.clone();
+        for c in [&cache, &clone, &cache] {
+            let t = c.get_or_build(|| {
+                builds.fetch_add(1, Ordering::Relaxed);
+                RouteTableBuilder::new(1, 1).build()
+            });
+            assert_eq!(t.n_nodes, 1);
+        }
+        assert_eq!(builds.load(Ordering::Relaxed), 1);
+    }
+}

@@ -2,6 +2,7 @@
 //! to know about a network.
 
 use crate::graph::{ChannelId, NetworkGraph, NodeId, RouterId};
+use crate::route_table::RouteTable;
 
 /// Why a deterministic route could not be materialised.
 ///
@@ -88,6 +89,15 @@ pub trait Topology: Send + Sync {
     /// worm has reached `dest`'s router the single candidate is the
     /// consumption channel.
     fn route_candidates(&self, r: RouterId, src: NodeId, dest: NodeId, out: &mut Vec<ChannelId>);
+
+    /// The precomputed next-hop table for this instance, built lazily on
+    /// first use and cached for the instance's lifetime (clones share it).
+    /// Contract: [`RouteTable::candidates`] returns exactly what
+    /// [`Topology::route_candidates`] would for every (router, src, dest)
+    /// the routing function is defined on — the simulator routes through
+    /// the table, the checkers through the dynamic function, and the
+    /// differential tests in `tests/route_table.rs` pin the two together.
+    fn route_table(&self) -> &RouteTable;
 
     /// The architecture's chain-ordering key: dimension-ordered (`<_d`) for
     /// meshes, lexicographic (binary address value) for BMINs.  Sorting nodes

@@ -19,6 +19,7 @@
 //! relies on).
 
 use crate::graph::{ChannelId, NetworkGraph, NodeId, RouterId};
+use crate::route_table::{RouteCache, RouteTable, RouteTableBuilder};
 use crate::topology::Topology;
 
 /// An n-dimensional torus; every node has a router with two virtual
@@ -35,6 +36,7 @@ pub struct Torus {
     links: Vec<ChannelId>,
     /// False for the unvirtualized (single-VC) variant.
     virtualized: bool,
+    routes: RouteCache,
 }
 
 impl Torus {
@@ -101,6 +103,7 @@ impl Torus {
             graph: b.build(),
             links,
             virtualized,
+            routes: RouteCache::default(),
         }
     }
 
@@ -194,6 +197,46 @@ impl Topology for Torus {
             return;
         }
         out.extend_from_slice(self.graph.consumptions(dest));
+    }
+
+    fn route_table(&self) -> &RouteTable {
+        self.routes.get_or_build(|| {
+            let n = self.graph.n_nodes();
+            let ndim = self.dims.len();
+            let mut b = RouteTableBuilder::new(self.graph.n_routers(), n);
+            let mut coords = Vec::with_capacity(n * ndim);
+            for node in 0..n {
+                coords.extend(coords_of(&self.dims, node).iter().map(|&c| c as u32));
+            }
+            b.set_wrap_geometry(self.dims.iter().map(|&m| m as u32).collect(), coords);
+            // The quad of one (router, dim) serves every destination that
+            // still differs in that dim; intern each quad once.
+            let mut quads = vec![u32::MAX; n * ndim];
+            for r in 0..n {
+                let here = coords_of(&self.dims, r);
+                let router = RouterId(r as u32);
+                for dest in 0..n {
+                    let d = NodeId(dest as u32);
+                    let to = coords_of(&self.dims, dest);
+                    match (0..ndim).find(|&dim| here[dim] != to[dim]) {
+                        None => b.fixed(router, d, self.graph.consumptions(d)),
+                        Some(dim) => {
+                            let q = &mut quads[r * ndim + dim];
+                            if *q == u32::MAX {
+                                *q = b.intern(&[
+                                    self.link(router, dim, 0, 0),
+                                    self.link(router, dim, 0, 1),
+                                    self.link(router, dim, 1, 0),
+                                    self.link(router, dim, 1, 1),
+                                ]);
+                            }
+                            b.wrap(router, d, dim as u8, *q);
+                        }
+                    }
+                }
+            }
+            b.build()
+        })
     }
 
     fn chain_key(&self, n: NodeId) -> u64 {

@@ -1,0 +1,142 @@
+//! Differential tests: the precomputed [`RouteTable`] must agree with the
+//! dynamic `route_candidates` for every (router, src, dest) triple the
+//! routing function is defined on — the simulator routes through the table,
+//! so any divergence silently changes simulation results.
+
+use topo::{Bmin, Mesh, NodeId, Omega, RouterId, Topology, Torus, UpPolicy};
+
+/// Compare table vs dynamic candidates on the full triple product.
+fn assert_table_matches(topo: &dyn Topology) {
+    let g = topo.graph();
+    let table = topo.route_table();
+    let mut dynamic = Vec::new();
+    let mut cached = Vec::new();
+    let mut triples = 0u64;
+    for r in 0..g.n_routers() as u32 {
+        for src in 0..g.n_nodes() as u32 {
+            for dest in 0..g.n_nodes() as u32 {
+                if src == dest {
+                    continue;
+                }
+                dynamic.clear();
+                cached.clear();
+                topo.route_candidates(RouterId(r), NodeId(src), NodeId(dest), &mut dynamic);
+                table.candidates(RouterId(r), NodeId(src), NodeId(dest), &mut cached);
+                assert_eq!(
+                    dynamic,
+                    cached,
+                    "{} diverges at router {r}, src {src}, dest {dest}",
+                    topo.name()
+                );
+                triples += 1;
+            }
+        }
+    }
+    assert!(triples > 0, "vacuous comparison for {}", topo.name());
+}
+
+#[test]
+fn mesh_table_matches_dynamic_routing() {
+    for mesh in [
+        Mesh::new(&[5]),
+        Mesh::new(&[4, 4]),
+        Mesh::new(&[3, 3, 2]),
+        Mesh::with_ports(&[4], 2),
+        Mesh::hypercube(3),
+    ] {
+        assert_table_matches(&mesh);
+    }
+}
+
+#[test]
+fn torus_table_matches_dynamic_routing() {
+    for torus in [
+        Torus::new(&[5]),
+        Torus::new(&[4, 3]),
+        Torus::new(&[2, 2]),
+        Torus::unvirtualized(&[4, 4]),
+    ] {
+        assert_table_matches(&torus);
+    }
+}
+
+#[test]
+fn bmin_table_matches_dynamic_routing() {
+    for policy in [UpPolicy::Straight, UpPolicy::DestColumn] {
+        for s in [2, 3, 4] {
+            assert_table_matches(&Bmin::new(s, policy));
+        }
+    }
+}
+
+/// Omega routing is only defined at (router, dest) pairs its single path
+/// can reach — the last stage only hosts its own two wires — so the
+/// comparison enumerates the reachable pairs instead of the full product.
+#[test]
+fn omega_table_matches_dynamic_routing() {
+    for s in [2u32, 3, 4] {
+        let o = Omega::new(s);
+        let g = o.graph();
+        let table = o.route_table();
+        let w = g.n_nodes() / 2;
+        let last = s as usize - 1;
+        let mut dynamic = Vec::new();
+        let mut cached = Vec::new();
+        for l in 0..s as usize {
+            for idx in 0..w {
+                let r = RouterId((l * w + idx) as u32);
+                for dest in 0..g.n_nodes() as u32 {
+                    if l == last && (dest as usize) >> 1 != idx {
+                        continue;
+                    }
+                    for src in 0..g.n_nodes() as u32 {
+                        if src == dest {
+                            continue;
+                        }
+                        dynamic.clear();
+                        cached.clear();
+                        o.route_candidates(r, NodeId(src), NodeId(dest), &mut dynamic);
+                        table.candidates(r, NodeId(src), NodeId(dest), &mut cached);
+                        assert_eq!(dynamic, cached, "omega-{s} at {r:?}, {src}->{dest}");
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Every channel on every deterministic path is what the table's
+/// first-preference walk would produce — the path-level view of the same
+/// contract, covering exactly the states a climbing worm visits.
+#[test]
+fn table_first_preference_reproduces_det_paths() {
+    let topos: Vec<Box<dyn Topology>> = vec![
+        Box::new(Mesh::new(&[4, 4])),
+        Box::new(Torus::new(&[4, 3])),
+        Box::new(Bmin::new(4, UpPolicy::Straight)),
+        Box::new(Omega::new(3)),
+    ];
+    for topo in &topos {
+        let g = topo.graph();
+        let table = topo.route_table();
+        let mut cand = Vec::new();
+        for src in 0..g.n_nodes() as u32 {
+            for dest in 0..g.n_nodes() as u32 {
+                if src == dest {
+                    continue;
+                }
+                let path = topo.det_path(NodeId(src), NodeId(dest));
+                let mut at = g.dst_router(path[0]).expect("injection enters a router");
+                for &expect in &path[1..] {
+                    cand.clear();
+                    table.candidates(at, NodeId(src), NodeId(dest), &mut cand);
+                    assert_eq!(cand[0], expect, "{} {src}->{dest}", topo.name());
+                    match g.dst_router(expect) {
+                        Some(r) => at = r,
+                        None => break,
+                    }
+                }
+            }
+        }
+    }
+}

@@ -50,4 +50,21 @@ cargo run --release -q -p optmc-cli --bin optmc -- \
     | grep -F "0 executed, 4 skipped, 0 failed" >/dev/null \
     || { echo "smoke campaign resume re-ran completed cells" >&2; exit 1; }
 
+# Perf + determinism smoke: re-run every workload recorded in the committed
+# BENCH_sim.json (same runs, same seed).  The deterministic sentinels
+# (events_scheduled, peak_heap_events, mean_latency) must match exactly —
+# any drift means simulation results changed — and overall throughput must
+# stay within 25% of the committed baseline.
+echo "==> bench_sim --check BENCH_sim.json (sentinels exact, throughput >= 0.75x)"
+cargo run --release -q -p optmc-bench --bin bench_sim -- --check BENCH_sim.json
+
+# Figure determinism gate: the committed paper figures must regenerate
+# byte-identical from a clean build.
+echo "==> figure regeneration is byte-identical (fig2, fig3)"
+cargo run --release -q -p optmc-bench --bin fig2_mesh_msgsize >/dev/null
+cargo run --release -q -p optmc-bench --bin fig3_mesh_nodes >/dev/null
+git diff --exit-code -- \
+    results/fig2.csv results/fig2.json results/fig3.csv results/fig3.json \
+    || { echo "figure regeneration diverged from committed results/" >&2; exit 1; }
+
 echo "All checks passed."
