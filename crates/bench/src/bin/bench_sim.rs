@@ -25,8 +25,8 @@ use std::process::ExitCode;
 use flitsim::SimConfig;
 use optmc::Algorithm;
 use optmc_bench::{
-    arg_value, bench_concurrent, bench_table, bench_workload, compare_bench, parse_bench_file,
-    write_bench_sim, SimBenchRecord,
+    arg_value, bench_concurrent, bench_observed, bench_table, bench_workload, compare_bench,
+    observer_overhead_failures, parse_bench_file, write_bench_sim, SimBenchRecord,
 };
 use topo::{Bmin, Mesh, Topology, UpPolicy};
 
@@ -34,6 +34,12 @@ use topo::{Bmin, Mesh, Topology, UpPolicy};
 /// events/sec.  Generous (wall-clock noise, shared CI machines) while still
 /// catching order-of-magnitude hot-path regressions.
 const MIN_THROUGHPUT_RATIO: f64 = 0.75;
+
+/// Floor for the counters-only observer relative to the NullObserver,
+/// measured within one fresh run (`obs_null_*` vs `obs_counters_*`), so
+/// machine speed cancels out.  The counters sink is a handful of `u64`
+/// adds per event; 5% is the agreed overhead budget.
+const MIN_OBS_RATIO: f64 = 0.95;
 
 /// Run every benchmark workload.  `runs_for(workload_id, default)` decides
 /// the per-workload run count: generation passes the defaults through,
@@ -101,6 +107,25 @@ fn run_all(seed: u64, runs_for: &dyn Fn(&str, usize) -> usize) -> Vec<SimBenchRe
         }
     }
 
+    // Observer-overhead pair: the same mesh workload under the default
+    // Null observer and the counters-only sink.  Deterministic sentinels
+    // must agree across the pair (observation never perturbs the
+    // simulation); the wall-clock ratio is the overhead measurement.
+    for (id, counters) in [("obs_null_mesh16", false), ("obs_counters_mesh16", true)] {
+        records.push(bench_observed(
+            id,
+            "16x16 mesh, 32 nodes, 16 KB, observer overhead pair",
+            &mesh,
+            &cfg,
+            Algorithm::OptArch,
+            32,
+            16 * 1024,
+            runs_for(id, 12),
+            seed,
+            counters,
+        ));
+    }
+
     // 64 concurrent 16-node multicasts on the large mesh, arrivals staggered
     // 2000 cycles apart — an open-loop workload whose far-future injections
     // exercise the event queue's overflow path.
@@ -143,7 +168,8 @@ fn check(path: &str) -> ExitCode {
             .find(|r| r.workload == id)
             .map_or(default, |r| r.runs)
     });
-    let failures = compare_bench(&committed, &fresh, MIN_THROUGHPUT_RATIO);
+    let mut failures = compare_bench(&committed, &fresh, MIN_THROUGHPUT_RATIO);
+    failures.extend(observer_overhead_failures(&fresh, MIN_OBS_RATIO));
     print!("{}", bench_table(&fresh));
     if failures.is_empty() {
         println!(

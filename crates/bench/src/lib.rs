@@ -169,6 +169,61 @@ pub fn bench_workload(
     rec
 }
 
+/// [`bench_workload`] under an explicit observer: the `counters` arm runs
+/// with the counters-only [`flitsim::TraceSink`] (per-event tallies, slot
+/// reuse intact), the other with the default Null observer.  Paired
+/// records (`obs_null_*` / `obs_counters_*`) quantify the observer's
+/// overhead; [`observer_overhead_failures`] enforces the ceiling.
+#[allow(clippy::too_many_arguments)]
+pub fn bench_observed(
+    workload: &str,
+    detail: &str,
+    topo: &dyn Topology,
+    cfg: &SimConfig,
+    alg: Algorithm,
+    k: usize,
+    bytes: MsgSize,
+    runs: usize,
+    seed: u64,
+    counters: bool,
+) -> SimBenchRecord {
+    assert!(runs >= 1);
+    let n = topo.graph().n_nodes();
+    let mut rec = SimBenchRecord {
+        workload: workload.to_string(),
+        detail: detail.to_string(),
+        algorithm: alg.display_name(topo),
+        runs,
+        events_processed: 0,
+        events_scheduled: 0,
+        peak_heap_events: 0,
+        peak_heap_bytes: 0,
+        wall_ns: 0,
+        events_per_sec: 0.0,
+        mean_latency: 0.0,
+    };
+    let mut latency_sum = 0u64;
+    let opts = optmc::RunOptions::default();
+    for t in 0..runs {
+        let parts = optmc::random_placement(n, k, seed + t as u64);
+        let sink = counters.then(flitsim::TraceSink::counters);
+        let out =
+            optmc::run_multicast_observed(topo, cfg, alg, &parts, parts[0], bytes, &opts, sink);
+        let m = &out.sim.meta;
+        rec.events_processed += m.events_processed;
+        rec.events_scheduled += m.events_scheduled;
+        rec.peak_heap_events = rec.peak_heap_events.max(m.peak_heap_events);
+        rec.peak_heap_bytes = rec.peak_heap_bytes.max(m.peak_heap_bytes);
+        rec.wall_ns += m.wall_ns;
+        latency_sum += out.latency;
+    }
+    rec.mean_latency = latency_sum as f64 / runs as f64;
+    if rec.wall_ns > 0 {
+        rec.events_per_sec = rec.events_processed as f64 * 1e9 / rec.wall_ns as f64;
+    }
+    rec
+}
+
 /// Run `runs` seeded rounds of a `ways`-way concurrent multicast workload
 /// (disjoint participant sets carved from one sampled placement, arrival
 /// times staggered `stagger` cycles apart) and aggregate the joint run's
@@ -486,6 +541,44 @@ pub fn compare_bench(
     failures
 }
 
+/// Enforce the counters-only observer's overhead ceiling: for every
+/// `obs_null_<tag>` / `obs_counters_<tag>` record pair in `fresh`, the
+/// counters throughput must be at least `min_ratio` x the Null one.
+/// Both sides come from the same fresh run, so the committed baseline's
+/// wall-clock never enters the comparison.
+pub fn observer_overhead_failures(fresh: &[SimBenchRecord], min_ratio: f64) -> Vec<String> {
+    let mut failures = Vec::new();
+    for null in fresh.iter().filter(|r| r.workload.starts_with("obs_null_")) {
+        let tag = &null.workload["obs_null_".len()..];
+        let counters_id = format!("obs_counters_{tag}");
+        let Some(counters) = fresh
+            .iter()
+            .find(|r| r.workload == counters_id && r.algorithm == null.algorithm)
+        else {
+            failures.push(format!(
+                "{counters_id}: counters half of the observer pair is missing"
+            ));
+            continue;
+        };
+        if null.events_per_sec <= 0.0 {
+            continue;
+        }
+        let ratio = counters.events_per_sec / null.events_per_sec;
+        if ratio < min_ratio {
+            failures.push(format!(
+                "{counters_id} [{}]: counters-only observer at {:.1}% of NullObserver \
+                 throughput ({:.0} vs {:.0} events/sec, floor {:.0}%)",
+                counters.algorithm,
+                100.0 * ratio,
+                counters.events_per_sec,
+                null.events_per_sec,
+                100.0 * min_ratio,
+            ));
+        }
+    }
+    failures
+}
+
 /// Minimal `--flag value` argument lookup.
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()
@@ -605,6 +698,67 @@ mod tests {
     fn parse_bench_file_rejects_seedless_baselines() {
         let err = parse_bench_file(r#"{"records": []}"#).unwrap_err();
         assert!(err.contains("seed"), "{err}");
+    }
+
+    #[test]
+    fn observer_overhead_pairs_are_enforced() {
+        let mut null = fresh("obs_null_mesh16", 10_000, 1_000_000);
+        null.events_per_sec = 1000.0;
+        let mut counters = fresh("obs_counters_mesh16", 10_000, 1_000_000);
+        counters.events_per_sec = 960.0;
+        let records = vec![null.clone(), counters.clone()];
+        assert_eq!(
+            observer_overhead_failures(&records, 0.95),
+            Vec::<String>::new()
+        );
+        // Dropping below the floor fails with a diagnostic.
+        let mut slow = counters.clone();
+        slow.events_per_sec = 900.0;
+        let fails = observer_overhead_failures(&[null.clone(), slow], 0.95);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("90.0% of NullObserver"), "{fails:?}");
+        // A missing counters half is itself a failure.
+        let fails = observer_overhead_failures(&[null], 0.95);
+        assert_eq!(fails.len(), 1, "{fails:?}");
+        assert!(fails[0].contains("missing"), "{fails:?}");
+    }
+
+    #[test]
+    fn observed_bench_matches_unobserved_sentinels() {
+        let mesh = topo::Mesh::new(&[8, 8]);
+        let cfg = SimConfig::paragon_like();
+        let null = bench_observed(
+            "obs_null_t",
+            "",
+            &mesh,
+            &cfg,
+            Algorithm::OptArch,
+            12,
+            2048,
+            2,
+            7,
+            false,
+        );
+        let counters = bench_observed(
+            "obs_counters_t",
+            "",
+            &mesh,
+            &cfg,
+            Algorithm::OptArch,
+            12,
+            2048,
+            2,
+            7,
+            true,
+        );
+        // Observation must not perturb the simulation: every deterministic
+        // sentinel is identical across the pair.
+        assert_eq!(null.events_scheduled, counters.events_scheduled);
+        assert_eq!(null.events_processed, counters.events_processed);
+        assert_eq!(null.peak_heap_events, counters.peak_heap_events);
+        assert_eq!(null.mean_latency.to_bits(), counters.mean_latency.to_bits());
+        // Counters keep worm-slab slot reuse, so peak heap bytes agree too.
+        assert_eq!(null.peak_heap_bytes, counters.peak_heap_bytes);
     }
 
     #[test]

@@ -1,0 +1,213 @@
+//! Campaign live telemetry: the heartbeat stream.
+//!
+//! The worker pool appends one [`Heartbeat`] line to
+//! `results/campaigns/<name>/heartbeat.jsonl` before workers start and
+//! after every resolved cell, from inside the same critical section that
+//! checkpoints the cell — so the newest heartbeat is always consistent
+//! with the shard store.  `optmc sweep status` reads the latest line for
+//! a progress/ETA view of a running (or finished, or killed) campaign,
+//! and `optmc sweep run --progress` renders the same records in place as
+//! they are produced.
+//!
+//! Heartbeats are observability, not checkpoints: writes are best-effort
+//! (an unwritable heartbeat never fails a cell) and resume ignores them.
+
+use serde::{Deserialize, Serialize};
+use telem::Histogram;
+
+/// One line of the campaign heartbeat stream.
+///
+/// All counters are cumulative for the run (resumed runs restart at
+/// `seq = 0` but keep `done` ahead by the skipped cells), and every
+/// duration is wall-clock milliseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Heartbeat {
+    /// Sequence number within this run; 0 is the pre-work heartbeat.
+    pub seq: u64,
+    /// Milliseconds since the run started.
+    pub elapsed_ms: u64,
+    /// Cells in the campaign grid.
+    pub total: usize,
+    /// Cells resolved so far, including cells skipped by resume.
+    pub done: usize,
+    /// Cells executed in this run (success or failure).
+    pub executed: usize,
+    /// Cells that failed (panic, error, or budget overrun).
+    pub failed: usize,
+    /// Cells skipped because the store already had them.
+    pub skipped: usize,
+    /// Cells claimed by a worker but not yet resolved.
+    pub in_flight: usize,
+    /// Worker threads in the pool.
+    pub workers: usize,
+    /// Simulator events processed by executed cells so far.
+    pub events: u64,
+    /// Total wall-clock milliseconds spent inside executed cells.
+    pub cell_wall_ms: u64,
+    /// Distribution of per-cell wall-clock milliseconds.
+    pub cell_ms_hist: Histogram,
+    /// Estimated milliseconds to completion (0 when unknown or done).
+    pub eta_ms: u64,
+}
+
+impl Heartbeat {
+    /// Cells not yet resolved.
+    pub fn remaining(&self) -> usize {
+        self.total.saturating_sub(self.done)
+    }
+
+    /// Completion fraction in `0.0 ..= 1.0`.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.done as f64 / self.total as f64
+        }
+    }
+
+    /// Estimate time-to-completion from throughput so far: remaining
+    /// cells x mean cell wall time, divided across the worker pool.
+    /// Returns 0 (unknown) until at least one cell has executed.
+    pub fn estimate_eta_ms(&self) -> u64 {
+        if self.executed == 0 || self.remaining() == 0 {
+            return 0;
+        }
+        let mean = self.cell_wall_ms as f64 / self.executed as f64;
+        (self.remaining() as f64 * mean / self.workers.max(1) as f64).round() as u64
+    }
+
+    /// One-line progress summary, used by `sweep run --progress`.
+    pub fn progress_line(&self) -> String {
+        let mut line = format!(
+            "[{:>3.0}%] {}/{} cells  in-flight {}  failed {}  {}",
+            100.0 * self.fraction(),
+            self.done,
+            self.total,
+            self.in_flight,
+            self.failed,
+            fmt_ms(self.elapsed_ms),
+        );
+        if self.eta_ms > 0 {
+            line.push_str(&format!("  eta {}", fmt_ms(self.eta_ms)));
+        }
+        line
+    }
+
+    /// Multi-line status report, used by `optmc sweep status`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "progress       {}/{} cells ({:.0}%)\n",
+            self.done,
+            self.total,
+            100.0 * self.fraction()
+        ));
+        out.push_str(&format!(
+            "executed       {} ({} failed, {} skipped by resume)\n",
+            self.executed, self.failed, self.skipped
+        ));
+        out.push_str(&format!(
+            "in flight      {} of {} workers\n",
+            self.in_flight, self.workers
+        ));
+        out.push_str(&format!("events         {}\n", self.events));
+        out.push_str(&format!(
+            "elapsed        {} (heartbeat #{})\n",
+            fmt_ms(self.elapsed_ms),
+            self.seq
+        ));
+        if self.executed > 0 {
+            out.push_str(&format!(
+                "cell wall ms   p50 {}  p95 {}  max {}\n",
+                self.cell_ms_hist.p50().unwrap_or(0),
+                self.cell_ms_hist.p95().unwrap_or(0),
+                self.cell_ms_hist.max
+            ));
+        }
+        if self.eta_ms > 0 {
+            out.push_str(&format!("eta            {}\n", fmt_ms(self.eta_ms)));
+        } else if self.remaining() == 0 {
+            out.push_str("eta            done\n");
+        }
+        out
+    }
+}
+
+/// `1234` -> `"1.2s"`, `95000` -> `"1m35s"`, sub-second stays in ms.
+fn fmt_ms(ms: u64) -> String {
+    if ms < 1000 {
+        format!("{ms}ms")
+    } else if ms < 60_000 {
+        format!("{:.1}s", ms as f64 / 1000.0)
+    } else {
+        format!("{}m{:02}s", ms / 60_000, (ms % 60_000) / 1000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn beat() -> Heartbeat {
+        let mut hist = Histogram::default();
+        hist.record(10);
+        hist.record(30);
+        Heartbeat {
+            seq: 2,
+            elapsed_ms: 40,
+            total: 8,
+            done: 2,
+            executed: 2,
+            failed: 1,
+            skipped: 0,
+            in_flight: 2,
+            workers: 2,
+            events: 12345,
+            cell_wall_ms: 40,
+            cell_ms_hist: hist,
+            eta_ms: 0,
+        }
+    }
+
+    #[test]
+    fn eta_scales_with_remaining_and_workers() {
+        let mut b = beat();
+        // 6 remaining x 20ms mean / 2 workers = 60ms.
+        assert_eq!(b.estimate_eta_ms(), 60);
+        b.workers = 1;
+        assert_eq!(b.estimate_eta_ms(), 120);
+        b.done = b.total;
+        assert_eq!(b.estimate_eta_ms(), 0, "finished runs have no ETA");
+        b.done = 0;
+        b.executed = 0;
+        assert_eq!(b.estimate_eta_ms(), 0, "no data, no ETA");
+    }
+
+    #[test]
+    fn renders_progress_and_status() {
+        let mut b = beat();
+        b.eta_ms = b.estimate_eta_ms();
+        let line = b.progress_line();
+        assert!(line.contains("2/8 cells"), "{line}");
+        assert!(line.contains("eta"), "{line}");
+        let status = b.render();
+        assert!(status.contains("progress       2/8"), "{status}");
+        assert!(status.contains("in flight      2 of 2"), "{status}");
+        assert!(status.contains("p50"), "{status}");
+    }
+
+    #[test]
+    fn serializes_round_trip() {
+        let b = beat();
+        let line = serde_json::to_string(&b).unwrap();
+        let back: Heartbeat = serde_json::from_str(&line).unwrap();
+        assert_eq!(back, b);
+    }
+
+    #[test]
+    fn fmt_ms_picks_sane_units() {
+        assert_eq!(fmt_ms(5), "5ms");
+        assert_eq!(fmt_ms(1500), "1.5s");
+        assert_eq!(fmt_ms(95_000), "1m35s");
+    }
+}

@@ -16,6 +16,10 @@
 //!   under `results/campaigns/<name>/`; a restarted campaign skips every
 //!   recorded cell key, tolerating a partially-written (killed mid-append)
 //!   final line.
+//! * [`heartbeat`] — the pool streams [`heartbeat::Heartbeat`] lines
+//!   (progress, in-flight cells, worker utilization, cell-latency
+//!   histogram, ETA) to `heartbeat.jsonl`, consumed by `optmc sweep
+//!   status` and `optmc sweep run --progress`.
 //! * [`aggregate`] — reduce the shards back into the repo's
 //!   `results/fig*.csv|json` figure datasets plus a campaign summary
 //!   (latency spread, overhead vs the analytic bound, cells per second).
@@ -32,6 +36,7 @@
 
 pub mod aggregate;
 pub mod figure;
+pub mod heartbeat;
 pub mod pool;
 pub mod spec;
 pub mod store;
@@ -39,6 +44,7 @@ pub mod workload;
 
 pub use aggregate::{figure_from_records, summarize, CampaignSummary};
 pub use figure::{Figure, Series};
+pub use heartbeat::Heartbeat;
 pub use pool::{run_campaign, CellReport, PoolOptions, RunSummary};
 pub use spec::{expand, CampaignSpec, Cell, FigureSpec, XAxis};
 pub use store::{CellRecord, Failure, ShardStore};

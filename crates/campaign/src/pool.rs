@@ -8,6 +8,11 @@
 //! [`ShardStore`] before the next cell is claimed — killing the process
 //! loses at most the cells in flight, and a resumed run skips every
 //! recorded key.
+//!
+//! The pool also streams live telemetry: a [`Heartbeat`] line goes to the
+//! store before workers start and after every resolved cell (best-effort —
+//! heartbeat I/O errors never fail the run), feeding `optmc sweep status`
+//! and the `--progress` renderer.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -18,6 +23,7 @@ use flitsim::SimConfig;
 use optmc::spec::parse_topology;
 use optmc::{run_trials_detailed, TrialOutcome, TrialStats};
 
+use crate::heartbeat::Heartbeat;
 use crate::spec::{expand, CampaignSpec, Cell};
 use crate::store::{CellRecord, Failure, ShardStore};
 
@@ -118,6 +124,13 @@ pub fn run_campaign(
     let skipped = total - todo.len();
     let budget_ms = opts.budget_ms.or(spec.budget_ms);
 
+    let workers = if opts.jobs == 0 {
+        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
+    } else {
+        opts.jobs
+    }
+    .max(1);
+
     let started = Instant::now();
     let queue = Mutex::new(todo);
     // One lock serializes shard appends, progress lines, and the counters —
@@ -127,22 +140,57 @@ pub fn run_campaign(
         done: usize,
         executed: usize,
         failed: usize,
+        in_flight: usize,
+        seq: u64,
+        events: u64,
+        cell_wall_ms: u64,
+        cell_ms_hist: telem::Histogram,
         io_error: Option<String>,
+    }
+    impl Shared<'_> {
+        /// Emit one heartbeat line reflecting the current counters.
+        /// Best-effort: heartbeats are telemetry, so an unwritable stream
+        /// must never fail the campaign.
+        fn heartbeat(&mut self, total: usize, skipped: usize, workers: usize, started: Instant) {
+            let mut beat = Heartbeat {
+                seq: self.seq,
+                elapsed_ms: started.elapsed().as_millis() as u64,
+                total,
+                done: self.done,
+                executed: self.executed,
+                failed: self.failed,
+                skipped,
+                in_flight: self.in_flight,
+                workers,
+                events: self.events,
+                cell_wall_ms: self.cell_wall_ms,
+                cell_ms_hist: self.cell_ms_hist.clone(),
+                eta_ms: 0,
+            };
+            beat.eta_ms = beat.estimate_eta_ms();
+            self.seq += 1;
+            let _ = self.store.append_heartbeat(&beat);
+        }
     }
     let shared = Mutex::new(Shared {
         store,
         done: skipped,
         executed: 0,
         failed: 0,
+        in_flight: 0,
+        seq: 0,
+        events: 0,
+        cell_wall_ms: 0,
+        cell_ms_hist: telem::Histogram::default(),
         io_error: None,
     });
-
-    let workers = if opts.jobs == 0 {
-        std::thread::available_parallelism().map_or(1, std::num::NonZero::get)
-    } else {
-        opts.jobs
-    }
-    .max(1);
+    // Heartbeat #0 goes out before any worker spawns, so even a resumed
+    // no-op campaign (or one killed before its first cell lands) leaves a
+    // current status line behind.
+    shared
+        .lock()
+        .expect("state poisoned")
+        .heartbeat(total, skipped, workers, started);
 
     std::thread::scope(|scope| {
         for _ in 0..workers {
@@ -150,6 +198,7 @@ pub fn run_campaign(
                 let Some(cell) = queue.lock().expect("queue poisoned").pop_front() else {
                     return;
                 };
+                shared.lock().expect("state poisoned").in_flight += 1;
                 let t0 = Instant::now();
                 let result = catch_unwind(AssertUnwindSafe(|| run_cell(&cell)));
                 let wall_us = t0.elapsed().as_micros() as u64;
@@ -169,6 +218,9 @@ pub fn run_campaign(
 
                 let mut sh = shared.lock().expect("state poisoned");
                 sh.done += 1;
+                sh.in_flight -= 1;
+                sh.cell_wall_ms += wall_ms;
+                sh.cell_ms_hist.record(wall_ms);
                 let mut report = CellReport {
                     key: cell.key(),
                     done: sh.done,
@@ -212,6 +264,8 @@ pub fn run_campaign(
                     sh.io_error = Some(format!("shard store write failed: {e}"));
                     queue.lock().expect("queue poisoned").clear();
                 }
+                sh.events += report.events;
+                sh.heartbeat(total, skipped, workers, started);
                 progress(&report);
             });
         }
@@ -291,6 +345,30 @@ mod tests {
         assert_eq!(reports.len(), 4);
         assert!(reports.iter().all(|r| r.events > 0 && r.error.is_none()));
         assert_eq!(reports.last().unwrap().done, 4);
+        let _ = std::fs::remove_dir_all(store.dir());
+    }
+
+    #[test]
+    fn heartbeat_stream_tracks_the_run() {
+        let spec = demo_spec("heartbeat");
+        let store = temp_store("heartbeat");
+        run_campaign(&spec, &store, &PoolOptions::default(), &|_| {}).unwrap();
+        let beats = store.load_heartbeats().unwrap();
+        // One pre-work heartbeat plus one per resolved cell.
+        assert_eq!(beats.len(), 5, "{beats:?}");
+        assert_eq!((beats[0].seq, beats[0].done, beats[0].total), (0, 0, 4));
+        let last = store.latest_heartbeat().unwrap().unwrap();
+        assert_eq!((last.done, last.executed, last.failed), (4, 4, 0));
+        assert_eq!(last.in_flight, 0, "all cells resolved");
+        assert_eq!(last.cell_ms_hist.count, 4);
+        assert!(last.events > 0);
+        assert_eq!(last.eta_ms, 0, "finished run has no ETA");
+        // Sequence numbers are strictly increasing: one writer at a time.
+        assert!(beats.windows(2).all(|w| w[1].seq == w[0].seq + 1));
+        // A resumed no-op run still stamps a fresh heartbeat.
+        run_campaign(&spec, &store, &PoolOptions::default(), &|_| {}).unwrap();
+        let last = store.latest_heartbeat().unwrap().unwrap();
+        assert_eq!((last.seq, last.done, last.skipped), (0, 4, 4));
         let _ = std::fs::remove_dir_all(store.dir());
     }
 

@@ -2,10 +2,11 @@
 //!
 //! Completed cells append one JSON line each to
 //! `results/campaigns/<name>/cells.jsonl`; failures (panics, budget
-//! overruns) go to `failures.jsonl`.  A line is the unit of durability: a
-//! campaign killed mid-append leaves at most one partial final line, which
-//! [`ShardStore::load_cells`] drops silently, so resume re-runs exactly the
-//! cells that never finished.
+//! overruns) go to `failures.jsonl`; the pool's live telemetry goes to
+//! `heartbeat.jsonl` (see [`crate::heartbeat`]).  A line is the unit of
+//! durability: a campaign killed mid-append leaves at most one partial
+//! final line, which [`ShardStore::load_cells`] drops silently, so resume
+//! re-runs exactly the cells that never finished.
 
 use std::collections::HashSet;
 use std::fs;
@@ -15,6 +16,8 @@ use std::path::{Path, PathBuf};
 use serde::{Deserialize, Serialize};
 
 use optmc::TrialOutcome;
+
+use crate::heartbeat::Heartbeat;
 
 /// One completed cell: its identity plus every trial's outcome.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -69,6 +72,7 @@ impl ShardStore {
         let store = ShardStore { dir };
         Self::truncate_partial_tail(&store.cells_path())?;
         Self::truncate_partial_tail(&store.failures_path())?;
+        Self::truncate_partial_tail(&store.heartbeat_path())?;
         Ok(store)
     }
 
@@ -99,6 +103,10 @@ impl ShardStore {
         self.dir.join("failures.jsonl")
     }
 
+    fn heartbeat_path(&self) -> PathBuf {
+        self.dir.join("heartbeat.jsonl")
+    }
+
     fn append_line(path: &Path, line: &str) -> std::io::Result<()> {
         let mut f = fs::OpenOptions::new()
             .create(true)
@@ -121,6 +129,13 @@ impl ShardStore {
         let line = serde_json::to_string(failure)
             .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.0))?;
         Self::append_line(&self.failures_path(), &line)
+    }
+
+    /// Append one heartbeat line (live telemetry, not a checkpoint).
+    pub fn append_heartbeat(&self, beat: &Heartbeat) -> std::io::Result<()> {
+        let line = serde_json::to_string(beat)
+            .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e.0))?;
+        Self::append_line(&self.heartbeat_path(), &line)
     }
 
     fn load_jsonl<T: Deserialize>(path: &Path, what: &str) -> std::io::Result<Vec<T>> {
@@ -156,6 +171,16 @@ impl ShardStore {
     /// Every failure-ledger entry, tolerating a truncated final line.
     pub fn load_failures(&self) -> std::io::Result<Vec<Failure>> {
         Self::load_jsonl(&self.failures_path(), "failures.jsonl")
+    }
+
+    /// The whole heartbeat stream, tolerating a truncated final line.
+    pub fn load_heartbeats(&self) -> std::io::Result<Vec<Heartbeat>> {
+        Self::load_jsonl(&self.heartbeat_path(), "heartbeat.jsonl")
+    }
+
+    /// The newest heartbeat, or `None` if the stream is empty/absent.
+    pub fn latest_heartbeat(&self) -> std::io::Result<Option<Heartbeat>> {
+        Ok(self.load_heartbeats()?.pop())
     }
 
     /// The set of completed cell keys (what resume skips).
@@ -242,6 +267,35 @@ mod tests {
         let s = temp_store("empty");
         assert!(s.load_cells().unwrap().is_empty());
         assert!(s.completed_keys().unwrap().is_empty());
+        assert!(s.latest_heartbeat().unwrap().is_none());
+        let _ = fs::remove_dir_all(s.dir());
+    }
+
+    #[test]
+    fn heartbeats_append_and_latest_wins() {
+        let s = temp_store("heartbeat");
+        let mut beat = Heartbeat {
+            seq: 0,
+            elapsed_ms: 0,
+            total: 4,
+            done: 0,
+            executed: 0,
+            failed: 0,
+            skipped: 0,
+            in_flight: 0,
+            workers: 2,
+            events: 0,
+            cell_wall_ms: 0,
+            cell_ms_hist: telem::Histogram::default(),
+            eta_ms: 0,
+        };
+        s.append_heartbeat(&beat).unwrap();
+        beat.seq = 1;
+        beat.done = 3;
+        s.append_heartbeat(&beat).unwrap();
+        assert_eq!(s.load_heartbeats().unwrap().len(), 2);
+        let latest = s.latest_heartbeat().unwrap().unwrap();
+        assert_eq!((latest.seq, latest.done), (1, 3));
         let _ = fs::remove_dir_all(s.dir());
     }
 }

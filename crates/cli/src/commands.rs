@@ -377,8 +377,10 @@ fn cmd_run(a: &Args) -> Result<String, CliError> {
 }
 
 /// `optmc inspect` — one multicast under full observation: run report,
-/// phase breakdown, and the trace exported as Perfetto JSON, JSONL, or a
-/// textual timeline.
+/// phase breakdown, the per-channel contention heatmap (`--heatmap`,
+/// `--heatmap-out`), a deterministic telemetry snapshot
+/// (`--telemetry-out`, JSON or `.prom` Prometheus text), and the trace
+/// exported as Perfetto JSON, JSONL, or a textual timeline.
 fn cmd_inspect(a: &Args) -> Result<String, CliError> {
     let topo = parse_topology(a.require("topo")?)?;
     let alg = parse_algorithm(a.require("alg")?)?;
@@ -443,6 +445,33 @@ fn cmd_inspect(a: &Args) -> Result<String, CliError> {
         out.analytic, out.latency
     );
     let _ = write!(text, "{}", flitsim::obs::render_report(&out.sim));
+
+    if a.has("heatmap") {
+        let _ = writeln!(text);
+        let _ = write!(
+            text,
+            "{}",
+            flitsim::heatmap::render(&out.sim, topo.graph(), 16, 48)
+        );
+    }
+    // Side artifacts are written before the perfetto/jsonl stdout early
+    // returns so they compose with every --format.
+    if let Some(path) = a.get("heatmap-out") {
+        let json = serde_json::to_string_pretty(&flitsim::heatmap::to_json(
+            &out.sim,
+            topo.graph(),
+            16,
+            48,
+        ))
+        .map_err(|e| err(format!("serializing heatmap: {e}")))?;
+        std::fs::write(path, format!("{json}\n"))
+            .map_err(|e| err(format!("--heatmap-out {path}: {e}")))?;
+        let _ = writeln!(text, "\nheatmap JSON written to {path}");
+    }
+    if let Some(path) = a.get("telemetry-out") {
+        crate::write_snapshot(path, &flitsim::metrics::run_snapshot(&out.sim))?;
+        let _ = writeln!(text, "telemetry snapshot written to {path}");
+    }
 
     match format {
         "perfetto" => {
@@ -702,6 +731,66 @@ mod tests {
         let v: serde_json::Value = serde_json::from_str(&text).unwrap();
         assert!(v.get("traceEvents").unwrap().as_array().unwrap().len() > 4);
         let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn inspect_heatmap_renders_and_exports() {
+        let base = std::env::temp_dir().join(format!("optmc_inspect_heat_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let heat = base.join("heat.json");
+        let out = run(&format!(
+            "inspect --topo mesh:8x8 --alg opt-tree --nodes 12 --bytes 2048 --seed 0 \
+             --heatmap --heatmap-out {}",
+            heat.to_str().unwrap()
+        ))
+        .unwrap();
+        assert!(out.contains("contention heatmap:"), "{out}");
+        assert!(out.contains("heatmap JSON written"), "{out}");
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&heat).unwrap()).unwrap();
+        assert!(!v.get("channels").unwrap().as_array().unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn inspect_telemetry_out_is_deterministic_and_speaks_prometheus() {
+        let base = std::env::temp_dir().join(format!("optmc_inspect_tel_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let (t1, t2, prom) = (
+            base.join("a.json"),
+            base.join("b.json"),
+            base.join("t.prom"),
+        );
+        let cmd = "inspect --topo mesh:8x8 --alg opt-arch --nodes 12 --bytes 2048 --format text";
+        run(&format!("{cmd} --telemetry-out {}", t1.to_str().unwrap())).unwrap();
+        run(&format!("{cmd} --telemetry-out {}", t2.to_str().unwrap())).unwrap();
+        let a = std::fs::read_to_string(&t1).unwrap();
+        assert_eq!(
+            a,
+            std::fs::read_to_string(&t2).unwrap(),
+            "same seed, same bytes"
+        );
+        let v: serde_json::Value = serde_json::from_str(&a).unwrap();
+        assert!(
+            v.get("counters")
+                .unwrap()
+                .get("run_events_processed")
+                .unwrap()
+                .as_u64()
+                .unwrap()
+                > 0
+        );
+        // .prom selects the Prometheus text exposition.
+        run(&format!("{cmd} --telemetry-out {}", prom.to_str().unwrap())).unwrap();
+        let text = std::fs::read_to_string(&prom).unwrap();
+        assert!(
+            text.contains("# TYPE run_events_processed counter"),
+            "{text}"
+        );
+        assert!(text.contains("run_latency_cycles_count"), "{text}");
+        let _ = std::fs::remove_dir_all(&base);
     }
 
     #[test]

@@ -31,6 +31,19 @@ pub fn err(msg: impl Into<String>) -> CliError {
     CliError(msg.into())
 }
 
+/// Write a [`telem::TelemetrySnapshot`] to `path` in the format the
+/// extension picks: Prometheus text exposition for `.prom`, pretty JSON
+/// otherwise.  Shared by `inspect --telemetry-out` and
+/// `sweep report --telemetry-out`.
+pub fn write_snapshot(path: &str, snap: &telem::TelemetrySnapshot) -> Result<(), CliError> {
+    let text = if path.ends_with(".prom") {
+        snap.to_prometheus()
+    } else {
+        snap.to_json()
+    };
+    std::fs::write(path, text).map_err(|e| err(format!("--telemetry-out {path}: {e}")))
+}
+
 /// Top-level usage text.
 pub const USAGE: &str = "\
 optmc — architecture-tuned optimal multicast (IPPS'97 reproduction)
@@ -43,12 +56,13 @@ USAGE:
                   [--trace-limit N]
   optmc inspect   --topo SPEC --alg ALG --nodes K --bytes B [--seed S] [--temporal]
                   [--trace-out FILE] [--format perfetto|jsonl|text] [--trace-limit N]
+                  [--heatmap] [--heatmap-out FILE] [--telemetry-out FILE[.prom]]
   optmc compare   --topo SPEC --nodes K --bytes B [--trials N] [--seed S]
   optmc calibrate --topo SPEC [--sizes CSV]
   optmc gather    --topo SPEC --alg ALG --nodes K --bytes B [--seed S]
   optmc growth    --hold H --end E [--until T]
-  optmc sweep     run|resume|report --spec FILE.json [--jobs N] [--budget-ms MS]
-                  [--out DIR] [--quiet]
+  optmc sweep     run|resume|report|status --spec FILE.json [--jobs N] [--budget-ms MS]
+                  [--out DIR] [--quiet] [--progress] [--json] [--telemetry-out FILE[.prom]]
   optmc workload  --topo SPEC --nodes K --bytes B [--alg ALG] [--count N]
                   [--gap G | --mean-gap F] [--seed S]
 
@@ -82,7 +96,14 @@ SWEEP:
   and per-cell --budget-ms overruns land in a failure ledger instead of
   aborting the sweep.  'report' reduces the shards into the campaign
   summary and (with a figure mapping) the results/<id>.csv|json dataset —
-  byte-identical to the sequential figure binaries.
+  byte-identical to the sequential figure binaries — plus the failure
+  ledger (count and first reasons) and, with --telemetry-out, a campaign
+  telemetry snapshot (JSON, or Prometheus text for .prom paths).
+  The pool streams live telemetry to heartbeat.jsonl in the shard store:
+  'run --progress' renders it in place on stderr, and 'status' prints the
+  latest heartbeat (progress, in-flight cells, cell-latency histogram,
+  ETA; --json for the raw record) for a campaign running in another
+  terminal — or a finished/killed one.
 
 WORKLOAD:
   Open-loop concurrent-multicast workload: --count multicasts with random
@@ -98,6 +119,11 @@ INSPECT:
   instant events), 'jsonl' writes one trace event per line (streamed to
   --trace-out without buffering), 'text' renders a channel timeline.
   Without --trace-out, perfetto/jsonl output replaces the report on stdout.
+  --heatmap appends the per-channel contention heatmap (a shaded busy
+  fraction per time window, from the engine's always-on accumulators);
+  --heatmap-out writes it as JSON.  --telemetry-out writes the run's
+  deterministic telemetry snapshot — JSON, or Prometheus text exposition
+  when the path ends in .prom; both compose with every --format.
 ";
 
 #[cfg(test)]

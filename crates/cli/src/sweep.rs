@@ -25,15 +25,16 @@ fn store_dir(a: &Args, spec: &CampaignSpec) -> PathBuf {
     PathBuf::from(out).join(&spec.name)
 }
 
-/// `optmc sweep run|resume|report`.
+/// `optmc sweep run|resume|report|status`.
 pub fn cmd_sweep(a: &Args) -> Result<String, CliError> {
     let action = a.action.as_deref().unwrap_or("");
     match action {
         "run" | "resume" => sweep_run(a, action == "resume"),
         "report" => sweep_report(a),
-        "" => Err(err("sweep needs an action: run | resume | report")),
+        "status" => sweep_status(a),
+        "" => Err(err("sweep needs an action: run | resume | report | status")),
         other => Err(err(format!(
-            "unknown sweep action '{other}' (expected run | resume | report)"
+            "unknown sweep action '{other}' (expected run | resume | report | status)"
         ))),
     }
 }
@@ -59,7 +60,19 @@ fn sweep_run(a: &Args, resume: bool) -> Result<String, CliError> {
         },
     };
     let quiet = a.has("quiet");
+    let live = a.has("progress");
     let progress = |r: &CellReport| {
+        if live {
+            // In-place single-line renderer: the heartbeat the pool just
+            // appended carries progress, in-flight, and ETA.
+            let line = store.latest_heartbeat().ok().flatten().map_or_else(
+                || format!("[{}/{}] {}", r.done, r.total, r.key),
+                |b| b.progress_line(),
+            );
+            eprint!("\r\x1b[2K{line}");
+            let _ = std::io::Write::flush(&mut std::io::stderr());
+            return;
+        }
         if quiet {
             return;
         }
@@ -75,6 +88,9 @@ fn sweep_run(a: &Args, resume: bool) -> Result<String, CliError> {
         }
     };
     let summary = run_campaign(&spec, &store, &opts, &progress).map_err(CliError)?;
+    if live {
+        eprintln!();
+    }
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -135,7 +151,103 @@ fn sweep_report(a: &Args) -> Result<String, CliError> {
             "failures       {} (see failures.jsonl)",
             failures.len()
         );
+        // Surface the first few reasons so a broken campaign is
+        // diagnosable from the report alone.
+        const SHOWN: usize = 3;
+        for f in failures.iter().take(SHOWN) {
+            let mut reason = f.reason.replace('\n', " ");
+            if reason.len() > 70 {
+                reason.truncate(67);
+                reason.push_str("...");
+            }
+            let _ = writeln!(out, "  - {}: {reason}", f.key);
+        }
+        if failures.len() > SHOWN {
+            let _ = writeln!(out, "  ... and {} more", failures.len() - SHOWN);
+        }
     }
+    if let Some(path) = a.get("telemetry-out") {
+        crate::write_snapshot(path, &store_snapshot(&records, &failures))?;
+        let _ = writeln!(out, "telemetry snapshot written to {path}");
+    }
+    Ok(out)
+}
+
+/// Reduce a campaign's shard store into a [`telem::TelemetrySnapshot`]
+/// for the shared exposition layer (JSON or Prometheus text).  Built
+/// from the durable records only, so it is deterministic for a given
+/// store regardless of when it is taken.
+fn store_snapshot(
+    records: &[campaign::CellRecord],
+    failures: &[campaign::Failure],
+) -> telem::TelemetrySnapshot {
+    let mut s = telem::TelemetrySnapshot::new();
+    s.counter(
+        "campaign_cells_completed",
+        "Cells recorded in the shard store",
+        records.len() as u64,
+    );
+    s.counter(
+        "campaign_cells_failed",
+        "Entries in the failure ledger",
+        failures.len() as u64,
+    );
+    s.counter(
+        "campaign_trials_total",
+        "Trials across all completed cells",
+        records.iter().map(|r| r.outcomes.len() as u64).sum(),
+    );
+    s.counter(
+        "campaign_events_total",
+        "Simulator events across all completed cells",
+        records
+            .iter()
+            .flat_map(|r| &r.outcomes)
+            .map(|o| o.events)
+            .sum(),
+    );
+    s.histogram(
+        "campaign_trial_latency_cycles",
+        "Simulated multicast latency per trial",
+        &telem::Histogram::from_samples(
+            records.iter().flat_map(|r| &r.outcomes).map(|o| o.latency),
+        ),
+    );
+    s.histogram(
+        "campaign_trial_blocked_cycles",
+        "Blocked cycles per trial",
+        &telem::Histogram::from_samples(
+            records.iter().flat_map(|r| &r.outcomes).map(|o| o.blocked),
+        ),
+    );
+    s
+}
+
+/// `optmc sweep status` — the latest heartbeat of a campaign, live or
+/// finished: progress, in-flight cells, cell-latency histogram, ETA.
+fn sweep_status(a: &Args) -> Result<String, CliError> {
+    let spec = load_spec(a)?;
+    let dir = store_dir(a, &spec);
+    if !dir.exists() {
+        return Err(err(format!("no shard store at {}", dir.display())));
+    }
+    let store = ShardStore::open(&dir).map_err(|e| err(format!("{}: {e}", dir.display())))?;
+    let Some(beat) = store
+        .latest_heartbeat()
+        .map_err(|e| err(format!("heartbeat stream: {e}")))?
+    else {
+        return Err(err(format!(
+            "no heartbeat recorded in {} — run the campaign first",
+            dir.display()
+        )));
+    };
+    if a.has("json") {
+        let json = serde_json::to_string_pretty(&beat)
+            .map_err(|e| err(format!("serializing heartbeat: {e}")))?;
+        return Ok(format!("{json}\n"));
+    }
+    let mut out = format!("campaign '{}' — {}\n", spec.name, dir.display());
+    out.push_str(&beat.render());
     Ok(out)
 }
 
@@ -252,6 +364,95 @@ mod tests {
             let _ = std::fs::remove_file(p);
         }
         let _ = std::fs::remove_dir("results"); // only if the test created it
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn sweep_status_reads_the_heartbeat_stream() {
+        let base = std::env::temp_dir().join(format!("optmc_sweep_status_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let spec = write_spec("status", &base);
+        let spec_s = spec.to_str().unwrap();
+        let out_dir = base.join("campaigns");
+        let out_s = out_dir.to_str().unwrap();
+
+        // Before any run there is no store to report on.
+        assert!(run(&format!("sweep status --spec {spec_s} --out {out_s}")).is_err());
+
+        run(&format!("sweep run --spec {spec_s} --out {out_s} --quiet")).unwrap();
+        let out = run(&format!("sweep status --spec {spec_s} --out {out_s}")).unwrap();
+        assert!(out.contains("progress       4/4 cells (100%)"), "{out}");
+        assert!(out.contains("in flight      0"), "{out}");
+        assert!(out.contains("eta            done"), "{out}");
+
+        let out = run(&format!(
+            "sweep status --spec {spec_s} --out {out_s} --json"
+        ))
+        .unwrap();
+        let v: serde_json::Value = serde_json::from_str(&out).unwrap();
+        assert_eq!(v.get("done").unwrap().as_u64(), Some(4));
+        assert_eq!(v.get("in_flight").unwrap().as_u64(), Some(0));
+        let _ = std::fs::remove_dir_all(&base);
+    }
+
+    #[test]
+    fn sweep_report_surfaces_failures_and_telemetry() {
+        let base = std::env::temp_dir().join(format!("optmc_sweep_telem_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&base);
+        std::fs::create_dir_all(&base).unwrap();
+        let spec = write_spec("telem", &base);
+        let spec_s = spec.to_str().unwrap();
+        let out_dir = base.join("campaigns");
+        let out_s = out_dir.to_str().unwrap();
+
+        // A 0ms budget fails two cells; the report must name them.
+        run(&format!(
+            "sweep run --spec {spec_s} --out {out_s} --quiet --budget-ms 0 --jobs 1"
+        ))
+        .unwrap();
+        run(&format!(
+            "sweep resume --spec {spec_s} --out {out_s} --quiet"
+        ))
+        .unwrap();
+
+        let prom = base.join("campaign.prom");
+        let json = base.join("campaign.json");
+        let out = run(&format!(
+            "sweep report --spec {spec_s} --out {out_s} --telemetry-out {}",
+            prom.to_str().unwrap()
+        ))
+        .unwrap();
+        assert!(
+            out.contains("failures       4 (see failures.jsonl)"),
+            "{out}"
+        );
+        assert!(out.contains("budget:"), "{out}");
+        assert!(out.contains("... and 1 more"), "{out}");
+        let prom_text = std::fs::read_to_string(&prom).unwrap();
+        assert!(prom_text.contains("# TYPE campaign_cells_completed counter"));
+        assert!(prom_text.contains("campaign_cells_failed 4"));
+
+        let out = run(&format!(
+            "sweep report --spec {spec_s} --out {out_s} --telemetry-out {}",
+            json.to_str().unwrap()
+        ))
+        .unwrap();
+        assert!(out.contains("telemetry snapshot written"), "{out}");
+        let v: serde_json::Value =
+            serde_json::from_str(&std::fs::read_to_string(&json).unwrap()).unwrap();
+        assert_eq!(
+            v.get("counters")
+                .unwrap()
+                .get("campaign_cells_completed")
+                .unwrap()
+                .as_u64(),
+            Some(4)
+        );
+        for id in ["cli_telem.csv", "cli_telem.json"] {
+            let _ = std::fs::remove_file(std::path::Path::new("results").join(id));
+        }
+        let _ = std::fs::remove_dir("results");
         let _ = std::fs::remove_dir_all(&base);
     }
 

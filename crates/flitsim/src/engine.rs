@@ -100,8 +100,9 @@ pub struct Engine<'t, Prog: Program> {
     cfg: SimConfig,
     program: Prog,
     worms: Vec<Worm<Prog::Payload>>,
-    /// Retired worm slots available for reuse (disabled while observing so
-    /// trace worm ids stay unique).
+    /// Retired worm slots available for reuse (disabled only for sinks
+    /// that retain events, so recorded worm ids stay unique — see
+    /// [`TraceSink::needs_unique_worm_ids`]).
     free_worms: Vec<u32>,
     channels: Vec<ChanState>,
     nodes: Vec<NodeState<Prog::Payload>>,
@@ -116,6 +117,13 @@ pub struct Engine<'t, Prog: Program> {
     blocked_cycles: Time,
     blocked_events: u64,
     channel_busy: Time,
+    /// Always-on per-channel accumulators (a plain indexed add each, no
+    /// observer needed): busy cycles, blocked cycles attributed to the
+    /// channel finally acquired, and acquisition counts.  Reduced into
+    /// [`SimResult::channels`] for contention heatmaps.
+    chan_busy: Vec<Time>,
+    chan_blocked: Vec<Time>,
+    chan_acquires: Vec<u64>,
     acquires: u64,
     releases: u64,
     obs: TraceSink,
@@ -191,6 +199,9 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
             blocked_cycles: 0,
             blocked_events: 0,
             channel_busy: 0,
+            chan_busy: vec![0; g.n_channels()],
+            chan_blocked: vec![0; g.n_channels()],
+            chan_acquires: vec![0; g.n_channels()],
             acquires: 0,
             releases: 0,
             obs,
@@ -273,12 +284,37 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
                 self.events_processed as f64 * 1e9 / wall_ns as f64
             },
         };
+        let channels: Vec<crate::stats::ChannelTelemetry> = self
+            .chan_busy
+            .iter()
+            .zip(&self.chan_blocked)
+            .zip(&self.chan_acquires)
+            .map(
+                |((&busy, &blocked), &acquires)| crate::stats::ChannelTelemetry {
+                    busy,
+                    blocked,
+                    acquires,
+                },
+            )
+            .collect();
+        // Flush the run's totals into the process-global telemetry counters
+        // in bulk — one relaxed add per counter per *run*, so campaign
+        // worker threads never contend on a cache line inside the event
+        // loop (and the hot path stays allocation-free).
+        crate::metrics::RUNS.inc();
+        crate::metrics::EVENTS_PROCESSED.add(self.events_processed);
+        crate::metrics::EVENTS_SCHEDULED.add(self.events_scheduled);
+        crate::metrics::MESSAGES.add(self.messages.len() as u64);
+        crate::metrics::BLOCKED_CYCLES.add(self.blocked_cycles);
+        crate::metrics::CHANNEL_BUSY_CYCLES.add(self.channel_busy);
         let result = SimResult {
             finish: self.finish,
             messages: self.messages,
             blocked_cycles: self.blocked_cycles,
             blocked_events: self.blocked_events,
             channel_busy_cycles: self.channel_busy,
+            channels,
+            counts: sink.counts,
             trace: sink.events,
             truncated: sink.truncated,
             meta,
@@ -450,6 +486,7 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
         let g = self.graph;
         let dest = self.worms[w as usize].dest;
         self.acquires += 1;
+        self.chan_acquires[c.idx()] += 1;
         self.obs.on_channel_acquire(t, w, c);
         {
             let ch = &mut self.channels[c.idx()];
@@ -463,6 +500,9 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
                 worm.blocked += t - b;
                 self.blocked_cycles += t - b;
                 self.blocked_events += 1;
+                // Attribute the wait to the channel that finally opened —
+                // the contended resource a heatmap should highlight.
+                self.chan_blocked[c.idx()] += t - b;
             }
         }
         let first_hop = worm.path.is_empty();
@@ -532,6 +572,7 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
         debug_assert!(ch.holder.is_some(), "double release of {c:?}");
         ch.holder = None;
         self.channel_busy += t - ch.acquired_at;
+        self.chan_busy[c.idx()] += t - ch.acquired_at;
         let mut waiters = std::mem::take(&mut ch.waiters);
         for &(w, generation) in &waiters {
             let worm = &mut self.worms[w as usize];
@@ -588,11 +629,13 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
         });
         let dest = worm.dest;
         // Retire the slot: stale waiter entries die with the generation.
-        // Reuse is disabled while observing so trace worm ids stay unique
-        // (observation never alters simulation outcomes — ids don't feed
-        // back into timing).
+        // Reuse is disabled only for sinks that retain events keyed by worm
+        // id (`Memory`/`Ring`/`Jsonl`/active `Custom`) so recorded ids stay
+        // unique; `Null` and `Counters` keep the fast path (observation
+        // never alters simulation outcomes — ids don't feed back into
+        // timing).
         worm.generation = worm.generation.wrapping_add(1);
-        if !self.obs.enabled() {
+        if !self.obs.needs_unique_worm_ids() {
             self.free_worms.push(w);
         }
         self.obs.on_recv_done(t, w, dest);
@@ -1017,9 +1060,9 @@ mod tests {
 
     #[test]
     fn observer_choice_never_alters_simulation() {
-        // The same workload under Null, Memory, Ring and Custom observers
-        // must produce identical simulation outcomes (messages, blocking,
-        // finish) — observation is read-only.
+        // The same workload under Null, Counters, Memory, Ring and Custom
+        // observers must produce identical simulation outcomes (messages,
+        // blocking, finish) — observation is read-only.
         let b = Bmin::new(4, UpPolicy::Straight);
         let run = |sink: Option<crate::obs::TraceSink>| {
             let mut e = Engine::new(&b, bare_cfg(), SinkProgram);
@@ -1035,6 +1078,7 @@ mod tests {
         impl crate::obs::Observer for Nop {}
         let base = run(None);
         for sink in [
+            crate::obs::TraceSink::counters(),
             crate::obs::TraceSink::memory(),
             crate::obs::TraceSink::ring(4),
             crate::obs::TraceSink::Custom(Box::new(Nop)),
@@ -1045,7 +1089,50 @@ mod tests {
             assert_eq!(r.blocked_cycles, base.blocked_cycles);
             assert_eq!(r.blocked_events, base.blocked_events);
             assert_eq!(r.meta.events_processed, base.meta.events_processed);
+            assert_eq!(r.channels, base.channels);
         }
+    }
+
+    #[test]
+    fn counters_sink_keeps_slot_reuse_and_counts_events() {
+        // A relay around a chain delivers messages sequentially, so with
+        // slot reuse the worm slab stays at one slot.  The counters-only
+        // observer must match the Null baseline's peak heap exactly (reuse
+        // stayed on), while a retaining observer grows the slab.
+        let m = Mesh::new(&[6]);
+        let run = |sink: Option<crate::obs::TraceSink>| {
+            let relay = RelayProgram {
+                ring: (0..6).map(NodeId).collect(),
+                bytes: 256,
+            };
+            let mut e = Engine::new(&m, bare_cfg(), relay);
+            if let Some(s) = sink {
+                e.set_observer(s);
+            }
+            e.start(NodeId(0), 0, vec![SendReq::to(NodeId(1), 256, 8u32)]);
+            e.run().1
+        };
+        let base = run(None);
+        let counted = run(Some(crate::obs::TraceSink::counters()));
+        assert_eq!(counted.messages, base.messages);
+        assert_eq!(
+            counted.meta.peak_heap_bytes, base.meta.peak_heap_bytes,
+            "counters sink must not disable worm-slab slot reuse"
+        );
+        let traced = run(Some(crate::obs::TraceSink::memory()));
+        assert!(
+            traced.meta.peak_heap_bytes > base.meta.peak_heap_bytes,
+            "retaining sink should grow the slab (unique ids) and keep a trace"
+        );
+        // The tallies agree with what the run actually did.
+        let c = counted
+            .counts
+            .expect("counters sink fills SimResult::counts");
+        assert_eq!(c.recv_dones, counted.messages.len() as u64);
+        let acquires: u64 = counted.channels.iter().map(|t| t.acquires).sum();
+        assert_eq!(c.acquires, acquires);
+        assert_eq!(c.releases, acquires);
+        assert_eq!(base.counts, None);
     }
 
     #[test]

@@ -62,6 +62,8 @@
 pub mod config;
 pub mod engine;
 mod equeue;
+pub mod heatmap;
+pub mod metrics;
 pub mod obs;
 pub mod perfetto;
 pub mod program;
@@ -70,9 +72,9 @@ pub mod trace;
 
 pub use config::{SimConfig, SoftwareModel};
 pub use engine::Engine;
-pub use obs::{Histogram, Metrics, Observer, PhaseBreakdown, RunMeta, TraceSink};
+pub use obs::{EventCounts, Histogram, Metrics, Observer, PhaseBreakdown, RunMeta, TraceSink};
 pub use program::{Program, SendReq};
-pub use stats::{MessageRecord, SimResult};
+pub use stats::{ChannelTelemetry, MessageRecord, SimResult};
 
 /// Simulation time in cycles (shared with the `pcm` model).
 pub type Time = pcm::Time;

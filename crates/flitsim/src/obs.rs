@@ -11,8 +11,15 @@
 //! keep a bounded ring of the most recent events, stream JSONL to a
 //! writer, or forward to a caller-supplied [`Observer`].
 //!
+//! Between `Null` and the retaining sinks sits [`TraceSink::Counters`]:
+//! it tallies events by kind into plain-`u64` [`EventCounts`] without
+//! retaining anything, so (unlike the full observers) it does not need
+//! globally unique worm ids and leaves the engine's worm-slab slot-reuse
+//! fast path enabled — see [`TraceSink::needs_unique_worm_ids`].
+//!
 //! On top of the raw stream, [`Metrics`] derives latency/blocking
-//! histograms ([`Histogram`], log₂ buckets), the per-worm phase breakdown
+//! histograms ([`Histogram`], log₂ buckets — promoted to the `telem`
+//! crate and re-exported here), the per-worm phase breakdown
 //! ([`PhaseBreakdown`]: queued → climbing → draining → software), and
 //! per-channel utilisation; [`RunMeta`] records the engine's own vitals
 //! (events processed, wall time, throughput, peak event-heap size) and is
@@ -141,6 +148,11 @@ pub enum TraceSink {
         cap: usize,
         dropped: u64,
     },
+    /// Tally events by kind, retain nothing.  The cheapest *enabled*
+    /// observer: every hook is a `u64` increment, and because no event
+    /// (hence no worm id) outlives the run, the engine keeps its
+    /// worm-slab slot-reuse fast path on.
+    Counters(EventCounts),
     /// Stream events as JSON Lines to a writer; nothing is retained in
     /// memory.  Write errors are sticky: the first one stops the stream
     /// and is reported through [`SinkSummary::write_error`].
@@ -177,10 +189,67 @@ impl std::fmt::Debug for TraceSink {
                     dropped
                 )
             }
+            TraceSink::Counters(c) => {
+                write!(f, "TraceSink::Counters({} events)", c.total())
+            }
             TraceSink::Jsonl { written, error, .. } => {
                 write!(f, "TraceSink::Jsonl({written} written, error {error:?})")
             }
             TraceSink::Custom(_) => write!(f, "TraceSink::Custom(..)"),
+        }
+    }
+}
+
+/// Per-kind event tallies kept by [`TraceSink::Counters`].  Plain `u64`
+/// fields — incrementing one is the entire per-event cost of that sink.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventCounts {
+    /// Channel acquisitions.
+    pub acquires: u64,
+    /// Channel releases.
+    pub releases: u64,
+    /// Worms whose first flit entered the injection channel.
+    pub inject_starts: u64,
+    /// Worm heads that reached their consumption channel.
+    pub drain_starts: u64,
+    /// Receive-software completions.
+    pub recv_dones: u64,
+    /// Blocking episodes.
+    pub blocked: u64,
+    /// CPU busy transitions.
+    pub cpu_busy: u64,
+    /// CPU idle transitions.
+    pub cpu_idle: u64,
+    /// Anomaly events (injected by post-run analysis, not the engine).
+    pub anomalies: u64,
+}
+
+impl EventCounts {
+    /// Total events tallied across all kinds.
+    pub fn total(&self) -> u64 {
+        self.acquires
+            + self.releases
+            + self.inject_starts
+            + self.drain_starts
+            + self.recv_dones
+            + self.blocked
+            + self.cpu_busy
+            + self.cpu_idle
+            + self.anomalies
+    }
+
+    #[inline]
+    fn tally(&mut self, kind: TraceKind) {
+        match kind {
+            TraceKind::Acquire => self.acquires += 1,
+            TraceKind::Release => self.releases += 1,
+            TraceKind::InjectStart => self.inject_starts += 1,
+            TraceKind::DrainStart => self.drain_starts += 1,
+            TraceKind::RecvDone => self.recv_dones += 1,
+            TraceKind::Blocked => self.blocked += 1,
+            TraceKind::CpuBusy => self.cpu_busy += 1,
+            TraceKind::CpuIdle => self.cpu_idle += 1,
+            TraceKind::Anomaly => self.anomalies += 1,
         }
     }
 }
@@ -200,6 +269,8 @@ pub struct SinkSummary {
     pub streamed: u64,
     /// The sticky JSONL write error, if one occurred.
     pub write_error: Option<String>,
+    /// Per-kind event tallies (`Counters` sink only).
+    pub counts: Option<EventCounts>,
 }
 
 impl TraceSink {
@@ -239,11 +310,32 @@ impl TraceSink {
         }
     }
 
+    /// A counters-only sink: tallies events by kind, retains nothing,
+    /// keeps the engine's worm-slab slot-reuse fast path enabled.
+    pub fn counters() -> Self {
+        TraceSink::Counters(EventCounts::default())
+    }
+
     /// Whether any observation is active.
     #[inline]
     pub fn enabled(&self) -> bool {
         match self {
             TraceSink::Null => false,
+            TraceSink::Custom(o) => o.wants_events(),
+            _ => true,
+        }
+    }
+
+    /// Whether retired worm slots must stay unique for the lifetime of the
+    /// run.  Sinks that retain or stream events keyed by worm id (`Memory`,
+    /// `Ring`, `Jsonl`, active `Custom`) need this — reusing a slot would
+    /// alias two different worms in the recorded trace.  `Null` and
+    /// `Counters` retain nothing, so the engine keeps its slot-reuse fast
+    /// path on for them.
+    #[inline]
+    pub fn needs_unique_worm_ids(&self) -> bool {
+        match self {
+            TraceSink::Null | TraceSink::Counters(_) => false,
             TraceSink::Custom(o) => o.wants_events(),
             _ => true,
         }
@@ -263,6 +355,7 @@ impl TraceSink {
                 truncated: limit.is_some() && dropped > 0,
                 streamed: 0,
                 write_error: None,
+                counts: None,
             },
             TraceSink::Ring { buf, dropped, .. } => SinkSummary {
                 events: buf.into_iter().collect(),
@@ -271,6 +364,11 @@ impl TraceSink {
                 truncated: dropped > 0,
                 streamed: 0,
                 write_error: None,
+                counts: None,
+            },
+            TraceSink::Counters(counts) => SinkSummary {
+                counts: Some(counts),
+                ..SinkSummary::default()
             },
             TraceSink::Jsonl {
                 mut out,
@@ -284,6 +382,7 @@ impl TraceSink {
                     truncated: false,
                     streamed: written,
                     write_error: error.or(flush_err),
+                    counts: None,
                 }
             }
             TraceSink::Custom(_) => SinkSummary::default(),
@@ -300,6 +399,7 @@ impl Observer for TraceSink {
     fn on_event(&mut self, e: TraceEvent) {
         match self {
             TraceSink::Null => {}
+            TraceSink::Counters(c) => c.tally(e.kind),
             TraceSink::Memory {
                 events,
                 limit,
@@ -351,94 +451,10 @@ impl Observer for TraceSink {
 // ---------------------------------------------------------------------------
 // Histogram.
 
-/// A log₂-bucketed histogram of `Time` samples: bucket `i` holds values in
-/// `[2^(i-1), 2^i)` (bucket 0 holds exactly 0).  Cheap to fill, good
-/// enough for p50/p95/p99 at the decade scale latencies live on.
-#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
-pub struct Histogram {
-    /// Bucket counts, indexed as above.
-    pub buckets: Vec<u64>,
-    /// Total samples recorded.
-    pub count: u64,
-    /// Largest sample seen (exact, not bucketed).
-    pub max: Time,
-    /// Sum of all samples (for the mean).
-    pub sum: u64,
-}
-
-impl Histogram {
-    /// An empty histogram.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    fn bucket_of(v: Time) -> usize {
-        (64 - v.leading_zeros()) as usize
-    }
-
-    /// Record one sample.
-    pub fn record(&mut self, v: Time) {
-        let b = Self::bucket_of(v);
-        if self.buckets.len() <= b {
-            self.buckets.resize(b + 1, 0);
-        }
-        self.buckets[b] += 1;
-        self.count += 1;
-        self.sum = self.sum.saturating_add(v);
-        self.max = self.max.max(v);
-    }
-
-    /// Build from an iterator of samples.
-    pub fn from_samples<I: IntoIterator<Item = Time>>(samples: I) -> Self {
-        let mut h = Self::new();
-        for v in samples {
-            h.record(v);
-        }
-        h
-    }
-
-    /// Mean of all samples (0 when empty).
-    pub fn mean(&self) -> f64 {
-        if self.count == 0 {
-            0.0
-        } else {
-            self.sum as f64 / self.count as f64
-        }
-    }
-
-    /// Upper bound of the bucket containing the `q`-quantile (`0 < q <= 1`),
-    /// clamped to the observed maximum; `None` when empty.
-    pub fn quantile(&self, q: f64) -> Option<Time> {
-        if self.count == 0 {
-            return None;
-        }
-        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
-        let mut seen = 0u64;
-        for (i, &c) in self.buckets.iter().enumerate() {
-            seen += c;
-            if seen >= rank {
-                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
-                return Some(upper.min(self.max));
-            }
-        }
-        Some(self.max)
-    }
-
-    /// Median (bucket upper bound).
-    pub fn p50(&self) -> Option<Time> {
-        self.quantile(0.50)
-    }
-
-    /// 95th percentile (bucket upper bound).
-    pub fn p95(&self) -> Option<Time> {
-        self.quantile(0.95)
-    }
-
-    /// 99th percentile (bucket upper bound).
-    pub fn p99(&self) -> Option<Time> {
-        self.quantile(0.99)
-    }
-}
+/// The log₂-bucketed histogram, promoted to the `telem` crate (PR 6) so
+/// campaign heartbeats and bench exposition can share it; re-exported here
+/// with identical semantics for existing users.
+pub use telem::Histogram;
 
 // ---------------------------------------------------------------------------
 // Phase breakdown.
@@ -629,25 +645,35 @@ mod tests {
     use super::*;
 
     #[test]
-    fn histogram_quantiles_bracket_samples() {
-        let h = Histogram::from_samples([0, 1, 2, 3, 4, 100, 1000]);
-        assert_eq!(h.count, 7);
-        assert_eq!(h.max, 1000);
-        assert!(h.p50().unwrap() >= 2 && h.p50().unwrap() <= 7);
-        assert!(h.p99().unwrap() >= 100);
-        assert!(h.quantile(1.0).unwrap() <= 1000);
-        assert!((h.mean() - (1110.0 / 7.0)).abs() < 1e-9);
-        assert_eq!(Histogram::new().p50(), None);
+    fn counters_sink_tallies_by_kind() {
+        let mut s = TraceSink::counters();
+        assert!(s.enabled());
+        assert!(!s.needs_unique_worm_ids());
+        s.on_channel_acquire(0, 1, ChannelId(0));
+        s.on_channel_acquire(1, 2, ChannelId(1));
+        s.on_channel_release(5, 1, ChannelId(0));
+        s.on_blocked(2, 2, None);
+        s.on_cpu_busy(0, 1, NodeId(0));
+        s.on_cpu_idle(3, 1, NodeId(0));
+        s.on_recv_done(9, 1, NodeId(1));
+        let sum = s.finish();
+        assert!(sum.events.is_empty() && !sum.truncated && sum.dropped == 0);
+        let c = sum.counts.expect("counters sink reports counts");
+        assert_eq!(c.acquires, 2);
+        assert_eq!(c.releases, 1);
+        assert_eq!(c.blocked, 1);
+        assert_eq!(c.cpu_busy, 1);
+        assert_eq!(c.cpu_idle, 1);
+        assert_eq!(c.recv_dones, 1);
+        assert_eq!(c.total(), 7);
     }
 
     #[test]
-    fn histogram_bucket_edges() {
-        // 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 4..8 → bucket 3.
-        let mut h = Histogram::new();
-        for v in [0u64, 1, 2, 3, 4, 7] {
-            h.record(v);
-        }
-        assert_eq!(h.buckets, vec![1, 1, 2, 2]);
+    fn unique_worm_ids_required_only_by_retaining_sinks() {
+        assert!(!TraceSink::Null.needs_unique_worm_ids());
+        assert!(!TraceSink::counters().needs_unique_worm_ids());
+        assert!(TraceSink::memory().needs_unique_worm_ids());
+        assert!(TraceSink::ring(4).needs_unique_worm_ids());
     }
 
     #[test]

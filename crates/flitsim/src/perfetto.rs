@@ -4,8 +4,11 @@
 //! `chrome://tracing` and [ui.perfetto.dev](https://ui.perfetto.dev): one
 //! track (pid 1) per channel showing every worm's occupancy as a complete
 //! (`ph:"X"`) slice, one track (pid 2) per node CPU showing send/receive
-//! software, and blocking episodes as instant (`ph:"i"`) events on the
-//! channel the head is waiting for.  Timestamps are simulation cycles
+//! software, blocking episodes as instant (`ph:"i"`) events on the
+//! channel the head is waiting for, and contention counter tracks
+//! (`ph:"C"`): a 0/1 occupancy counter per channel plus an aggregate
+//! "busy channels" level — the Perfetto face of the heatmap in
+//! [`crate::heatmap`].  Timestamps are simulation cycles
 //! reported in the format's microsecond field — load the file and read
 //! "µs" as "cycles".
 //!
@@ -83,16 +86,27 @@ pub fn export(result: &SimResult, graph: Option<&NetworkGraph>) -> Value {
     export_events(&result.trace, graph)
 }
 
+fn counter(name: &str, pid: u64, ts: u64, key: &str, value: u64) -> Value {
+    obj(&[
+        ("ph", s("C")),
+        ("name", s(name)),
+        ("pid", Value::UInt(pid)),
+        ("ts", Value::UInt(ts)),
+        ("args", obj(&[(key, Value::UInt(value))])),
+    ])
+}
+
 /// [`export`] over a raw event stream (e.g. one re-read from a JSONL sink).
 pub fn export_events(trace: &[TraceEvent], graph: Option<&NetworkGraph>) -> Value {
     let mut events: Vec<Value> = Vec::new();
     events.push(metadata("process_name", CHANNEL_PID, None, "channels"));
     events.push(metadata("process_name", CPU_PID, None, "node CPUs"));
 
-    for (ch, spans) in channel_occupancy(trace) {
+    let occ = channel_occupancy(trace);
+    for (ch, spans) in &occ {
         let label = match graph {
             Some(g) => {
-                let c = g.channel(ch);
+                let c = g.channel(*ch);
                 format!("ch{} {:?}->{:?}", ch.0, c.src, c.dst)
             }
             None => format!("ch{}", ch.0),
@@ -103,7 +117,7 @@ pub fn export_events(trace: &[TraceEvent], graph: Option<&NetworkGraph>) -> Valu
             Some(ch.0 as u64),
             &label,
         ));
-        for (from, to, worm) in spans {
+        for &(from, to, worm) in spans {
             events.push(slice(
                 format!("worm {worm}"),
                 "channel",
@@ -151,6 +165,43 @@ pub fn export_events(trace: &[TraceEvent], graph: Option<&NetworkGraph>) -> Valu
             ("s", s("t")),
             ("args", obj(&[("worm", Value::UInt(e.worm as u64))])),
         ]));
+    }
+
+    // Contention counter tracks: a 0/1 occupancy counter per channel and
+    // an aggregate "busy channels" level, derived from the same spans as
+    // the slices above (so an empty trace adds nothing here).
+    for (ch, spans) in &occ {
+        let name = format!("ch{} occupancy", ch.0);
+        for &(from, to, _) in spans {
+            events.push(counter(&name, CHANNEL_PID, from, "occupied", 1));
+            events.push(counter(&name, CHANNEL_PID, to, "occupied", 0));
+        }
+    }
+    let mut deltas: Vec<(u64, i64)> = Vec::new();
+    for (_, spans) in &occ {
+        for &(from, to, _) in spans {
+            deltas.push((from, 1));
+            deltas.push((to, -1));
+        }
+    }
+    deltas.sort_unstable();
+    let mut level = 0i64;
+    let mut i = 0;
+    while i < deltas.len() {
+        let t = deltas[i].0;
+        // Apply every delta at t before emitting, so the counter value at
+        // a boundary is unambiguous regardless of acquire/release order.
+        while i < deltas.len() && deltas[i].0 == t {
+            level += deltas[i].1;
+            i += 1;
+        }
+        events.push(counter(
+            "busy channels",
+            CHANNEL_PID,
+            t,
+            "busy",
+            level.max(0) as u64,
+        ));
     }
     obj(&[
         ("traceEvents", Value::Array(events)),
@@ -255,6 +306,42 @@ mod tests {
             tracks.keys().any(|(pid, _)| *pid == CPU_PID),
             "no CPU track exported"
         );
+    }
+
+    #[test]
+    fn counter_tracks_follow_occupancy() {
+        let (m, r) = traced_run();
+        let v = export(&r, Some(m.graph()));
+        let counters: Vec<&Value> = v
+            .get("traceEvents")
+            .unwrap()
+            .as_array()
+            .unwrap()
+            .iter()
+            .filter(|e| e.get("ph").and_then(|p| p.as_str()) == Some("C"))
+            .collect();
+        assert!(!counters.is_empty(), "no counter tracks exported");
+        // The aggregate track starts by going busy and ends fully idle.
+        let busy: Vec<u64> = counters
+            .iter()
+            .filter(|e| e.get("name").and_then(|n| n.as_str()) == Some("busy channels"))
+            .map(|e| {
+                e.get("args")
+                    .unwrap()
+                    .get("busy")
+                    .unwrap()
+                    .as_u64()
+                    .unwrap()
+            })
+            .collect();
+        assert!(busy.len() >= 2);
+        assert!(busy[0] > 0, "first busy level should be > 0: {busy:?}");
+        assert_eq!(*busy.last().unwrap(), 0, "run should end idle: {busy:?}");
+        // Per-channel occupancy counters only take values 0 and 1.
+        assert!(counters
+            .iter()
+            .filter_map(|e| e.get("args").unwrap().get("occupied"))
+            .all(|v| matches!(v.as_u64(), Some(0 | 1))));
     }
 
     #[test]

@@ -4,7 +4,7 @@ use pcm::{MsgSize, Time};
 use serde::{Deserialize, Serialize};
 use topo::NodeId;
 
-use crate::obs::RunMeta;
+use crate::obs::{EventCounts, RunMeta};
 use crate::trace::TraceEvent;
 
 /// One completed message.
@@ -39,6 +39,32 @@ impl MessageRecord {
     }
 }
 
+/// Per-channel contention totals, accumulated by the engine on every run
+/// (plain indexed adds — no observer required).  Indexed by
+/// [`topo::ChannelId`]; the heatmap in [`crate::heatmap`] reduces these
+/// into the hottest-channels view.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChannelTelemetry {
+    /// Cycles the channel was held.
+    pub busy: Time,
+    /// Blocked cycles attributed to this channel (waits that ended by
+    /// acquiring it).
+    pub blocked: Time,
+    /// Times the channel was acquired.
+    pub acquires: u64,
+}
+
+impl ChannelTelemetry {
+    /// Busy fraction of `[0, finish]` (0 when the run is empty).
+    pub fn utilization(&self, finish: Time) -> f64 {
+        if finish == 0 {
+            0.0
+        } else {
+            self.busy as f64 / finish as f64
+        }
+    }
+}
+
 /// Aggregate result of a simulation run.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SimResult {
@@ -55,6 +81,12 @@ pub struct SimResult {
     pub blocked_events: u64,
     /// Total busy channel-cycles (for utilisation analyses).
     pub channel_busy_cycles: Time,
+    /// Always-on per-channel contention totals, indexed by channel id
+    /// (present on every run; the substrate for `optmc inspect --heatmap`).
+    pub channels: Vec<ChannelTelemetry>,
+    /// Per-kind event tallies when the run used the counters-only observer
+    /// ([`crate::TraceSink::counters`]); `None` otherwise.
+    pub counts: Option<EventCounts>,
     /// Channel-level event trace (empty unless an in-memory observer was
     /// active — see [`crate::SimConfig::trace`] and
     /// [`crate::obs::TraceSink`]).

@@ -1,0 +1,56 @@
+//! Golden-file test for the Perfetto export.
+//!
+//! Pins the exact serialized form of a small deterministic run so format
+//! regressions (field renames, ordering changes, lost tracks) are caught
+//! by `cargo test` instead of by someone's broken trace viewer.
+//!
+//! To regenerate after an *intentional* format change:
+//! `PERFETTO_GOLDEN_REGEN=1 cargo test -p flitsim --test perfetto_golden`
+//! and commit the updated `tests/golden/perfetto_small.json`.
+
+use flitsim::program::SinkProgram;
+use flitsim::{perfetto, Engine, SendReq, SimConfig, SoftwareModel};
+use topo::{Mesh, NodeId, Topology};
+
+/// The pinned scenario: two senders contending for node 2's consumption
+/// channel on a 5-node line — small enough to eyeball, rich enough to
+/// exercise slices, instants, and counter tracks.  Fully deterministic:
+/// no randomness, no wall-clock content in the export.
+fn golden_run() -> String {
+    let m = Mesh::new(&[5]);
+    let mut cfg = SimConfig::paragon_like();
+    cfg.software = SoftwareModel::zero();
+    cfg.trace = true;
+    let mut e = Engine::new(&m, cfg, SinkProgram);
+    e.start(NodeId(0), 0, vec![SendReq::to(NodeId(2), 4000, ())]);
+    e.start(NodeId(4), 0, vec![SendReq::to(NodeId(2), 4000, ())]);
+    let (_, r) = e.run();
+    perfetto::export_string(&r, Some(m.graph()))
+}
+
+#[test]
+fn perfetto_export_matches_golden_file() {
+    let text = golden_run();
+    let path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/tests/golden/perfetto_small.json"
+    );
+    if std::env::var_os("PERFETTO_GOLDEN_REGEN").is_some() {
+        std::fs::write(path, &text).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(path).expect(
+        "golden file missing — regenerate with \
+         PERFETTO_GOLDEN_REGEN=1 cargo test -p flitsim --test perfetto_golden",
+    );
+    assert_eq!(
+        text, golden,
+        "Perfetto export drifted from tests/golden/perfetto_small.json; \
+         if the change is intentional, regenerate with PERFETTO_GOLDEN_REGEN=1"
+    );
+}
+
+#[test]
+fn golden_scenario_is_deterministic() {
+    assert_eq!(golden_run(), golden_run());
+}

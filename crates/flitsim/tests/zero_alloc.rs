@@ -18,11 +18,19 @@ static COUNTER: allocmeter::Counting = allocmeter::Counting;
 /// Run a single p2p message down a 64-node line and return
 /// `(events_processed, allocations during Engine::run)`.
 fn run_line_p2p(m: &Mesh, dst: u32) -> (u64, u64) {
+    run_line_p2p_observed(m, dst, false)
+}
+
+/// [`run_line_p2p`], optionally under the counters-only observer.
+fn run_line_p2p_observed(m: &Mesh, dst: u32, counters: bool) -> (u64, u64) {
     let cfg = SimConfig {
         software: SoftwareModel::zero(),
         ..SimConfig::paragon_like()
     };
     let mut e = Engine::new(m, cfg, SinkProgram);
+    if counters {
+        e.set_observer(flitsim::TraceSink::counters());
+    }
     e.start(NodeId(0), 0, vec![SendReq::to(NodeId(dst), 4096, ())]);
     let before = allocmeter::allocations();
     let (_, res) = e.run();
@@ -57,4 +65,38 @@ fn event_processing_does_not_allocate_per_event() {
         "allocations scale with events: short run {short_allocs} allocs \
          ({short_events} events), long run {long_allocs} allocs ({long_events} events)"
     );
+}
+
+#[test]
+fn counters_observer_and_telem_flush_do_not_allocate_per_event() {
+    // The telemetry substrate's core promise: the counters-only observer
+    // (per-event `u64` tallies) and the end-of-run bulk flush into the
+    // `telem` statics add ZERO steady-state allocations — the allocation
+    // profile under `TraceSink::counters()` is identical in shape to the
+    // unobserved engine's.
+    let m = Mesh::new(&[64]);
+    let _ = m.route_table();
+
+    let _ = run_line_p2p_observed(&m, 3, true); // warm buffers
+    let (short_events, short_allocs) = run_line_p2p_observed(&m, 3, true);
+    let (long_events, long_allocs) = run_line_p2p_observed(&m, 63, true);
+    assert!(long_events > short_events + 100);
+    assert!(
+        long_allocs <= short_allocs + 24,
+        "counters observer allocates per event: short {short_allocs} allocs \
+         ({short_events} events), long {long_allocs} allocs ({long_events} events)"
+    );
+
+    // A telem counter update itself is allocation-free.
+    telem::counter!(PROBE, "zero_alloc_probe_total", "allocmeter probe");
+    let before = allocmeter::allocations();
+    for _ in 0..10_000 {
+        PROBE.inc();
+    }
+    assert_eq!(
+        allocmeter::allocations() - before,
+        0,
+        "Counter::inc must not touch the heap"
+    );
+    assert_eq!(PROBE.get(), 10_000);
 }

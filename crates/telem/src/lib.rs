@@ -1,0 +1,510 @@
+//! # `telem` — lock-free metrics and telemetry exposition
+//!
+//! The workspace-wide observability substrate: every layer that wants to
+//! count something without paying for it goes through this crate.
+//!
+//! * [`Counter`] / [`Gauge`] — `const`-constructible, lock-free metric
+//!   cells backed by a single relaxed [`AtomicU64`].  Declared as statics
+//!   via the [`counter!`] / [`gauge!`] macros, an update compiles to one
+//!   relaxed atomic add — no allocation, no branching, safe to call from
+//!   the engine hot path (pinned by the `zero_alloc` allocmeter test in
+//!   `flitsim`).
+//! * [`Histogram`] — the log₂-bucketed histogram previously private to
+//!   `flitsim::obs`, promoted here so campaign heartbeats and bench
+//!   reports can share it (`flitsim` re-exports it unchanged).
+//! * [`TelemetrySnapshot`] — a point-in-time, deterministic view of a set
+//!   of metrics with two exposition formats: sorted-key JSON (byte-stable
+//!   for a given input, which `scripts/check.sh` relies on) and the
+//!   Prometheus text format.
+//!
+//! The registry is deliberately *explicit*: there is no global list of
+//! metrics mutated at static-init time (that would need allocation or
+//! `unsafe` linker tricks).  Instead each subsystem declares its statics
+//! and contributes them to a snapshot by calling [`TelemetrySnapshot::record`].
+
+#![forbid(unsafe_code)]
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use pcm::Time;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+// ---------------------------------------------------------------------------
+// Counters and gauges.
+
+/// A monotonically increasing metric cell.
+///
+/// `const`-constructible so it can live in a `static`; updates are relaxed
+/// atomic adds — the cheapest cross-thread counter the hardware offers.
+/// Relaxed ordering is enough because readers only ever want a recent
+/// value, never a synchronised one.
+#[derive(Debug)]
+pub struct Counter {
+    name: &'static str,
+    help: &'static str,
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter (use via the [`counter!`] macro).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Counter {
+            name,
+            help,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Add `n`. Compiles to a single relaxed `fetch_add`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Add one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Metric name (Prometheus-style, e.g. `flitsim_runs_total`).
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line human description.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+}
+
+/// A metric cell that can go up and down (set, not accumulated).
+#[derive(Debug)]
+pub struct Gauge {
+    name: &'static str,
+    help: &'static str,
+    value: AtomicU64,
+}
+
+impl Gauge {
+    /// A zeroed gauge (use via the [`gauge!`] macro).
+    pub const fn new(name: &'static str, help: &'static str) -> Self {
+        Gauge {
+            name,
+            help,
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Set the value. A single relaxed store.
+    #[inline]
+    pub fn set(&self, v: u64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    /// Metric name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// One-line human description.
+    pub fn help(&self) -> &'static str {
+        self.help
+    }
+}
+
+/// Declare a static [`Counter`]:
+/// `counter!(pub RUNS, "flitsim_runs_total", "Simulation runs completed");`
+#[macro_export]
+macro_rules! counter {
+    ($vis:vis $ident:ident, $name:expr, $help:expr) => {
+        $vis static $ident: $crate::Counter = $crate::Counter::new($name, $help);
+    };
+}
+
+/// Declare a static [`Gauge`]:
+/// `gauge!(pub IN_FLIGHT, "pool_cells_in_flight", "Cells being executed");`
+#[macro_export]
+macro_rules! gauge {
+    ($vis:vis $ident:ident, $name:expr, $help:expr) => {
+        $vis static $ident: $crate::Gauge = $crate::Gauge::new($name, $help);
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Histogram (promoted from `flitsim::obs`).
+
+/// A log₂-bucketed histogram of `Time` samples: bucket `i` holds values in
+/// `[2^(i-1), 2^i)` (bucket 0 holds exactly 0).  Cheap to fill, good
+/// enough for p50/p95/p99 at the decade scale latencies live on.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Bucket counts, indexed as above.
+    pub buckets: Vec<u64>,
+    /// Total samples recorded.
+    pub count: u64,
+    /// Largest sample seen (exact, not bucketed).
+    pub max: Time,
+    /// Sum of all samples (for the mean).
+    pub sum: u64,
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn bucket_of(v: Time) -> usize {
+        (64 - v.leading_zeros()) as usize
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, v: Time) {
+        let b = Self::bucket_of(v);
+        if self.buckets.len() <= b {
+            self.buckets.resize(b + 1, 0);
+        }
+        self.buckets[b] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        self.max = self.max.max(v);
+    }
+
+    /// Build from an iterator of samples.
+    pub fn from_samples<I: IntoIterator<Item = Time>>(samples: I) -> Self {
+        let mut h = Self::new();
+        for v in samples {
+            h.record(v);
+        }
+        h
+    }
+
+    /// Mean of all samples (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Upper bound of the bucket containing the `q`-quantile (`0 < q <= 1`),
+    /// clamped to the observed maximum; `None` when empty.
+    pub fn quantile(&self, q: f64) -> Option<Time> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let upper = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                return Some(upper.min(self.max));
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Median (bucket upper bound).
+    pub fn p50(&self) -> Option<Time> {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile (bucket upper bound).
+    pub fn p95(&self) -> Option<Time> {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile (bucket upper bound).
+    pub fn p99(&self) -> Option<Time> {
+        self.quantile(0.99)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot + exposition.
+
+/// One metric's value inside a snapshot.
+#[derive(Debug, Clone, PartialEq)]
+enum MetricValue {
+    Counter(u64),
+    Gauge(u64),
+    GaugeF(f64),
+    Histogram(Histogram),
+}
+
+#[derive(Debug, Clone, PartialEq)]
+struct Metric {
+    name: String,
+    help: String,
+    value: MetricValue,
+}
+
+/// A point-in-time view of a set of metrics, with deterministic exposition.
+///
+/// Metrics are keyed by name and rendered sorted, so two snapshots built
+/// from the same values serialize to byte-identical JSON regardless of
+/// insertion order — the property the `scripts/check.sh` determinism gate
+/// pins.  Only put *deterministic* quantities in a snapshot that is meant
+/// to be compared across runs (cycle counts yes, wall-clock no).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    metrics: Vec<Metric>,
+}
+
+impl TelemetrySnapshot {
+    /// An empty snapshot.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn push(&mut self, name: &str, help: &str, value: MetricValue) {
+        // Last write wins so callers can overwrite a stale entry.
+        if let Some(m) = self.metrics.iter_mut().find(|m| m.name == name) {
+            m.help = help.to_string();
+            m.value = value;
+        } else {
+            self.metrics.push(Metric {
+                name: name.to_string(),
+                help: help.to_string(),
+                value,
+            });
+        }
+    }
+
+    /// Add (or overwrite) a counter value.
+    pub fn counter(&mut self, name: &str, help: &str, value: u64) {
+        self.push(name, help, MetricValue::Counter(value));
+    }
+
+    /// Add (or overwrite) an integer gauge value.
+    pub fn gauge(&mut self, name: &str, help: &str, value: u64) {
+        self.push(name, help, MetricValue::Gauge(value));
+    }
+
+    /// Add (or overwrite) a floating-point gauge value.
+    pub fn gauge_f64(&mut self, name: &str, help: &str, value: f64) {
+        self.push(name, help, MetricValue::GaugeF(value));
+    }
+
+    /// Add (or overwrite) a histogram.
+    pub fn histogram(&mut self, name: &str, help: &str, h: &Histogram) {
+        self.push(name, help, MetricValue::Histogram(h.clone()));
+    }
+
+    /// Capture a static [`Counter`]'s current value.
+    pub fn record(&mut self, c: &Counter) {
+        self.counter(c.name(), c.help(), c.get());
+    }
+
+    /// Capture a static [`Gauge`]'s current value.
+    pub fn record_gauge(&mut self, g: &Gauge) {
+        self.gauge(g.name(), g.help(), g.get());
+    }
+
+    /// Number of metrics held.
+    pub fn len(&self) -> usize {
+        self.metrics.len()
+    }
+
+    /// True when no metrics are held.
+    pub fn is_empty(&self) -> bool {
+        self.metrics.is_empty()
+    }
+
+    /// Look up a counter/gauge value by name (integer metrics only).
+    pub fn get(&self, name: &str) -> Option<u64> {
+        self.metrics
+            .iter()
+            .find(|m| m.name == name)
+            .and_then(|m| match m.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => Some(v),
+                _ => None,
+            })
+    }
+
+    fn sorted(&self) -> Vec<&Metric> {
+        let mut v: Vec<&Metric> = self.metrics.iter().collect();
+        v.sort_by(|a, b| a.name.cmp(&b.name));
+        v
+    }
+
+    /// The JSON form: `{"counters": {..}, "gauges": {..}, "histograms": {..}}`
+    /// with every object sorted by metric name.
+    pub fn to_json_value(&self) -> Value {
+        let mut counters = Vec::new();
+        let mut gauges = Vec::new();
+        let mut hists = Vec::new();
+        for m in self.sorted() {
+            match &m.value {
+                MetricValue::Counter(v) => counters.push((m.name.clone(), Value::UInt(*v))),
+                MetricValue::Gauge(v) => gauges.push((m.name.clone(), Value::UInt(*v))),
+                MetricValue::GaugeF(v) => gauges.push((m.name.clone(), Value::Float(*v))),
+                MetricValue::Histogram(h) => {
+                    hists.push((m.name.clone(), h.to_value()));
+                }
+            }
+        }
+        Value::Object(vec![
+            ("counters".to_string(), Value::Object(counters)),
+            ("gauges".to_string(), Value::Object(gauges)),
+            ("histograms".to_string(), Value::Object(hists)),
+        ])
+    }
+
+    /// Pretty JSON text (2-space indent, trailing newline), byte-stable for
+    /// a given set of metric values.
+    pub fn to_json(&self) -> String {
+        let mut s = serde_json::to_string_pretty(&self.to_json_value())
+            .expect("snapshot JSON render cannot fail");
+        s.push('\n');
+        s
+    }
+
+    /// The Prometheus text exposition format (`# HELP` / `# TYPE` / value
+    /// lines, histograms as cumulative `_bucket{le=..}` series).
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for m in self.sorted() {
+            let _ = writeln!(out, "# HELP {} {}", m.name, m.help);
+            match &m.value {
+                MetricValue::Counter(v) => {
+                    let _ = writeln!(out, "# TYPE {} counter", m.name);
+                    let _ = writeln!(out, "{} {v}", m.name);
+                }
+                MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "# TYPE {} gauge", m.name);
+                    let _ = writeln!(out, "{} {v}", m.name);
+                }
+                MetricValue::GaugeF(v) => {
+                    let _ = writeln!(out, "# TYPE {} gauge", m.name);
+                    let _ = writeln!(out, "{} {v}", m.name);
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {} histogram", m.name);
+                    let mut cumulative = 0u64;
+                    for (i, &c) in h.buckets.iter().enumerate() {
+                        cumulative += c;
+                        // Bucket i holds [2^(i-1), 2^i); its inclusive upper
+                        // bound is 2^i - 1 (bucket 0 holds exactly 0).
+                        let le = if i == 0 { 0 } else { (1u64 << i) - 1 };
+                        let _ = writeln!(out, "{}_bucket{{le=\"{le}\"}} {cumulative}", m.name);
+                    }
+                    let _ = writeln!(out, "{}_bucket{{le=\"+Inf\"}} {}", m.name, h.count);
+                    let _ = writeln!(out, "{}_sum {}", m.name, h.sum);
+                    let _ = writeln!(out, "{}_count {}", m.name, h.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    counter!(TEST_EVENTS, "telem_test_events_total", "Test events");
+    gauge!(TEST_LEVEL, "telem_test_level", "Test level");
+
+    #[test]
+    fn counter_and_gauge_statics_accumulate() {
+        TEST_EVENTS.inc();
+        TEST_EVENTS.add(4);
+        assert_eq!(TEST_EVENTS.get(), 5);
+        TEST_LEVEL.set(7);
+        TEST_LEVEL.set(3);
+        assert_eq!(TEST_LEVEL.get(), 3);
+        assert_eq!(TEST_EVENTS.name(), "telem_test_events_total");
+    }
+
+    #[test]
+    fn histogram_quantiles_bracket_samples() {
+        let h = Histogram::from_samples([0, 1, 2, 3, 4, 100, 1000]);
+        assert_eq!(h.count, 7);
+        assert_eq!(h.max, 1000);
+        assert!(h.p50().unwrap() >= 2 && h.p50().unwrap() <= 7);
+        assert!(h.p99().unwrap() >= 100);
+        assert!(h.quantile(1.0).unwrap() <= 1000);
+        assert!((h.mean() - (1110.0 / 7.0)).abs() < 1e-9);
+        assert_eq!(Histogram::new().p50(), None);
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        // 0 → bucket 0; 1 → bucket 1; 2,3 → bucket 2; 4..8 → bucket 3.
+        let mut h = Histogram::new();
+        for v in [0u64, 1, 2, 3, 4, 7] {
+            h.record(v);
+        }
+        assert_eq!(h.buckets, vec![1, 1, 2, 2]);
+    }
+
+    #[test]
+    fn snapshot_json_is_sorted_and_insertion_order_independent() {
+        let mut a = TelemetrySnapshot::new();
+        a.counter("z_total", "z", 1);
+        a.counter("a_total", "a", 2);
+        a.gauge("m_gauge", "m", 3);
+        let mut b = TelemetrySnapshot::new();
+        b.gauge("m_gauge", "m", 3);
+        b.counter("a_total", "a", 2);
+        b.counter("z_total", "z", 1);
+        assert_eq!(a.to_json(), b.to_json());
+        let json = a.to_json();
+        assert!(json.find("a_total").unwrap() < json.find("z_total").unwrap());
+        assert_eq!(a.get("a_total"), Some(2));
+        assert_eq!(a.get("missing"), None);
+    }
+
+    #[test]
+    fn snapshot_overwrites_by_name() {
+        let mut s = TelemetrySnapshot::new();
+        s.counter("x_total", "x", 1);
+        s.counter("x_total", "x", 9);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.get("x_total"), Some(9));
+    }
+
+    #[test]
+    fn prometheus_exposition_renders_all_kinds() {
+        let mut s = TelemetrySnapshot::new();
+        s.counter("runs_total", "Runs", 3);
+        s.gauge_f64("ratio", "Ratio", 0.5);
+        let h = Histogram::from_samples([1, 5]);
+        s.histogram("lat", "Latency", &h);
+        let text = s.to_prometheus();
+        assert!(text.contains("# TYPE runs_total counter"));
+        assert!(text.contains("runs_total 3"));
+        assert!(text.contains("# TYPE ratio gauge"));
+        assert!(text.contains("# TYPE lat histogram"));
+        assert!(text.contains("lat_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("lat_sum 6"));
+        assert!(text.contains("lat_count 2"));
+    }
+
+    #[test]
+    fn histogram_round_trips_through_json() {
+        let h = Histogram::from_samples([3, 9, 27]);
+        let text = serde_json::to_string(&h.to_value()).unwrap();
+        let v = serde_json::from_str(&text).unwrap();
+        let back = Histogram::from_value(&v).unwrap();
+        assert_eq!(back, h);
+    }
+}

@@ -50,12 +50,40 @@ cargo run --release -q -p optmc-cli --bin optmc -- \
     | grep -F "0 executed, 4 skipped, 0 failed" >/dev/null \
     || { echo "smoke campaign resume re-ran completed cells" >&2; exit 1; }
 
+# Telemetry determinism gate: two inspect runs of the same seed must emit
+# byte-identical TelemetrySnapshot JSON (the snapshot holds cycle/event
+# counts only, never wall-clock), and `sweep status` must read back the
+# smoke campaign's heartbeat stream.
+echo "==> telemetry snapshot is byte-identical across same-seed runs"
+cargo run --release -q -p optmc-cli --bin optmc -- \
+    inspect --topo mesh:16x16 --alg opt-arch --nodes 24 --bytes 4096 \
+    --format text --heatmap --telemetry-out "$SMOKE_DIR/telem_a.json" >/dev/null
+cargo run --release -q -p optmc-cli --bin optmc -- \
+    inspect --topo mesh:16x16 --alg opt-arch --nodes 24 --bytes 4096 \
+    --format text --heatmap --telemetry-out "$SMOKE_DIR/telem_b.json" >/dev/null
+cmp "$SMOKE_DIR/telem_a.json" "$SMOKE_DIR/telem_b.json" \
+    || { echo "telemetry snapshot is not deterministic for a fixed seed" >&2; exit 1; }
+
+echo "==> sweep status reads the smoke campaign heartbeat"
+cargo run --release -q -p optmc-cli --bin optmc -- \
+    sweep status --spec "$SMOKE_DIR/smoke.json" --out "$SMOKE_DIR/campaigns" \
+    | grep -F "progress       4/4 cells" >/dev/null \
+    || { echo "sweep status did not report the finished smoke campaign" >&2; exit 1; }
+
+# Hot-path allocation gate: the zero_alloc suite pins that steady-state
+# event processing — including the counters-only observer and the telem
+# counter flush — adds no per-event heap allocations.
+echo "==> zero-allocation hot path (allocmeter, Null + counters observers)"
+cargo test -q -p flitsim --test zero_alloc
+
 # Perf + determinism smoke: re-run every workload recorded in the committed
 # BENCH_sim.json (same runs, same seed).  The deterministic sentinels
 # (events_scheduled, peak_heap_events, mean_latency) must match exactly —
 # any drift means simulation results changed — and overall throughput must
 # stay within 25% of the committed baseline.
-echo "==> bench_sim --check BENCH_sim.json (sentinels exact, throughput >= 0.75x)"
+# The check also enforces the observer-overhead budget: the counters-only
+# sink must stay within 5% of NullObserver throughput (obs_* record pair).
+echo "==> bench_sim --check BENCH_sim.json (sentinels exact, throughput >= 0.75x, counters obs >= 0.95x null)"
 cargo run --release -q -p optmc-bench --bin bench_sim -- --check BENCH_sim.json
 
 # Figure determinism gate: the committed paper figures must regenerate
