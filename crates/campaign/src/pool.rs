@@ -13,6 +13,11 @@
 //! store before workers start and after every resolved cell (best-effort —
 //! heartbeat I/O errors never fail the run), feeding `optmc sweep status`
 //! and the `--progress` renderer.
+//!
+//! The two-lock protocol below (queue mutex for claiming, state mutex for
+//! counters + checkpoint + heartbeat) is model-checked: `tests/loom.rs`
+//! replicates it operation-for-operation on instrumented primitives.  If
+//! the locking structure here changes, update that model with it.
 
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};

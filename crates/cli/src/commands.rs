@@ -90,8 +90,9 @@ fn cmd_tree(a: &Args) -> Result<String, CliError> {
 /// channel-dependency-graph deadlock analysis and routing lints always;
 /// with `--alg`, schedule contention certification (windowed occupancy by
 /// default, `--conservative` for the interval approximation) plus the
-/// differential oracle against the instrumented simulator.  Exits nonzero
-/// when any error-level finding exists.
+/// differential oracle against the instrumented simulator; with `--set`,
+/// certification of a whole workload-style schedule *set* with a plan
+/// certificate.  Exits nonzero when any error-level finding exists.
 fn cmd_check(a: &Args) -> Result<String, CliError> {
     use netcheck::{Diagnostic, Severity};
 
@@ -99,6 +100,10 @@ fn cmd_check(a: &Args) -> Result<String, CliError> {
     let topo = parse_topology(spec)?;
     let discipline = discipline_for(spec)?;
     let mut report = netcheck::check_topology(topo.as_ref(), &discipline);
+
+    if a.has("set") {
+        return cmd_check_set(a, topo.as_ref(), report);
+    }
 
     if let Some(alg_name) = a.get("alg") {
         let alg = parse_algorithm(alg_name)?;
@@ -276,10 +281,160 @@ fn cmd_check(a: &Args) -> Result<String, CliError> {
         }
     }
 
+    render_report(a, report, "")
+}
+
+/// `optmc check --set` — schedule-*set* certification: build a
+/// workload-style set of `--count` multicasts (the same generator as
+/// `optmc workload`, or node-disjoint pool-chunked groups with
+/// `--disjoint`), certify the combined channel-occupancy windows, emit a
+/// machine-checkable plan certificate (re-verified independently, written
+/// to `--cert-out`), and run the joint differential oracle.
+fn cmd_check_set(
+    a: &Args,
+    topo: &dyn topo::Topology,
+    mut report: netcheck::Report,
+) -> Result<String, CliError> {
+    use campaign::workload::generate_specs;
+    use campaign::WorkloadSpec;
+    use netcheck::{Diagnostic, PlanCertificate, ScheduleSet, Severity};
+
+    let alg = parse_algorithm(a.get("alg").unwrap_or("opt-arch"))?;
+    let n = topo.graph().n_nodes();
+    let count: usize = a.num("count", 4)?;
+    if count == 0 {
+        return Err(err("--count must be at least 1"));
+    }
+    let k: usize = a.require_num("nodes")?;
+    if k > n || k < 2 {
+        return Err(err(format!("--nodes must be in 2..={n}")));
+    }
+    let bytes: u64 = a.num("bytes", 4096)?;
+    let seed: u64 = a.num("seed", 1997)?;
+    let arrivals = crate::sweep::parse_arrivals(a)?;
+    let mut cfg = build_cfg(a)?;
+    // Set certification is exact only under deterministic routing.
+    cfg.adaptive = false;
+
+    let mut specs = generate_specs(
+        n,
+        &WorkloadSpec {
+            count,
+            k,
+            bytes,
+            arrivals,
+            seed,
+        },
+    );
+    if a.has("disjoint") {
+        // Same arrival process, but the groups are carved from one
+        // shuffled node pool so members are pairwise node-disjoint — the
+        // regime where a clean certificate is attainable.
+        if k * count > n {
+            return Err(err(format!(
+                "--disjoint needs --nodes x --count <= {n} (got {})",
+                k * count
+            )));
+        }
+        let pool = random_placement(n, k * count, seed);
+        for (chunk, s) in pool.chunks(k).zip(specs.iter_mut()) {
+            s.src = chunk[0];
+            s.participants = chunk.to_vec();
+        }
+    }
+    let set = ScheduleSet {
+        specs,
+        algorithm: alg,
+    };
+
+    let analysis = netcheck::analyze_set(topo, &cfg, &set)
+        .map_err(|e| err(format!("cannot materialise member schedule paths: {e}")))?;
+    let set_report = netcheck::report_set(topo, &set, &analysis);
+    report.target = format!(
+        "schedule set: {} (k={k}, {bytes} bytes, seed {seed})",
+        set_report.target
+    );
+    for d in set_report.diagnostics {
+        report.push(d);
+    }
+
+    // The certificate is the machine-checkable artifact; its verifier
+    // re-derives the verdict from the interval population alone, so a
+    // prover bug shows up as a verification failure, not a silent pass.
+    let cert = PlanCertificate::from_analysis(topo, &set, &analysis);
+    match cert.verify() {
+        Ok(()) => report.push(Diagnostic::new(
+            Severity::Info,
+            "NC0213",
+            format!(
+                "plan certificate re-verified independently: {} members, {} channel \
+                 windows, verdict '{}'",
+                cert.multicasts.len(),
+                cert.windows.len(),
+                if cert.clean { "clean" } else { "contended" }
+            ),
+        )),
+        Err(e) => report.push(
+            Diagnostic::new(
+                Severity::Error,
+                "NC0213",
+                format!("plan certificate failed independent verification: {e}"),
+            )
+            .with_help("prover and verifier disagree — a netcheck bug, not a schedule property"),
+        ),
+    }
+    let mut extra = String::new();
+    if let Some(path) = a.get("cert-out") {
+        std::fs::write(path, cert.to_json()).map_err(|e| err(format!("--cert-out {path}: {e}")))?;
+        let _ = writeln!(extra, "plan certificate written to {path}");
+    }
+
+    // Differential leg: the joint simulation must agree with the static
+    // verdict (strict biconditional for pairwise-independent members).
+    let case = netcheck::differential_set_case(topo, &cfg, &set);
+    if case.agree {
+        report.push(Diagnostic::new(
+            Severity::Info,
+            "NC0203",
+            format!(
+                "differential set oracle agrees{}: {} conflicts predicted vs {} blocked \
+                 cycles in the joint simulation",
+                if case.strict {
+                    ""
+                } else {
+                    " (sound direction only; members share nodes)"
+                },
+                case.conflicts,
+                case.blocked_cycles
+            ),
+        ));
+    } else {
+        report.push(
+            Diagnostic::new(
+                Severity::Error,
+                "NC0302",
+                format!(
+                    "set analysis and joint simulation disagree: {} conflicts predicted \
+                     but {} blocked cycles observed",
+                    case.conflicts, case.blocked_cycles
+                ),
+            )
+            .with_help("one of the shifted window replay or the engine timing is wrong"),
+        );
+    }
+
+    render_report(a, report, &extra)
+}
+
+/// Normalize, render (`--json` or human), and pick the exit arm: any
+/// error-level diagnostic makes the whole check fail.  `extra` carries
+/// human-only trailer lines (artifact paths); it never contaminates JSON.
+fn render_report(a: &Args, mut report: netcheck::Report, extra: &str) -> Result<String, CliError> {
+    report.normalize();
     let text = if a.has("json") {
         report.to_json()
     } else {
-        report.render_human()
+        format!("{}{extra}", report.render_human())
     };
     if report.has_errors() {
         Err(CliError(text))
@@ -868,6 +1023,93 @@ mod tests {
         assert!(e.0.contains("conflicting"), "{}", e.0);
         assert!(e.0.contains("info[NC0203]"), "{}", e.0);
         assert!(!e.0.contains("NC0302"), "{}", e.0);
+    }
+
+    #[test]
+    fn check_set_certifies_disjoint_staggered_workload() {
+        let out = run(
+            "check --topo mesh:16x16 --set --count 4 --nodes 8 --bytes 2048 \
+             --gap 2000000 --disjoint --seed 3",
+        )
+        .unwrap();
+        assert!(out.contains("info[NC0210]"), "{out}");
+        assert!(out.contains("certified contention-free"), "{out}");
+        assert!(out.contains("verdict 'clean'"), "{out}");
+        assert!(out.contains("info[NC0203]"), "{out}");
+        assert!(out.contains("0 blocked cycles"), "{out}");
+    }
+
+    #[test]
+    fn check_set_flags_simultaneous_batch_with_witness() {
+        let e = run(
+            "check --topo mesh:16x16 --set --count 4 --nodes 24 --bytes 2048 \
+             --gap 0 --disjoint --seed 0",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("error[NC0211]"), "{}", e.0);
+        assert!(e.0.contains("contend for channel ch"), "{}", e.0);
+        assert!(e.0.contains("= window: cycles ["), "{}", e.0);
+        // The simulator saw real blocking, so the oracle still agrees.
+        assert!(e.0.contains("info[NC0203]"), "{}", e.0);
+        assert!(!e.0.contains("NC0302"), "{}", e.0);
+    }
+
+    #[test]
+    fn check_set_rejects_overlapping_groups_as_uncertifiable() {
+        // Without --disjoint, simultaneous workload groups share nodes;
+        // such sets must be refused certification with NC0212.
+        let e = run(
+            "check --topo mesh:8x8 --set --count 6 --nodes 20 --bytes 2048 \
+             --gap 0 --seed 1",
+        )
+        .unwrap_err();
+        assert!(e.0.contains("error[NC0212]"), "{}", e.0);
+        assert!(e.0.contains("cannot be certified"), "{}", e.0);
+        assert!(!e.0.contains("NC0210"), "{}", e.0);
+    }
+
+    #[test]
+    fn check_set_certificate_round_trips_through_the_file() {
+        let path = std::env::temp_dir().join(format!("optmc_cert_{}.json", std::process::id()));
+        let path_s = path.to_str().unwrap().to_string();
+        let out = run(&format!(
+            "check --topo mesh:16x16 --set --count 3 --nodes 8 --bytes 2048 \
+             --gap 2000000 --disjoint --seed 5 --cert-out {path_s}"
+        ))
+        .unwrap();
+        assert!(out.contains("plan certificate written to"), "{out}");
+        let cert =
+            netcheck::PlanCertificate::from_json(&std::fs::read_to_string(&path).unwrap()).unwrap();
+        assert!(cert.clean);
+        assert_eq!(cert.multicasts.len(), 3);
+        cert.verify().expect("independent verifier accepts");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn check_set_json_is_byte_stable() {
+        let cmd = "check --topo mesh:16x16 --set --count 4 --nodes 8 --bytes 2048 \
+             --gap 2000000 --disjoint --seed 3 --json";
+        let (a, b) = (run(cmd).unwrap(), run(cmd).unwrap());
+        assert_eq!(a, b);
+        let v: serde_json::Value = serde_json::from_str(&a).unwrap();
+        let diags = v.get("diagnostics").unwrap().as_array().unwrap();
+        let codes: Vec<&str> = diags
+            .iter()
+            .map(|d| d.get("code").unwrap().as_str().unwrap())
+            .collect();
+        let mut sorted = codes.clone();
+        sorted.sort_unstable();
+        assert_eq!(codes, sorted, "diagnostics must be code-ordered");
+    }
+
+    #[test]
+    fn check_set_validates_flags() {
+        assert!(run("check --topo mesh:4x4 --set --nodes 8 --count 0").is_err());
+        assert!(run("check --topo mesh:4x4 --set --nodes 1").is_err());
+        // --disjoint needs k*count nodes available.
+        assert!(run("check --topo mesh:4x4 --set --nodes 8 --count 3 --disjoint").is_err());
+        assert!(run("check --topo mesh:4x4 --set --nodes 4 --gap 10 --mean-gap 5.0").is_err());
     }
 
     #[test]

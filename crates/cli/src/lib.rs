@@ -52,6 +52,9 @@ USAGE:
   optmc tree      --hold H --end E --k K [--dot] [--src POS]
   optmc check     --topo SPEC [--alg ALG --nodes K --bytes B --seed S --src NODE]
                   [--conservative] [--json]
+  optmc check     --topo SPEC --set --nodes K [--alg ALG] [--count N] [--bytes B]
+                  [--gap G | --mean-gap F] [--seed S] [--disjoint]
+                  [--cert-out FILE] [--json]
   optmc run       --topo SPEC --alg ALG --nodes K --bytes B [--seed S] [--temporal] [--trace]
                   [--trace-limit N]
   optmc inspect   --topo SPEC --alg ALG --nodes K --bytes B [--seed S] [--temporal]
@@ -85,7 +88,21 @@ CHECK:
   --conservative for the interval approximation) and a differential oracle
   run asserting the simulator agrees with the static verdict.  --nodes
   defaults to the whole machine.  Exits 1 on any error-level finding;
-  --json emits the report as JSON.
+  --json emits the report as JSON (diagnostics sorted for byte-stable
+  output).
+
+  --set certifies a whole schedule *set*: --count multicasts built by the
+  same generator as 'optmc workload' (--disjoint carves node-disjoint
+  groups from one pool instead — the regime where a clean certificate is
+  attainable), analyzed jointly.  Cross-multicast channel contention is an
+  NC0211 error with the contended channel and cycle window as the witness;
+  members sharing nodes while concurrently active are an NC0212 error (the
+  replay cannot model their CPU serialization, so such sets are never
+  certified).  The machine-checkable plan certificate (per-channel
+  occupancy intervals, JSON) is re-verified by an independent sweep-line
+  checker and written to --cert-out; a differential leg simulates the same
+  set jointly and demands agreement (certified clean <=> zero blocked
+  cycles for pairwise-independent members).
 
 SWEEP:
   Parallel, resumable experiment campaigns.  --spec is a declarative JSON

@@ -15,6 +15,26 @@ use crate::args::Args;
 use crate::spec::{parse_algorithm, parse_topology};
 use crate::{err, CliError};
 
+/// Parse the shared arrival-process flags: `--gap G` (fixed-rate) or
+/// `--mean-gap F` (Poisson, the default at 5000 cycles).  Used by
+/// `optmc workload` and `optmc check --set`.
+pub(crate) fn parse_arrivals(a: &Args) -> Result<Arrivals, CliError> {
+    match (a.get("gap"), a.get("mean-gap")) {
+        (Some(_), Some(_)) => Err(err("--gap and --mean-gap are mutually exclusive")),
+        (Some(g), None) => Ok(Arrivals::Fixed {
+            gap: g
+                .parse()
+                .map_err(|_| err(format!("--gap: cannot parse '{g}'")))?,
+        }),
+        (None, Some(m)) => Ok(Arrivals::Poisson {
+            mean_gap: m
+                .parse()
+                .map_err(|_| err(format!("--mean-gap: cannot parse '{m}'")))?,
+        }),
+        (None, None) => Ok(Arrivals::Poisson { mean_gap: 5000.0 }),
+    }
+}
+
 fn load_spec(a: &Args) -> Result<CampaignSpec, CliError> {
     let path = a.require("spec")?;
     CampaignSpec::load(std::path::Path::new(path)).map_err(CliError)
@@ -266,20 +286,7 @@ pub fn cmd_workload(a: &Args) -> Result<String, CliError> {
     if count == 0 {
         return Err(err("--count must be at least 1"));
     }
-    let arrivals = match (a.get("gap"), a.get("mean-gap")) {
-        (Some(_), Some(_)) => return Err(err("--gap and --mean-gap are mutually exclusive")),
-        (Some(g), None) => Arrivals::Fixed {
-            gap: g
-                .parse()
-                .map_err(|_| err(format!("--gap: cannot parse '{g}'")))?,
-        },
-        (None, Some(m)) => Arrivals::Poisson {
-            mean_gap: m
-                .parse()
-                .map_err(|_| err(format!("--mean-gap: cannot parse '{m}'")))?,
-        },
-        (None, None) => Arrivals::Poisson { mean_gap: 5000.0 },
-    };
+    let arrivals = parse_arrivals(a)?;
     let spec = WorkloadSpec {
         count,
         k,

@@ -8,8 +8,109 @@
 //! `error[NC0001]: …` shape; the whole report serializes to JSON for
 //! machine consumers (`optmc check --json`).
 
+use pcm::Time;
 use serde::{Deserialize, Serialize};
 use topo::{ChannelId, NodeId};
+
+pub mod codes {
+    //! The registry of stable diagnostic codes.
+    //!
+    //! Every [`super::Diagnostic`] must carry a code from this table —
+    //! construction asserts it — so machine consumers can rely on the code
+    //! space being closed and documented.  Codes are grouped by hundreds:
+    //! `NC00xx` deadlock analysis, `NC01xx` routing lints, `NC02xx`
+    //! schedule/schedule-set contention, `NC03xx` runtime validation.
+
+    /// One registered code: its identifier and a one-line meaning.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct CodeInfo {
+        /// The stable identifier (`NC0001`, …).
+        pub code: &'static str,
+        /// What a diagnostic with this code asserts.
+        pub summary: &'static str,
+    }
+
+    /// Every code `netcheck` can emit, sorted by identifier.
+    pub const REGISTRY: &[CodeInfo] = &[
+        CodeInfo {
+            code: "NC0001",
+            summary: "channel dependency cycle: wormhole deadlock is reachable",
+        },
+        CodeInfo {
+            code: "NC0002",
+            summary: "channel dependency graph is acyclic (deadlock-freedom certification)",
+        },
+        CodeInfo {
+            code: "NC0101",
+            summary: "routing failed to reach a destination's consumption channel",
+        },
+        CodeInfo {
+            code: "NC0102",
+            summary: "a deterministic route exceeds the minimal router distance",
+        },
+        CodeInfo {
+            code: "NC0103",
+            summary: "a route violates the architecture's routing discipline",
+        },
+        CodeInfo {
+            code: "NC0104",
+            summary: "routing termination certification (all ordered pairs reached)",
+        },
+        CodeInfo {
+            code: "NC0105",
+            summary: "routing minimality certification",
+        },
+        CodeInfo {
+            code: "NC0106",
+            summary: "routing discipline conformance certification",
+        },
+        CodeInfo {
+            code: "NC0201",
+            summary: "schedule contention: conflicting send pairs share a channel",
+        },
+        CodeInfo {
+            code: "NC0202",
+            summary: "schedule contention-freedom certification",
+        },
+        CodeInfo {
+            code: "NC0203",
+            summary: "differential oracle agreement (static verdict matches the simulator)",
+        },
+        CodeInfo {
+            code: "NC0210",
+            summary: "schedule-set contention-freedom certification",
+        },
+        CodeInfo {
+            code: "NC0211",
+            summary: "schedule-set interference: two multicasts contend for a channel",
+        },
+        CodeInfo {
+            code: "NC0212",
+            summary: "schedule-set members share nodes while temporally overlapping \
+                      (CPU serialization outside the replay model)",
+        },
+        CodeInfo {
+            code: "NC0213",
+            summary: "plan certificate verification (independent re-check of the verdict)",
+        },
+        CodeInfo {
+            code: "NC0301",
+            summary: "a simulator run violated an engine invariant",
+        },
+        CodeInfo {
+            code: "NC0302",
+            summary: "static analysis and the simulator disagree on a verdict",
+        },
+    ];
+
+    /// Look up a code's one-line meaning.
+    pub fn describe(code: &str) -> Option<&'static str> {
+        REGISTRY
+            .binary_search_by(|info| info.code.cmp(code))
+            .ok()
+            .map(|i| REGISTRY[i].summary)
+    }
+}
 
 /// How bad a finding is.  `Info` records a positive certification ("CDG is
 /// acyclic"), not a problem — a clean run is evidence, and evidence should
@@ -50,19 +151,31 @@ pub struct Diagnostic {
     /// Channels the finding spans — e.g. a witness deadlock cycle, or the
     /// contended channel of a conflict (may be empty).
     pub channels: Vec<ChannelId>,
+    /// The cycle window `[from, until)` the finding spans, for timed
+    /// findings (contention overlaps); `None` for untimed ones.
+    pub window: Option<(Time, Time)>,
     /// Optional remediation hint.
     pub help: Option<String>,
 }
 
 impl Diagnostic {
     /// A bare diagnostic; attach spans and help with the builder methods.
+    ///
+    /// # Panics
+    /// If `code` is not in the [`codes::REGISTRY`] — every emitted code
+    /// must be registered and documented.
     pub fn new(severity: Severity, code: &str, message: impl Into<String>) -> Self {
+        assert!(
+            codes::describe(code).is_some(),
+            "diagnostic code {code} is not in the netcheck registry"
+        );
         Diagnostic {
             severity,
             code: code.to_string(),
             message: message.into(),
             nodes: Vec::new(),
             channels: Vec::new(),
+            window: None,
             help: None,
         }
     }
@@ -78,6 +191,13 @@ impl Diagnostic {
     #[must_use]
     pub fn with_channels(mut self, channels: Vec<ChannelId>) -> Self {
         self.channels = channels;
+        self
+    }
+
+    /// Attach the time window `[from, until)` the finding spans.
+    #[must_use]
+    pub fn with_window(mut self, from: Time, until: Time) -> Self {
+        self.window = Some((from, until));
         self
     }
 
@@ -130,6 +250,26 @@ impl Report {
             .count()
     }
 
+    /// Sort the findings into the canonical order — by (code, first
+    /// spanned channel, time window, first spanned node, message) — so two
+    /// reports with the same findings render and serialize byte-identically
+    /// regardless of the order the analyses produced them.  `optmc check`
+    /// normalizes every report before printing.
+    pub fn normalize(&mut self) {
+        self.diagnostics.sort_by(|a, b| {
+            let key = |d: &Diagnostic| {
+                (
+                    d.code.clone(),
+                    d.channels.first().map_or(u32::MAX, |c| c.0),
+                    d.window.unwrap_or((Time::MAX, Time::MAX)),
+                    d.nodes.first().map_or(u32::MAX, |n| n.0),
+                    d.message.clone(),
+                )
+            };
+            key(a).cmp(&key(b))
+        });
+    }
+
     /// Render rustc-style human output, one block per finding plus a
     /// summary line.
     pub fn render_human(&self) -> String {
@@ -145,6 +285,9 @@ impl Report {
             if !d.channels.is_empty() {
                 let chs: Vec<String> = d.channels.iter().map(|c| format!("ch{}", c.0)).collect();
                 let _ = writeln!(out, "  = channels: {}", chs.join(" -> "));
+            }
+            if let Some((from, until)) = d.window {
+                let _ = writeln!(out, "  = window: cycles [{from}, {until})");
             }
             if let Some(h) = &d.help {
                 let _ = writeln!(out, "  = help: {h}");
@@ -224,6 +367,75 @@ mod tests {
             Diagnostic::new(Severity::Info, "NC0002", "CDG acyclic").with_nodes(vec![NodeId(1)]),
         );
         assert!(r.render_human().contains("clean (no findings above info)"));
+    }
+
+    #[test]
+    fn registry_codes_are_unique_and_sorted() {
+        // `describe` binary-searches, so the table must be strictly sorted
+        // (which also proves uniqueness).
+        for pair in codes::REGISTRY.windows(2) {
+            assert!(
+                pair[0].code < pair[1].code,
+                "registry out of order or duplicated at {}",
+                pair[1].code
+            );
+        }
+        for info in codes::REGISTRY {
+            assert_eq!(codes::describe(info.code), Some(info.summary));
+            assert!(!info.summary.is_empty());
+        }
+        assert_eq!(codes::describe("NC9999"), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in the netcheck registry")]
+    fn unregistered_code_is_rejected_at_construction() {
+        let _ = Diagnostic::new(Severity::Error, "NC9999", "no such lint");
+    }
+
+    #[test]
+    fn normalize_orders_by_code_channel_window() {
+        let mut r = Report::new("mesh-4x4");
+        r.push(
+            Diagnostic::new(Severity::Error, "NC0211", "late overlap")
+                .with_channels(vec![ChannelId(9)])
+                .with_window(500, 600),
+        );
+        r.push(Diagnostic::new(Severity::Info, "NC0104", "terminates"));
+        r.push(
+            Diagnostic::new(Severity::Error, "NC0211", "early overlap")
+                .with_channels(vec![ChannelId(9)])
+                .with_window(100, 200),
+        );
+        r.push(
+            Diagnostic::new(Severity::Error, "NC0211", "other channel")
+                .with_channels(vec![ChannelId(2)])
+                .with_window(900, 950),
+        );
+        let mut swapped = Report::new("mesh-4x4");
+        for d in r.diagnostics.iter().rev() {
+            swapped.push(d.clone());
+        }
+        r.normalize();
+        swapped.normalize();
+        assert_eq!(r, swapped, "normalize is not order-insensitive");
+        let codes: Vec<&str> = r.diagnostics.iter().map(|d| d.code.as_str()).collect();
+        assert_eq!(codes, ["NC0104", "NC0211", "NC0211", "NC0211"]);
+        // Within NC0211: channel 2 before channel 9, then by window.
+        assert_eq!(r.diagnostics[1].channels[0], ChannelId(2));
+        assert_eq!(r.diagnostics[2].window, Some((100, 200)));
+        assert_eq!(r.diagnostics[3].window, Some((500, 600)));
+    }
+
+    #[test]
+    fn window_renders_in_human_output() {
+        let mut r = Report::new("mesh-4x4");
+        r.push(
+            Diagnostic::new(Severity::Error, "NC0211", "overlap")
+                .with_channels(vec![ChannelId(3)])
+                .with_window(120, 180),
+        );
+        assert!(r.render_human().contains("= window: cycles [120, 180)"));
     }
 
     #[test]

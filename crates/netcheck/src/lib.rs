@@ -17,25 +17,36 @@
 //!   invariants (exclusive channel holds, acquire/release balance,
 //!   monotonic channel-event time, one-port injection) as a simulation
 //!   executes.
+//! * [`schedset`] — schedule-*set* certification: windowed occupancy
+//!   analysis across several concurrently scheduled multicasts, with
+//!   cross-schedule interference witnesses.
+//! * [`certificate`] — machine-checkable plan certificates (JSON) with an
+//!   independent verifier that re-derives the verdict from the interval
+//!   population alone.
 //! * [`oracle`] — the differential oracle tying both worlds together:
 //!   windowed static contention analysis and the instrumented simulator
-//!   must agree that a schedule is clean.
+//!   must agree that a schedule (or a whole set) is clean.
 //!
 //! The CLI front end is `optmc check`; [`check_topology`] is the
 //! library-level entry point it wraps.
 
 #![forbid(unsafe_code)]
+#![deny(missing_docs)]
 
 pub mod cdg;
+pub mod certificate;
 pub mod diag;
 pub mod oracle;
 pub mod routing;
+pub mod schedset;
 pub mod validate;
 
 pub use cdg::{analyze, CdgAnalysis};
+pub use certificate::{CertError, PlanCertificate};
 pub use diag::{Diagnostic, Report, Severity};
-pub use oracle::{differential_case, OracleCase};
+pub use oracle::{differential_case, differential_set_case, OracleCase, OracleSetCase};
 pub use routing::{lint_routing, Discipline};
+pub use schedset::{analyze_set, report_set, ScheduleSet, SetAnalysis};
 pub use validate::{ValidationSummary, Validator, ValidatorHandle};
 
 use topo::Topology;

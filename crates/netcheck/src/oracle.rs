@@ -19,12 +19,13 @@
 use flitsim::SimConfig;
 use mtree::Schedule;
 use optmc::{
-    check_schedule_windowed, random_placement, run_multicast_observed, Algorithm, OccupancyParams,
-    RunOptions,
+    check_schedule_windowed, random_placement, run_concurrent, run_multicast_observed, Algorithm,
+    OccupancyParams, RunOptions,
 };
 use pcm::MsgSize;
 use topo::Topology;
 
+use crate::schedset::{analyze_set, ScheduleSet};
 use crate::validate::{ValidationSummary, Validator};
 
 /// One differential comparison, with everything needed to reproduce it.
@@ -104,9 +105,80 @@ pub fn differential_case(
     }
 }
 
+/// One schedule-*set* differential comparison.
+#[derive(Debug, Clone)]
+pub struct OracleSetCase {
+    /// Topology name (e.g. `mesh-16x16`).
+    pub topology: String,
+    /// Algorithm under test (Debug form).
+    pub algorithm: String,
+    /// Number of multicasts in the set.
+    pub n_mcasts: usize,
+    /// Window overlaps the set analysis found (intra + cross).
+    pub conflicts: usize,
+    /// Member pairs sharing nodes while concurrently active.
+    pub node_overlaps: usize,
+    /// Whether the prover certified the set clean.
+    pub certified_clean: bool,
+    /// Blocked cycles the joint simulation observed.
+    pub blocked_cycles: u64,
+    /// Whether static verdict and simulator agree (see
+    /// [`differential_set_case`] for the exact contract).
+    pub agree: bool,
+    /// Whether the agreement demanded was the strict biconditional
+    /// (pairwise-independent members) or only the sound direction.
+    pub strict: bool,
+}
+
+/// Run one schedule-set differential case: analyze `set` statically, run
+/// the same specs jointly in the simulator, and compare.
+///
+/// The contract depends on member independence:
+///
+/// * **Pairwise independent** (no concurrently-active node sharing): the
+///   replay is engine-exact, so the check is the strict biconditional —
+///   *certified clean ⇔ zero blocked cycles*.
+/// * **Dependent members**: the set is never certified (`NC0212`), and the
+///   replay may predict spurious conflicts, so only the sound direction is
+///   checked: a certified-clean verdict (impossible here) would demand
+///   zero blocked cycles; otherwise any simulator outcome is consistent.
+///
+/// # Panics
+/// If `cfg.adaptive` is set, or any member's routing fails to materialise.
+pub fn differential_set_case(
+    topo: &dyn Topology,
+    cfg: &SimConfig,
+    set: &ScheduleSet,
+) -> OracleSetCase {
+    let analysis = analyze_set(topo, cfg, set)
+        .expect("deterministic routing materialises every scheduled path");
+    let (_, sim) = run_concurrent(topo, cfg, set.algorithm, &set.specs);
+    let strict = analysis.node_overlaps.is_empty();
+    let certified_clean = analysis.is_clean();
+    let agree = if strict {
+        certified_clean == (sim.blocked_cycles == 0)
+    } else {
+        // Sound direction only; a clean certificate cannot exist here.
+        !certified_clean || sim.blocked_cycles == 0
+    };
+    OracleSetCase {
+        topology: topo.name(),
+        algorithm: format!("{:?}", set.algorithm),
+        n_mcasts: set.specs.len(),
+        conflicts: analysis.conflicts.len(),
+        node_overlaps: analysis.node_overlaps.len(),
+        certified_clean,
+        blocked_cycles: sim.blocked_cycles,
+        agree,
+        strict,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use optmc::McastSpec;
+    use pcm::Time;
     use topo::Mesh;
 
     fn det_cfg() -> SimConfig {
@@ -123,6 +195,104 @@ mod tests {
         assert_eq!(case.conflicts, 0, "{case:?}");
         assert_eq!(case.blocked_cycles, 0);
         assert!(case.validation.ok(), "{:?}", case.validation.violations);
+    }
+
+    /// Node-disjoint groups from one shuffled pool, starts spaced by `gap`.
+    fn disjoint_specs(n: usize, k: usize, count: usize, gap: Time, seed: u64) -> Vec<McastSpec> {
+        let pool = random_placement(n, k * count, seed);
+        pool.chunks(k)
+            .enumerate()
+            .map(|(i, c)| McastSpec {
+                participants: c.to_vec(),
+                src: c[0],
+                bytes: 2048,
+                start: i as Time * gap,
+            })
+            .collect()
+    }
+
+    /// The acceptance bar: certificate-clean schedule sets show zero
+    /// simulator blocked cycles across 24 seeded configurations.
+    #[test]
+    fn certified_clean_sets_never_block_across_24_seeds() {
+        let m = Mesh::new(&[16, 16]);
+        let cfg = det_cfg();
+        let mut certified = 0;
+        for seed in 0..24u64 {
+            let set = ScheduleSet {
+                specs: disjoint_specs(256, 8, 3, 2_000_000, seed),
+                algorithm: Algorithm::OptArch,
+            };
+            let case = differential_set_case(&m, &cfg, &set);
+            assert!(case.strict, "disjoint groups must be independent");
+            assert!(case.agree, "{case:?}");
+            if case.certified_clean {
+                certified += 1;
+                assert_eq!(case.blocked_cycles, 0, "{case:?}");
+            }
+        }
+        assert!(certified >= 20, "only {certified}/24 sets certified clean");
+    }
+
+    /// The refutation direction: simultaneous batches that the analysis
+    /// flags really block, and the strict biconditional holds seed by seed.
+    #[test]
+    fn contended_sets_agree_strictly() {
+        let m = Mesh::new(&[16, 16]);
+        let cfg = det_cfg();
+        let mut contended = 0;
+        for seed in 0..6u64 {
+            let set = ScheduleSet {
+                specs: disjoint_specs(256, 24, 4, 0, seed),
+                algorithm: Algorithm::OptArch,
+            };
+            let case = differential_set_case(&m, &cfg, &set);
+            assert!(case.strict);
+            assert!(case.agree, "{case:?}");
+            if !case.certified_clean {
+                contended += 1;
+                assert!(case.blocked_cycles > 0, "{case:?}");
+            }
+        }
+        assert!(contended > 0, "no simultaneous batch contended");
+    }
+
+    /// Dependent members (shared nodes, simultaneous): never certified,
+    /// and the sound direction of the contract holds.
+    #[test]
+    fn dependent_members_are_never_certified() {
+        let m = Mesh::new(&[16, 16]);
+        let cfg = det_cfg();
+        let a = random_placement(256, 8, 101);
+        let shared = a[1];
+        let mut b: Vec<_> = random_placement(256, 12, 102)
+            .into_iter()
+            .filter(|&n| n != shared)
+            .take(7)
+            .collect();
+        b.push(shared);
+        let set = ScheduleSet {
+            specs: vec![
+                McastSpec {
+                    src: a[0],
+                    participants: a,
+                    bytes: 2048,
+                    start: 0,
+                },
+                McastSpec {
+                    src: b[0],
+                    participants: b,
+                    bytes: 2048,
+                    start: 0,
+                },
+            ],
+            algorithm: Algorithm::OptArch,
+        };
+        let case = differential_set_case(&m, &cfg, &set);
+        assert!(!case.strict);
+        assert!(!case.certified_clean);
+        assert!(case.node_overlaps > 0);
+        assert!(case.agree, "{case:?}");
     }
 
     #[test]

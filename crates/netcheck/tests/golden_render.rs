@@ -1,0 +1,83 @@
+//! Golden-file test for the human diagnostic renderer.
+//!
+//! The rendered text is part of `optmc check`'s interface — scripts grep
+//! it and users read it — so format drift must be deliberate.  To bless a
+//! deliberate change:
+//!
+//! ```text
+//! BLESS=1 cargo test -p netcheck --test golden_render
+//! ```
+
+use netcheck::{Diagnostic, Report, Severity};
+use topo::{ChannelId, NodeId};
+
+const GOLDEN: &str = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden/report.txt");
+
+/// A fixed report exercising every rendering feature: all three
+/// severities, node and channel spans, a time window, help text, and the
+/// footer in both its clean and dirty forms (two reports, one file).
+fn sample_reports() -> (Report, Report) {
+    let mut dirty = Report::new("opt-min x3 on mesh-16x16 (sample)");
+    dirty.push(Diagnostic::new(
+        Severity::Info,
+        "NC0002",
+        "channel dependency graph is acyclic (1472 channels): wormhole routing cannot deadlock",
+    ));
+    dirty.push(
+        Diagnostic::new(
+            Severity::Error,
+            "NC0211",
+            "multicast #0 send 2 and multicast #1 send 5 contend for channel ch571 \
+             during cycles 3737..3986",
+        )
+        .with_nodes(vec![NodeId(12), NodeId(49)])
+        .with_channels(vec![ChannelId(571)])
+        .with_window(3737, 3986)
+        .with_help(
+            "stagger the start offsets or re-place the participant groups so the trees \
+             use disjoint channels",
+        ),
+    );
+    dirty.push(
+        Diagnostic::new(
+            Severity::Warning,
+            "NC0105",
+            "a deterministic route is non-minimal (sample warning)",
+        )
+        .with_nodes(vec![NodeId(3)]),
+    );
+    dirty.normalize();
+
+    let mut clean = Report::new("mesh-4x4 (sample)");
+    clean.push(Diagnostic::new(
+        Severity::Info,
+        "NC0210",
+        "schedule set certified contention-free: 3 multicasts, 42 channel windows, \
+         no overlaps, members pairwise independent",
+    ));
+    clean.normalize();
+    (dirty, clean)
+}
+
+#[test]
+fn human_rendering_matches_the_golden_file() {
+    let (dirty, clean) = sample_reports();
+    let rendered = format!("{}---\n{}", dirty.render_human(), clean.render_human());
+    if std::env::var_os("BLESS").is_some() {
+        std::fs::write(GOLDEN, &rendered).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(GOLDEN).expect("golden file exists (run with BLESS=1)");
+    assert_eq!(
+        rendered, golden,
+        "human renderer output drifted from tests/golden/report.txt; \
+         if the change is deliberate, re-bless with BLESS=1"
+    );
+}
+
+#[test]
+fn golden_report_is_deterministic_across_renders() {
+    let (dirty, _) = sample_reports();
+    assert_eq!(dirty.render_human(), dirty.render_human());
+    assert_eq!(dirty.to_json(), dirty.to_json());
+}

@@ -219,7 +219,17 @@ pub fn check_schedule_windowed(
     schedule: &Schedule,
     params: &OccupancyParams,
 ) -> Result<Vec<WindowConflict>, RoutingError> {
-    let windows = occupancy_windows(topo, chain, schedule, params)?;
+    Ok(scan_windows(&occupancy_windows(
+        topo, chain, schedule, params,
+    )?))
+}
+
+/// The pure scan underneath [`check_schedule_windowed`]: find every pair of
+/// windows from *different* sends that intersect on a shared channel.
+/// Windows are half-open `[acquire, release)`, so touching windows (one
+/// releases exactly when the other acquires) and zero-length windows never
+/// conflict.  Conflicts come back sorted by (overlap start, send pair).
+pub fn scan_windows(windows: &[ChannelWindow]) -> Vec<WindowConflict> {
     // Group windows per channel, then scan each group pairwise (groups are
     // tiny: a channel is shared by at most a handful of sends).
     let mut by_channel: Vec<(ChannelId, ChannelWindow)> =
@@ -255,7 +265,7 @@ pub fn check_schedule_windowed(
         lo = hi;
     }
     conflicts.sort_by_key(|c| (c.from, c.send_a, c.send_b));
-    Ok(conflicts)
+    conflicts
 }
 
 #[cfg(test)]
@@ -412,6 +422,73 @@ mod tests {
                 assert!(w.acquire < w.release, "empty window {w:?}");
                 assert!(path.contains(&w.channel));
             }
+        }
+    }
+
+    /// Boundary semantics of the half-open `[acquire, release)` windows,
+    /// pinned on synthetic populations fed straight to [`scan_windows`].
+    mod scan_boundaries {
+        use super::*;
+
+        fn w(send: usize, channel: u32, acquire: Time, release: Time) -> ChannelWindow {
+            ChannelWindow {
+                send,
+                channel: ChannelId(channel),
+                acquire,
+                release,
+            }
+        }
+
+        #[test]
+        fn touching_windows_do_not_conflict() {
+            // One releases exactly when the other acquires: a clean handoff.
+            assert!(scan_windows(&[w(0, 7, 100, 200), w(1, 7, 200, 300)]).is_empty());
+        }
+
+        #[test]
+        fn one_cycle_overlap_conflicts() {
+            let c = scan_windows(&[w(0, 7, 100, 201), w(1, 7, 200, 300)]);
+            assert_eq!(c.len(), 1);
+            assert_eq!((c[0].from, c[0].until), (200, 201));
+        }
+
+        #[test]
+        fn zero_length_windows_overlap_nothing() {
+            // A degenerate `[t, t)` window holds the channel for no cycle.
+            assert!(scan_windows(&[w(0, 7, 150, 150), w(1, 7, 100, 200)]).is_empty());
+            assert!(scan_windows(&[w(0, 7, 150, 150), w(1, 7, 150, 150)]).is_empty());
+        }
+
+        #[test]
+        fn identical_starts_conflict_with_canonical_pair_order() {
+            let c = scan_windows(&[w(1, 7, 100, 250), w(0, 7, 100, 200)]);
+            assert_eq!(c.len(), 1);
+            // The tie on acquire breaks by send index, so send 0 is `send_a`.
+            assert_eq!((c[0].send_a, c[0].send_b), (0, 1));
+            assert_eq!((c[0].from, c[0].until), (100, 200));
+        }
+
+        #[test]
+        fn different_channels_never_conflict() {
+            assert!(scan_windows(&[w(0, 7, 100, 200), w(1, 8, 100, 200)]).is_empty());
+        }
+
+        #[test]
+        fn same_send_revisiting_a_channel_is_skipped() {
+            assert!(scan_windows(&[w(0, 7, 100, 200), w(0, 7, 150, 250)]).is_empty());
+        }
+
+        #[test]
+        fn conflicts_come_back_in_overlap_time_order() {
+            let c = scan_windows(&[
+                w(0, 9, 500, 600),
+                w(1, 9, 550, 650),
+                w(2, 3, 0, 100),
+                w(3, 3, 50, 150),
+            ]);
+            assert_eq!(c.len(), 2);
+            assert!(c[0].from <= c[1].from);
+            assert_eq!(c[0].channel, ChannelId(3));
         }
     }
 }

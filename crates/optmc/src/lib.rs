@@ -65,8 +65,8 @@ pub mod temporal;
 pub use algorithm::Algorithm;
 pub use concurrent::{run_concurrent, McastSpec};
 pub use contention::{
-    check_schedule, check_schedule_windowed, occupancy_windows, ChannelWindow, Conflict,
-    ContentionMode, OccupancyParams, WindowConflict,
+    check_schedule, check_schedule_windowed, occupancy_windows, scan_windows, ChannelWindow,
+    Conflict, ContentionMode, OccupancyParams, WindowConflict,
 };
 pub use experiments::{
     placement_stream, random_placement, run_trials_detailed, splitmix64, trial_seed, TrialOutcome,

@@ -24,6 +24,13 @@
 
 #![forbid(unsafe_code)]
 
+// Under `--cfg loom` the metric cells run on the model checker's
+// instrumented atomics so the `verify` stage of scripts/check.sh can
+// explore interleavings of the registry; the shim's atomics stay
+// `const`-constructible, so the `counter!`/`gauge!` statics are unaffected.
+#[cfg(loom)]
+use loom::sync::atomic::{AtomicU64, Ordering};
+#[cfg(not(loom))]
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use pcm::Time;

@@ -1,0 +1,42 @@
+//! # `loom` (offline shim) — bounded-preemption concurrency model checking
+//!
+//! The real [loom](https://docs.rs/loom) exhaustively enumerates the
+//! interleavings of a test body under C11 semantics.  This workspace builds
+//! fully offline, so this shim provides the same *surface* — `loom::model`,
+//! `loom::thread`, `loom::sync::atomic`, `loom::sync::Mutex` — over a
+//! different engine: every execution is fully serialized (exactly one
+//! model thread runs at a time), every instrumented operation is a
+//! schedule point, and the checker explores many seeded schedules with a
+//! bounded number of forced preemptions per execution (the PCT strategy of
+//! Burckhardt et al., *A Randomized Scheduler with Probabilistic
+//! Guarantees of Finding Bugs*).
+//!
+//! Fidelity notes, honestly stated:
+//!
+//! * **Coverage is probabilistic, not exhaustive.**  A failing schedule is
+//!   a real counterexample (executions are sequentially consistent
+//!   interleavings of the instrumented operations, which every hardware
+//!   memory model admits); a passing run is strong evidence, not proof.
+//! * **Weak-memory reorderings are not modeled.**  `Relaxed` and `SeqCst`
+//!   explore the same schedules.  For the invariants this workspace checks
+//!   (atomic counter totals, lock-protected state machines) interleaving
+//!   bugs — lost updates, broken protocol invariants, deadlocks — are the
+//!   failure class that matters, and those are interleaving-visible.
+//! * **Determinism.**  The schedule stream is seeded (`LOOM_SEED`), so a
+//!   failure reproduces by rerunning with the printed seed.
+//!
+//! Knobs (environment variables, read once per [`model`] call):
+//!
+//! * `LOOM_MAX_ITER` — schedules to explore per model (default 96; the
+//!   first is always the preemption-free baseline).
+//! * `LOOM_MAX_PREEMPTIONS` — forced preemptions per schedule (default 3).
+//! * `LOOM_SEED` — base seed for the schedule stream (default
+//!   `0x6c6f6f6d`).
+
+#![forbid(unsafe_code)]
+
+pub(crate) mod sched;
+pub mod sync;
+pub mod thread;
+
+pub use sched::model;

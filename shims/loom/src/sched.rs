@@ -1,0 +1,334 @@
+//! The serialized schedule explorer behind [`model`].
+//!
+//! One execution = one seeded schedule.  All model threads are real OS
+//! threads, but a scheduler mutex admits exactly one at a time; the others
+//! park on a condvar.  Each instrumented operation (atomic access, mutex
+//! acquire/release, `yield_now`) is a *schedule point*: the running thread
+//! bumps an operation counter and, if the counter hits one of the
+//! execution's pre-drawn preemption points, control is handed to a
+//! uniformly chosen runnable peer.  Blocking operations (mutex contention,
+//! `join`) always hand control away and are not charged against the
+//! preemption budget.
+
+use std::cell::RefCell;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// SplitMix64 — the workspace's stock deterministic generator.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Status {
+    /// Eligible to be scheduled.
+    Ready,
+    /// Waiting for the thread with the given id to finish.
+    JoinWait(usize),
+    /// Ran to completion (or unwound).
+    Finished,
+}
+
+struct State {
+    status: Vec<Status>,
+    /// Index of the one thread allowed to run; meaningless under free-run.
+    active: usize,
+    /// Set on panic or suspected deadlock: serialization is abandoned and
+    /// every thread runs to completion unsupervised so the process can
+    /// surface the failure instead of hanging.
+    free_run: bool,
+    rng: u64,
+    /// Schedule points consumed so far this execution.
+    ops: u64,
+    /// Remaining preemption points (ascending operation indices).
+    preempt_at: Vec<u64>,
+    next_preempt: usize,
+    /// First panic payload observed in any model thread.
+    panic_payload: Option<Box<dyn std::any::Any + Send>>,
+}
+
+pub(crate) struct Scheduler {
+    state: Mutex<State>,
+    cv: Condvar,
+}
+
+impl Scheduler {
+    fn new(seed: u64, preemptions: u64, horizon: u64) -> Self {
+        let mut rng = seed;
+        let mut preempt_at: Vec<u64> = (0..preemptions)
+            .map(|_| 1 + splitmix(&mut rng) % horizon.max(1))
+            .collect();
+        preempt_at.sort_unstable();
+        preempt_at.dedup();
+        Scheduler {
+            state: Mutex::new(State {
+                status: Vec::new(),
+                active: 0,
+                free_run: false,
+                rng,
+                ops: 0,
+                preempt_at,
+                next_preempt: 0,
+                panic_payload: None,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, State> {
+        // The state mutex is only ever poisoned if our own code panicked
+        // while holding it; recover so sibling threads can still drain.
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Register a new model thread; returns its id.
+    pub(crate) fn register(&self) -> usize {
+        let mut st = self.lock();
+        st.status.push(Status::Ready);
+        st.status.len() - 1
+    }
+
+    /// Runnable peers of `me` (promoting satisfied join-waiters).
+    fn candidates(st: &State, me: usize) -> Vec<usize> {
+        st.status
+            .iter()
+            .enumerate()
+            .filter(|&(id, s)| {
+                id != me
+                    && match *s {
+                        Status::Ready => true,
+                        Status::JoinWait(t) => st.status[t] == Status::Finished,
+                        Status::Finished => false,
+                    }
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    fn hand_to(&self, st: &mut State, next: usize) {
+        if let Status::JoinWait(_) = st.status[next] {
+            st.status[next] = Status::Ready;
+        }
+        st.active = next;
+        self.cv.notify_all();
+    }
+
+    fn park_until_active<'a>(
+        &'a self,
+        mut st: MutexGuard<'a, State>,
+        me: usize,
+    ) -> MutexGuard<'a, State> {
+        while !st.free_run && st.active != me {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+        st
+    }
+
+    /// An unforced schedule point: switch only when this operation index
+    /// was pre-drawn as a preemption point.
+    pub(crate) fn checkpoint(&self, me: usize) {
+        let mut st = self.lock();
+        if st.free_run {
+            return;
+        }
+        st.ops += 1;
+        let due = st.next_preempt < st.preempt_at.len() && st.preempt_at[st.next_preempt] <= st.ops;
+        if !due {
+            return;
+        }
+        st.next_preempt += 1;
+        let cands = Self::candidates(&st, me);
+        if cands.is_empty() {
+            return;
+        }
+        let pick = cands[(splitmix(&mut st.rng) % cands.len() as u64) as usize];
+        self.hand_to(&mut st, pick);
+        drop(self.park_until_active(st, me));
+    }
+
+    /// A forced schedule point: `me` cannot progress until some peer runs
+    /// (contended mutex).  Not charged to the preemption budget.
+    pub(crate) fn blocked(&self, me: usize, why: &str) {
+        let mut st = self.lock();
+        if st.free_run {
+            drop(st);
+            std::thread::yield_now();
+            return;
+        }
+        st.ops += 1;
+        let cands = Self::candidates(&st, me);
+        if cands.is_empty() {
+            st.free_run = true;
+            self.cv.notify_all();
+            drop(st);
+            panic!("loom shim: deadlock suspected ({why}): no runnable peer thread");
+        }
+        let pick = cands[(splitmix(&mut st.rng) % cands.len() as u64) as usize];
+        self.hand_to(&mut st, pick);
+        drop(self.park_until_active(st, me));
+    }
+
+    /// Park `me` until thread `target` finishes.
+    pub(crate) fn join_wait(&self, me: usize, target: usize) {
+        let mut st = self.lock();
+        if st.free_run || st.status[target] == Status::Finished {
+            return;
+        }
+        st.status[me] = Status::JoinWait(target);
+        let cands = Self::candidates(&st, me);
+        if cands.is_empty() {
+            st.free_run = true;
+            self.cv.notify_all();
+            drop(st);
+            panic!("loom shim: deadlock suspected (join): no runnable peer thread");
+        }
+        let pick = cands[(splitmix(&mut st.rng) % cands.len() as u64) as usize];
+        self.hand_to(&mut st, pick);
+        let mut st = self.park_until_active(st, me);
+        if !st.free_run {
+            st.status[me] = Status::Ready;
+        }
+    }
+
+    /// Mark `me` finished and hand control to a runnable peer, if any.
+    pub(crate) fn finish(&self, me: usize) {
+        let mut st = self.lock();
+        st.status[me] = Status::Finished;
+        if !st.free_run {
+            let cands = Self::candidates(&st, me);
+            if !cands.is_empty() {
+                let pick = cands[(splitmix(&mut st.rng) % cands.len() as u64) as usize];
+                self.hand_to(&mut st, pick);
+                return;
+            }
+            if !st.status.iter().all(|&s| s == Status::Finished) {
+                // Peers exist but none can run: unsupervise them so the
+                // failure surfaces as a panic rather than a hang.
+                st.free_run = true;
+                if st.panic_payload.is_none() {
+                    st.panic_payload = Some(Box::new(
+                        "loom shim: threads left unrunnable at finish".to_string(),
+                    ));
+                }
+            }
+        }
+        self.cv.notify_all();
+    }
+
+    /// A freshly spawned thread parks here until first scheduled.
+    pub(crate) fn wait_first_turn(&self, me: usize) {
+        drop(self.park_until_active(self.lock(), me));
+    }
+
+    /// Record the first panic and release every thread from serialization.
+    pub(crate) fn record_panic(&self, payload: Box<dyn std::any::Any + Send>) {
+        let mut st = self.lock();
+        if st.panic_payload.is_none() {
+            st.panic_payload = Some(payload);
+        }
+        st.free_run = true;
+        self.cv.notify_all();
+    }
+
+    fn wait_all_finished(&self) {
+        let mut st = self.lock();
+        while !st.status.iter().all(|&s| s == Status::Finished) {
+            st = self
+                .cv
+                .wait(st)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Thread-local model context.
+
+thread_local! {
+    static CTX: RefCell<Option<(Arc<Scheduler>, usize)>> = const { RefCell::new(None) };
+}
+
+pub(crate) fn set_ctx(sched: Arc<Scheduler>, id: usize) {
+    CTX.with(|c| *c.borrow_mut() = Some((sched, id)));
+}
+
+/// The calling thread's scheduler handle, if it is a model thread.
+pub(crate) fn current() -> Option<(Arc<Scheduler>, usize)> {
+    CTX.with(|c| c.borrow().clone())
+}
+
+/// Unforced schedule point; no-op outside a model execution.
+pub(crate) fn checkpoint() {
+    if let Some((sched, id)) = current() {
+        sched.checkpoint(id);
+    }
+}
+
+/// Forced schedule point; cooperative yield outside a model execution.
+pub(crate) fn blocked(why: &str) {
+    match current() {
+        Some((sched, id)) => sched.blocked(id, why),
+        None => std::thread::yield_now(),
+    }
+}
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Explore schedules of `f` (see the crate docs for the knobs).  Panics —
+/// failed assertions inside `f`, or a suspected deadlock — abort the
+/// exploration and re-surface on the calling thread, with the failing
+/// seed printed for reproduction.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let iters = env_u64("LOOM_MAX_ITER", 96).max(1);
+    let preemptions = env_u64("LOOM_MAX_PREEMPTIONS", 3);
+    let base_seed = env_u64("LOOM_SEED", 0x6c6f_6f6d);
+    let f = Arc::new(f);
+    // PCT wants the execution length; use the previous execution's
+    // operation count as the horizon for drawing preemption points.
+    let mut horizon = 64u64;
+    for iter in 0..iters {
+        let seed = base_seed.wrapping_add(iter);
+        let budget = if iter == 0 { 0 } else { preemptions };
+        let sched = Arc::new(Scheduler::new(seed, budget, horizon));
+        let root = sched.register();
+        debug_assert_eq!(root, 0);
+        let (s2, f2) = (Arc::clone(&sched), Arc::clone(&f));
+        let handle = std::thread::spawn(move || {
+            set_ctx(Arc::clone(&s2), root);
+            s2.wait_first_turn(root);
+            if let Err(p) = catch_unwind(AssertUnwindSafe(|| f2())) {
+                s2.record_panic(p);
+            }
+            s2.finish(root);
+        });
+        sched.wait_all_finished();
+        let _ = handle.join();
+        let mut st = sched.lock();
+        horizon = st.ops.max(1);
+        if let Some(payload) = st.panic_payload.take() {
+            drop(st);
+            eprintln!(
+                "loom (shim): schedule {iter} of {iters} failed \
+                 (reproduce with LOOM_SEED={base_seed} LOOM_MAX_PREEMPTIONS={preemptions})"
+            );
+            resume_unwind(payload);
+        }
+    }
+}

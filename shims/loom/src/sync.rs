@@ -1,0 +1,226 @@
+//! Instrumented synchronization primitives: every operation is a schedule
+//! point for the explorer in [`crate::sched`].
+//!
+//! The atomic wrappers stay `const`-constructible (unlike real loom's), so
+//! `static` metric cells declared through `telem`'s macros keep compiling
+//! under `--cfg loom` — the shim instruments the *operations*, not the
+//! storage.
+
+use std::sync::TryLockError;
+
+pub use std::sync::Arc;
+
+pub mod atomic {
+    //! Schedule-point-instrumented atomics (sequentially consistent
+    //! interleaving model; orderings are accepted and passed through).
+
+    pub use std::sync::atomic::Ordering;
+
+    macro_rules! atomic_int {
+        ($(#[$doc:meta])* $name:ident, $std:ty, $prim:ty) => {
+            $(#[$doc])*
+            #[derive(Debug, Default)]
+            pub struct $name(pub(crate) $std);
+
+            impl $name {
+                /// A new cell holding `v`.
+                pub const fn new(v: $prim) -> Self {
+                    Self(<$std>::new(v))
+                }
+
+                /// Instrumented load.
+                pub fn load(&self, order: Ordering) -> $prim {
+                    crate::sched::checkpoint();
+                    self.0.load(order)
+                }
+
+                /// Instrumented store.
+                pub fn store(&self, v: $prim, order: Ordering) {
+                    crate::sched::checkpoint();
+                    self.0.store(v, order);
+                }
+
+                /// Instrumented swap.
+                pub fn swap(&self, v: $prim, order: Ordering) -> $prim {
+                    crate::sched::checkpoint();
+                    self.0.swap(v, order)
+                }
+
+                /// Instrumented atomic add, returning the prior value.
+                pub fn fetch_add(&self, v: $prim, order: Ordering) -> $prim {
+                    crate::sched::checkpoint();
+                    self.0.fetch_add(v, order)
+                }
+
+                /// Instrumented atomic subtract, returning the prior value.
+                pub fn fetch_sub(&self, v: $prim, order: Ordering) -> $prim {
+                    crate::sched::checkpoint();
+                    self.0.fetch_sub(v, order)
+                }
+
+                /// Instrumented atomic max, returning the prior value.
+                pub fn fetch_max(&self, v: $prim, order: Ordering) -> $prim {
+                    crate::sched::checkpoint();
+                    self.0.fetch_max(v, order)
+                }
+
+                /// Instrumented compare-exchange.
+                pub fn compare_exchange(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    crate::sched::checkpoint();
+                    self.0.compare_exchange(current, new, success, failure)
+                }
+
+                /// Instrumented weak compare-exchange (never spuriously
+                /// fails in this shim).
+                pub fn compare_exchange_weak(
+                    &self,
+                    current: $prim,
+                    new: $prim,
+                    success: Ordering,
+                    failure: Ordering,
+                ) -> Result<$prim, $prim> {
+                    self.compare_exchange(current, new, success, failure)
+                }
+            }
+        };
+    }
+
+    atomic_int!(
+        /// Instrumented [`std::sync::atomic::AtomicU64`].
+        AtomicU64,
+        std::sync::atomic::AtomicU64,
+        u64
+    );
+    atomic_int!(
+        /// Instrumented [`std::sync::atomic::AtomicU32`].
+        AtomicU32,
+        std::sync::atomic::AtomicU32,
+        u32
+    );
+    atomic_int!(
+        /// Instrumented [`std::sync::atomic::AtomicUsize`].
+        AtomicUsize,
+        std::sync::atomic::AtomicUsize,
+        usize
+    );
+
+    /// Instrumented [`std::sync::atomic::AtomicBool`].
+    #[derive(Debug, Default)]
+    pub struct AtomicBool(std::sync::atomic::AtomicBool);
+
+    impl AtomicBool {
+        /// A new cell holding `v`.
+        pub const fn new(v: bool) -> Self {
+            Self(std::sync::atomic::AtomicBool::new(v))
+        }
+
+        /// Instrumented load.
+        pub fn load(&self, order: Ordering) -> bool {
+            crate::sched::checkpoint();
+            self.0.load(order)
+        }
+
+        /// Instrumented store.
+        pub fn store(&self, v: bool, order: Ordering) {
+            crate::sched::checkpoint();
+            self.0.store(v, order);
+        }
+
+        /// Instrumented swap.
+        pub fn swap(&self, v: bool, order: Ordering) -> bool {
+            crate::sched::checkpoint();
+            self.0.swap(v, order)
+        }
+
+        /// Instrumented compare-exchange.
+        pub fn compare_exchange(
+            &self,
+            current: bool,
+            new: bool,
+            success: Ordering,
+            failure: Ordering,
+        ) -> Result<bool, bool> {
+            crate::sched::checkpoint();
+            self.0.compare_exchange(current, new, success, failure)
+        }
+    }
+}
+
+/// An instrumented mutex: acquisition and release are schedule points, and
+/// contention hands control to a peer instead of blocking the OS thread
+/// (the scheduler runs one thread at a time, so a real block would hang).
+///
+/// Poisoning is transparently swallowed — a panicking model execution is
+/// aborted wholesale by the explorer, so poison carries no extra signal.
+#[derive(Debug, Default)]
+pub struct Mutex<T>(std::sync::Mutex<T>);
+
+/// RAII guard for [`Mutex`]; release is a schedule point.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T>(Option<std::sync::MutexGuard<'a, T>>);
+
+impl<T> Mutex<T> {
+    /// A new mutex holding `t`.
+    pub const fn new(t: T) -> Self {
+        Self(std::sync::Mutex::new(t))
+    }
+
+    /// Acquire the lock, handing control to peers while contended.
+    /// Mirrors `std`'s signature; the result is always `Ok`.
+    pub fn lock(&self) -> Result<MutexGuard<'_, T>, std::convert::Infallible> {
+        crate::sched::checkpoint();
+        let mut spins = 0u32;
+        loop {
+            match self.0.try_lock() {
+                Ok(g) => return Ok(MutexGuard(Some(g))),
+                Err(TryLockError::Poisoned(p)) => return Ok(MutexGuard(Some(p.into_inner()))),
+                Err(TryLockError::WouldBlock) => {
+                    // Each retry hands control to a peer, so a holder gets
+                    // to release within a handful of handoffs; thousands of
+                    // fruitless handoffs mean a cyclic wait (the peers are
+                    // themselves spinning on locks this thread holds).
+                    spins += 1;
+                    assert!(spins < 5_000, "loom shim: deadlock suspected (mutex cycle)");
+                    crate::sched::blocked("mutex");
+                }
+            }
+        }
+    }
+
+    /// Consume the mutex, returning its value.
+    pub fn into_inner(self) -> Result<T, std::convert::Infallible> {
+        Ok(self
+            .0
+            .into_inner()
+            .unwrap_or_else(std::sync::PoisonError::into_inner))
+    }
+}
+
+impl<T> std::ops::Deref for MutexGuard<'_, T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        self.0.as_deref().expect("guard live until drop")
+    }
+}
+
+impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_deref_mut().expect("guard live until drop")
+    }
+}
+
+impl<T> Drop for MutexGuard<'_, T> {
+    fn drop(&mut self) {
+        // Release first, then mark the schedule point so a peer can win
+        // the lock before this thread's next operation.
+        self.0.take();
+        crate::sched::checkpoint();
+    }
+}

@@ -1,0 +1,84 @@
+//! Model-aware thread spawning.  Inside [`crate::model`], spawned threads
+//! register with the schedule explorer and park until scheduled; outside a
+//! model execution everything degrades to plain `std::thread`.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use crate::sched::{self, Scheduler};
+
+/// Handle to a model thread; mirrors [`std::thread::JoinHandle`].
+pub struct JoinHandle<T> {
+    inner: std::thread::JoinHandle<Option<T>>,
+    id: usize,
+    sched: Option<Arc<Scheduler>>,
+}
+
+impl<T> JoinHandle<T> {
+    /// Wait for the thread to finish, returning its result.  A panicking
+    /// thread yields `Err` with an opaque payload, as in `std`.
+    pub fn join(self) -> std::thread::Result<T> {
+        if let Some(sched) = &self.sched {
+            if let Some((cur, me)) = sched::current() {
+                debug_assert!(Arc::ptr_eq(&cur, sched));
+                drop(cur);
+                sched.join_wait(me, self.id);
+            }
+        }
+        match self.inner.join() {
+            Ok(Some(v)) => Ok(v),
+            Ok(None) => Err(Box::new("loom shim: model thread panicked".to_string())),
+            Err(e) => Err(e),
+        }
+    }
+}
+
+/// Spawn a thread.  Inside a model execution the child becomes a model
+/// thread: it parks until first scheduled and every instrumented operation
+/// it performs is a schedule point.
+pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+where
+    F: FnOnce() -> T + Send + 'static,
+    T: Send + 'static,
+{
+    match sched::current() {
+        None => {
+            let inner = std::thread::spawn(move || Some(f()));
+            JoinHandle {
+                inner,
+                id: usize::MAX,
+                sched: None,
+            }
+        }
+        Some((sched, _me)) => {
+            let id = sched.register();
+            let s2 = Arc::clone(&sched);
+            let inner = std::thread::spawn(move || {
+                sched::set_ctx(Arc::clone(&s2), id);
+                s2.wait_first_turn(id);
+                let out = match catch_unwind(AssertUnwindSafe(f)) {
+                    Ok(v) => Some(v),
+                    Err(p) => {
+                        s2.record_panic(p);
+                        None
+                    }
+                };
+                s2.finish(id);
+                out
+            });
+            JoinHandle {
+                inner,
+                id,
+                sched: Some(sched),
+            }
+        }
+    }
+}
+
+/// Unforced schedule point; cooperative yield outside a model execution.
+pub fn yield_now() {
+    match sched::current() {
+        Some((sched, id)) => sched.checkpoint(id),
+        None => std::thread::yield_now(),
+    }
+}
