@@ -1,0 +1,154 @@
+//! Content-addressed key composition.
+//!
+//! Campaign cells, resume bookkeeping, and the planning service's plan
+//! cache all address work by a *content key*: a string derived from the
+//! parameters of the work and nothing else.  Two pieces of work are
+//! interchangeable exactly when their keys are equal, so the composition
+//! must be **injective**: distinct field sequences must never collide.
+//!
+//! [`compose`] joins fields with [`DELIMITER`], escaping any delimiter or
+//! escape character inside a field, which makes it injective over
+//! non-empty field sequences; [`decompose`] is its inverse.  The escaping
+//! is a no-op for every field the repo emits today (topology specs,
+//! algorithm ids, and `k8`-style tagged numbers contain neither `|` nor
+//! `\`), so existing shard stores keyed by [`crate::Cell::key`] remain
+//! readable byte-for-byte.
+//!
+//! [`fingerprint`] maps a key to a stable 64-bit FNV-1a hash for compact
+//! display (log lines, progress output).  It is *not* injective — use the
+//! full key wherever identity matters.
+
+/// Separator between composed fields.
+pub const DELIMITER: char = '|';
+
+/// Escape prefix used inside fields that contain [`DELIMITER`] or `\`.
+pub const ESCAPE: char = '\\';
+
+/// Escape one field so it can be embedded between [`DELIMITER`]s without
+/// ambiguity.  Fields free of `|` and `\` are returned unchanged.
+#[must_use]
+pub fn escape_field(field: &str) -> String {
+    let mut out = String::with_capacity(field.len());
+    for c in field.chars() {
+        if c == DELIMITER || c == ESCAPE {
+            out.push(ESCAPE);
+        }
+        out.push(c);
+    }
+    out
+}
+
+/// Compose fields into a content key.
+///
+/// Injective over non-empty field sequences: `compose(a) == compose(b)`
+/// implies `a == b` whenever both sequences have at least one field
+/// (`compose([])` and `compose([""])` both yield the empty string).
+pub fn compose<I, S>(fields: I) -> String
+where
+    I: IntoIterator<Item = S>,
+    S: AsRef<str>,
+{
+    let mut out = String::new();
+    for (i, f) in fields.into_iter().enumerate() {
+        if i > 0 {
+            out.push(DELIMITER);
+        }
+        out.push_str(&escape_field(f.as_ref()));
+    }
+    out
+}
+
+/// Split a composed key back into its fields (the inverse of [`compose`]
+/// for non-empty field sequences).
+#[must_use]
+pub fn decompose(key: &str) -> Vec<String> {
+    let mut fields = vec![String::new()];
+    let mut chars = key.chars();
+    while let Some(c) = chars.next() {
+        if c == ESCAPE {
+            if let Some(next) = chars.next() {
+                fields.last_mut().expect("non-empty").push(next);
+            }
+        } else if c == DELIMITER {
+            fields.push(String::new());
+        } else {
+            fields.last_mut().expect("non-empty").push(c);
+        }
+    }
+    fields
+}
+
+/// A stable 64-bit FNV-1a fingerprint of a key, for compact display.
+///
+/// The constants are fixed by the FNV specification; the value of a given
+/// key never changes across releases.
+#[must_use]
+pub fn fingerprint(key: &str) -> u64 {
+    const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = FNV_OFFSET;
+    for b in key.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_fields_compose_verbatim() {
+        assert_eq!(
+            compose(["mesh:8x8", "u-arch", "k8", "b512", "t2", "s1997"]),
+            "mesh:8x8|u-arch|k8|b512|t2|s1997"
+        );
+    }
+
+    #[test]
+    fn decompose_inverts_compose() {
+        let cases: Vec<Vec<&str>> = vec![
+            vec!["mesh:8x8", "u-arch", "k8"],
+            vec!["a|b", "c"],
+            vec!["a", "b|c"],
+            vec!["tricky\\", "|", ""],
+            vec!["", "", ""],
+            vec!["\\|\\"],
+        ];
+        for fields in cases {
+            let key = compose(fields.iter());
+            assert_eq!(decompose(&key), fields, "round-trip of {fields:?}");
+        }
+    }
+
+    #[test]
+    fn escaping_keeps_compose_injective() {
+        // The classic collision without escaping: ["a|b","c"] vs ["a","b|c"].
+        let pairs = [
+            (vec!["a|b", "c"], vec!["a", "b|c"]),
+            (vec!["a\\", "b"], vec!["a", "\\b"]),
+            (vec!["a\\|b"], vec!["a|b"]),
+            (vec!["x", "", "y"], vec!["x", "y"]),
+        ];
+        for (a, b) in pairs {
+            assert_ne!(
+                compose(a.iter()),
+                compose(b.iter()),
+                "{a:?} and {b:?} must not collide"
+            );
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_pinned() {
+        // FNV-1a test vectors; these values must never change across
+        // releases (shard stores and logs may record them).
+        assert_eq!(fingerprint(""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fingerprint("a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(
+            fingerprint("mesh:8x8|u-arch|k8|b512|t2|s1997"),
+            fingerprint("mesh:8x8|u-arch|k8|b512|t2|s1997")
+        );
+    }
+}

@@ -37,6 +37,7 @@
 pub mod aggregate;
 pub mod figure;
 pub mod heartbeat;
+pub mod key;
 pub mod pool;
 pub mod spec;
 pub mod store;

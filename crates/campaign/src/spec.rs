@@ -236,19 +236,19 @@ pub struct Cell {
 }
 
 impl Cell {
-    /// The content-addressed cell key: injective over the grid (none of
-    /// the components may contain `|`, and the numeric fields are
-    /// delimited), identical across campaigns and enumeration orders.
+    /// The content-addressed cell key: injective over the grid via
+    /// [`crate::key::compose`] (numeric fields are tagged so they cannot
+    /// shadow each other), identical across campaigns and enumeration
+    /// orders, and byte-stable across releases.
     pub fn key(&self) -> String {
-        format!(
-            "{}|{}|k{}|b{}|t{}|s{}",
-            self.topo,
-            self.algorithm.id(),
-            self.k,
-            self.bytes,
-            self.trials,
-            self.seed
-        )
+        crate::key::compose([
+            self.topo.clone(),
+            self.algorithm.id().to_string(),
+            format!("k{}", self.k),
+            format!("b{}", self.bytes),
+            format!("t{}", self.trials),
+            format!("s{}", self.seed),
+        ])
     }
 }
 

@@ -35,6 +35,8 @@ pub fn dispatch(a: &Args) -> Result<String, CliError> {
         "growth" => cmd_growth(a),
         "sweep" => crate::sweep::cmd_sweep(a),
         "workload" => crate::sweep::cmd_workload(a),
+        "serve" => crate::serve::cmd_serve(a),
+        "plan" => crate::serve::cmd_plan(a),
         "" | "help" => Ok(crate::USAGE.to_string()),
         other => Err(err(format!(
             "unknown subcommand '{other}'\n\n{}",
@@ -626,6 +628,16 @@ fn cmd_inspect(a: &Args) -> Result<String, CliError> {
     if let Some(path) = a.get("telemetry-out") {
         crate::write_snapshot(path, &flitsim::metrics::run_snapshot(&out.sim))?;
         let _ = writeln!(text, "telemetry snapshot written to {path}");
+    }
+    // A plan-service snapshot (from `optmc serve --telemetry-out`) rendered
+    // alongside the run report: cache counters and latency histograms.
+    if let Some(path) = a.get("plan-telemetry") {
+        let raw = std::fs::read_to_string(path)
+            .map_err(|e| err(format!("--plan-telemetry {path}: {e}")))?;
+        let snap = telem::TelemetrySnapshot::from_json(&raw)
+            .map_err(|e| err(format!("--plan-telemetry {path}: {e}")))?;
+        let _ = writeln!(text, "\nplan service ({path}):");
+        let _ = write!(text, "{}", snap.render_text());
     }
 
     match format {

@@ -9,6 +9,7 @@
 
 pub mod args;
 pub mod commands;
+pub mod serve;
 pub mod spec;
 pub mod sweep;
 
@@ -60,6 +61,7 @@ USAGE:
   optmc inspect   --topo SPEC --alg ALG --nodes K --bytes B [--seed S] [--temporal]
                   [--trace-out FILE] [--format perfetto|jsonl|text] [--trace-limit N]
                   [--heatmap] [--heatmap-out FILE] [--telemetry-out FILE[.prom]]
+                  [--plan-telemetry FILE]
   optmc compare   --topo SPEC --nodes K --bytes B [--trials N] [--seed S]
   optmc calibrate --topo SPEC [--sizes CSV]
   optmc gather    --topo SPEC --alg ALG --nodes K --bytes B [--seed S]
@@ -68,6 +70,10 @@ USAGE:
                   [--out DIR] [--quiet] [--progress] [--json] [--telemetry-out FILE[.prom]]
   optmc workload  --topo SPEC --nodes K --bytes B [--alg ALG] [--count N]
                   [--gap G | --mean-gap F] [--seed S]
+  optmc plan      --topo SPEC (--members CSV | --nodes K [--seed S]) [--alg ALG]
+                  [--bytes B] [--hold H --end E] [--certify] [--json]
+  optmc serve     [--capacity N] [--certify] [--listen ADDR] [--quiet]
+                  [--telemetry-out FILE[.prom]]
 
 TOPO SPEC:
   mesh:16x16[:ports]   n-dimensional mesh, e.g. mesh:8x8, mesh:4x4x4, mesh:16x16:2
@@ -127,6 +133,29 @@ WORKLOAD:
   roots and groups arrive at seeded Poisson (--mean-gap, default) or
   fixed-rate (--gap) times; reports the joint latency distribution and the
   interference factor against each multicast's solo baseline.
+
+PLAN / SERVE:
+  'plan' answers one planning request from flags: the multicast chain on
+  --topo for --members (source first) or a --seed'ed --nodes K placement,
+  with (t_hold, t_end) derived from the calibrated architecture model for
+  the message size (or forced with --hold/--end), the OPT DP's split
+  schedule, and node-level sends.  --certify attaches a machine-checked
+  contention certificate (machine-derived parameters only).  --json emits
+  the same plan body a serve response carries.
+
+  'serve' runs the sans-io planning engine as a service.  Default mode
+  reads newline-delimited JSON requests on stdin — e.g.
+  {\"id\": 7, \"topo\": \"mesh:8x8\", \"k\": 8, \"seed\": 1, \"bytes\": 2048}
+  or {\"stats\": true} — and answers one JSON line per request on stdout,
+  in order; a replayed stream produces byte-identical responses.  Computed
+  plans land in a content-addressed cache (--capacity plans, deterministic
+  LRU eviction), so repeated requests are answered without re-running the
+  DP, and concurrent identical misses coalesce into a single computation.
+  --listen ADDR serves the same protocol over TCP (many connections, one
+  shared cache; responses carry request ids so clients may pipeline).
+  --telemetry-out (stdin mode) writes the service snapshot — hit/miss/
+  eviction counters plus wall-clock hit and miss latency histograms —
+  which 'optmc inspect --plan-telemetry FILE' renders as text.
 
 INSPECT:
   Runs one fully-observed multicast and prints the run report (latency

@@ -6,19 +6,11 @@
 //! CLI-specific.
 
 use netcheck::Discipline;
+use optmc::spec::SpecKind;
 use optmc::Algorithm;
 use topo::Topology;
 
-use crate::{err, CliError};
-
-fn parse_dims(kind: &str, arg: &str) -> Result<Vec<usize>, CliError> {
-    let dims: Result<Vec<usize>, _> = arg.split('x').map(str::parse).collect();
-    let dims = dims.map_err(|_| err(format!("bad {kind} dimensions '{arg}'")))?;
-    if dims.is_empty() || dims.contains(&0) {
-        return Err(err(format!("bad {kind} dimensions '{arg}'")));
-    }
-    Ok(dims)
-}
+use crate::CliError;
 
 /// Parse a topology spec into a boxed topology (see [`optmc::spec`] for
 /// the grammar).
@@ -29,29 +21,18 @@ pub fn parse_topology(spec: &str) -> Result<Box<dyn Topology>, CliError> {
 /// The routing discipline `optmc check` should lint a topology spec
 /// against: dimension-order for meshes, tori, and hypercubes; turnaround
 /// for BMINs; unconstrained for the unidirectional omega.
+///
+/// Built on the one shared grammar in [`optmc::spec::parse_spec`], so
+/// `check`, `sweep`, `serve`, and `plan` all read specs identically.
 pub fn discipline_for(spec: &str) -> Result<Discipline, CliError> {
-    let mut parts = spec.split(':');
-    let kind = parts.next().unwrap_or_default();
-    let arg = parts.next().unwrap_or_default();
-    match kind {
-        "mesh" | "torus" => Ok(Discipline::DimensionOrder {
-            dims: parse_dims(kind, arg)?,
-        }),
-        "hypercube" => {
-            let d: usize = arg
-                .parse()
-                .map_err(|_| err(format!("bad cube dimension '{arg}'")))?;
-            Ok(Discipline::DimensionOrder { dims: vec![2; d] })
+    let s = optmc::spec::parse_spec(spec).map_err(CliError)?;
+    Ok(match s.kind {
+        SpecKind::Mesh | SpecKind::Torus | SpecKind::Hypercube => {
+            Discipline::DimensionOrder { dims: s.dims }
         }
-        "bmin" => {
-            let n: usize = arg
-                .parse()
-                .map_err(|_| err(format!("bad node count '{arg}'")))?;
-            Ok(Discipline::Turnaround { width: n / 2 })
-        }
-        "omega" => Ok(Discipline::Unconstrained),
-        other => Err(err(format!("unknown topology '{other}'"))),
-    }
+        SpecKind::Bmin => Discipline::Turnaround { width: s.nodes / 2 },
+        SpecKind::Omega => Discipline::Unconstrained,
+    })
 }
 
 /// Parse an algorithm name ([`Algorithm::parse`] with CLI errors).

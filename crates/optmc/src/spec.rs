@@ -1,10 +1,47 @@
 //! Topology specification strings (`mesh:16x16`, `bmin:128`, …).
 //!
-//! Parsing lives here — below the CLI — so the `campaign` crate can expand
-//! declarative sweep specs into concrete topologies with exactly the same
-//! grammar `optmc` commands accept.
+//! Parsing lives here — below the CLI — so the `campaign` crate's
+//! declarative sweeps, the `plansvc` planning engine, and every `optmc`
+//! subcommand accept exactly the same grammar.  [`parse_spec`] produces a
+//! structured [`TopoSpec`] (kind, dimensions, node count) for callers that
+//! need to reason about the architecture without instantiating it — the
+//! CLI's routing-discipline mapping, the planning service's request
+//! validation — and [`TopoSpec::build`] / [`parse_topology`] turn one into
+//! a boxed [`Topology`].
 
 use topo::{Bmin, Mesh, Omega, Topology, Torus, UpPolicy};
+
+/// The topology family a spec names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecKind {
+    /// `mesh:AxB[xC…][:ports]` — k-ary n-dimensional mesh.
+    Mesh,
+    /// `torus:AxB[xC…][:novc]` — wrap-around mesh (dateline VCs unless `novc`).
+    Torus,
+    /// `hypercube:D` — binary D-cube (a `2x2x…` mesh).
+    Hypercube,
+    /// `bmin:N` — bidirectional multistage interconnection network.
+    Bmin,
+    /// `omega:N` — unidirectional omega network.
+    Omega,
+}
+
+/// A parsed topology spec, structured but not yet instantiated.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TopoSpec {
+    /// The topology family.
+    pub kind: SpecKind,
+    /// Per-dimension extents for direct networks (hypercubes report
+    /// `[2; D]`); empty for the indirect `bmin`/`omega` families.
+    pub dims: Vec<usize>,
+    /// Total endpoint count.
+    pub nodes: usize,
+    /// Injection/consumption ports per node (meshes only; 1 elsewhere).
+    pub ports: usize,
+    /// Torus without dateline virtual channels (deliberately
+    /// deadlock-prone, for exercising `optmc check`).
+    pub novc: bool,
+}
 
 fn parse_dims(kind: &str, arg: &str) -> Result<Vec<usize>, String> {
     let dims: Result<Vec<usize>, _> = arg.split('x').map(str::parse).collect();
@@ -15,63 +52,121 @@ fn parse_dims(kind: &str, arg: &str) -> Result<Vec<usize>, String> {
     Ok(dims)
 }
 
-/// Parse a topology spec into a boxed topology.
+/// Parse a topology spec string into its structured form.
 ///
 /// Grammar: `mesh:AxB[xC…][:ports]`, `torus:AxB[xC…][:novc]`,
 /// `hypercube:D`, `bmin:N`, `omega:N` (`N` a power of two).
-pub fn parse_topology(spec: &str) -> Result<Box<dyn Topology>, String> {
+pub fn parse_spec(spec: &str) -> Result<TopoSpec, String> {
     let mut parts = spec.split(':');
     let kind = parts.next().unwrap_or_default();
     let arg = parts
         .next()
         .ok_or_else(|| format!("topology '{spec}' needs an argument"))?;
     let extra = parts.next();
+    if parts.next().is_some() {
+        return Err(format!("topology '{spec}' has trailing fields"));
+    }
     match kind {
         "mesh" => {
             let dims = parse_dims(kind, arg)?;
             let ports = match extra {
                 None => 1,
-                Some(p) => p.parse().map_err(|_| format!("bad port count '{p}'"))?,
+                Some(p) => {
+                    let p: usize = p.parse().map_err(|_| format!("bad port count '{p}'"))?;
+                    if p == 0 {
+                        return Err("bad port count '0'".into());
+                    }
+                    p
+                }
             };
-            Ok(Box::new(Mesh::with_ports(&dims, ports)))
+            Ok(TopoSpec {
+                kind: SpecKind::Mesh,
+                nodes: dims.iter().product(),
+                dims,
+                ports,
+                novc: false,
+            })
         }
         "torus" => {
             let dims = parse_dims(kind, arg)?;
-            match extra {
-                // `novc` drops the dateline virtual channels — deliberately
-                // deadlock-prone, for exercising `optmc check`.
-                Some("novc") => Ok(Box::new(Torus::unvirtualized(&dims))),
-                None => Ok(Box::new(Torus::new(&dims))),
-                Some(other) => Err(format!("bad torus option '{other}' (only 'novc')")),
-            }
+            let novc = match extra {
+                Some("novc") => true,
+                None => false,
+                Some(other) => return Err(format!("bad torus option '{other}' (only 'novc')")),
+            };
+            Ok(TopoSpec {
+                kind: SpecKind::Torus,
+                nodes: dims.iter().product(),
+                dims,
+                ports: 1,
+                novc,
+            })
         }
         "hypercube" => {
+            if extra.is_some() {
+                return Err(format!("topology '{spec}' has trailing fields"));
+            }
             let d: usize = arg
                 .parse()
                 .map_err(|_| format!("bad cube dimension '{arg}'"))?;
             if !(1..=20).contains(&d) {
                 return Err(format!("cube dimension {d} out of range 1..=20"));
             }
-            Ok(Box::new(Mesh::hypercube(d)))
+            Ok(TopoSpec {
+                kind: SpecKind::Hypercube,
+                dims: vec![2; d],
+                nodes: 1 << d,
+                ports: 1,
+                novc: false,
+            })
         }
         "bmin" | "omega" => {
+            if extra.is_some() {
+                return Err(format!("topology '{spec}' has trailing fields"));
+            }
             let n: usize = arg.parse().map_err(|_| format!("bad node count '{arg}'"))?;
             if !n.is_power_of_two() || n < 2 {
                 return Err(format!(
                     "{kind} node count must be a power of two >= 2, got {n}"
                 ));
             }
-            let s = n.trailing_zeros();
-            if kind == "bmin" {
-                Ok(Box::new(Bmin::new(s, UpPolicy::Straight)))
-            } else {
-                Ok(Box::new(Omega::new(s)))
-            }
+            Ok(TopoSpec {
+                kind: if kind == "bmin" {
+                    SpecKind::Bmin
+                } else {
+                    SpecKind::Omega
+                },
+                dims: Vec::new(),
+                nodes: n,
+                ports: 1,
+                novc: false,
+            })
         }
         other => Err(format!(
             "unknown topology '{other}' (expected mesh / torus / hypercube / bmin / omega)"
         )),
     }
+}
+
+impl TopoSpec {
+    /// Instantiate the topology this spec describes.
+    #[must_use]
+    pub fn build(&self) -> Box<dyn Topology> {
+        match self.kind {
+            SpecKind::Mesh => Box::new(Mesh::with_ports(&self.dims, self.ports)),
+            SpecKind::Torus if self.novc => Box::new(Torus::unvirtualized(&self.dims)),
+            SpecKind::Torus => Box::new(Torus::new(&self.dims)),
+            SpecKind::Hypercube => Box::new(Mesh::hypercube(self.dims.len())),
+            SpecKind::Bmin => Box::new(Bmin::new(self.nodes.trailing_zeros(), UpPolicy::Straight)),
+            SpecKind::Omega => Box::new(Omega::new(self.nodes.trailing_zeros())),
+        }
+    }
+}
+
+/// Parse a topology spec into a boxed topology (see [`parse_spec`] for
+/// the grammar).
+pub fn parse_topology(spec: &str) -> Result<Box<dyn Topology>, String> {
+    Ok(parse_spec(spec)?.build())
 }
 
 #[cfg(test)]
@@ -94,16 +189,40 @@ mod tests {
     }
 
     #[test]
+    fn structured_specs_report_shape() {
+        let m = parse_spec("mesh:4x6").unwrap();
+        assert_eq!((m.kind, m.nodes, m.ports), (SpecKind::Mesh, 24, 1));
+        assert_eq!(m.dims, vec![4, 6]);
+        let h = parse_spec("hypercube:3").unwrap();
+        assert_eq!(h.dims, vec![2, 2, 2]);
+        assert_eq!(h.nodes, 8);
+        let b = parse_spec("bmin:128").unwrap();
+        assert_eq!((b.kind, b.nodes), (SpecKind::Bmin, 128));
+        assert!(b.dims.is_empty());
+        let t = parse_spec("torus:8x8:novc").unwrap();
+        assert!(t.novc);
+        // build() matches the one-shot path.
+        assert_eq!(
+            t.build().name(),
+            parse_topology("torus:8x8:novc").unwrap().name()
+        );
+    }
+
+    #[test]
     fn rejects_bad_specs() {
         for bad in [
             "mesh",
             "mesh:0x4",
             "mesh:ax4",
+            "mesh:4x4:0",
             "bmin:100",
             "omega:1",
             "ring:8",
             "bmin:",
+            "bmin:64:x",
             "torus:4x4:vc9",
+            "mesh:4x4:2:9",
+            "hypercube:3:x",
         ] {
             assert!(parse_topology(bad).is_err(), "{bad} should fail");
         }

@@ -1,0 +1,258 @@
+//! Scripted event-sequence tests for the sans-io core: the engine driven
+//! purely by [`Input`]s and observed purely through [`Command`]s, no
+//! transport anywhere.
+
+use plansvc::{compute_plan, step_blocking, Command, Engine, EngineConfig, Input, PlanOptions};
+
+fn engine(capacity: usize) -> Engine {
+    Engine::new(EngineConfig { capacity })
+}
+
+fn line(id: u64, text: &str) -> Input {
+    Input::Line {
+        id,
+        text: text.to_string(),
+    }
+}
+
+const REQ_A: &str = r#"{"topo": "mesh:4x4", "members": [0, 5, 10, 15], "bytes": 512}"#;
+const REQ_B: &str = r#"{"topo": "mesh:4x4", "members": [0, 1, 2], "bytes": 512}"#;
+const REQ_C: &str = r#"{"topo": "bmin:16", "k": 4, "seed": 3, "bytes": 1024}"#;
+
+#[test]
+fn request_miss_compute_response_cycle() {
+    let mut e = engine(8);
+    // Request → exactly one Compute command, no response yet.
+    e.handle(line(1, REQ_A));
+    let Some(Command::Compute { key, request }) = e.poll() else {
+        panic!("a cold request must emit Compute");
+    };
+    assert!(e.poll().is_none(), "no response before the result arrives");
+    assert_eq!(e.in_flight(), 1);
+    // Computed → the waiter is answered, the plan is cached.
+    let body = compute_plan(&request, &PlanOptions::default()).unwrap();
+    e.handle(Input::Computed {
+        key: key.clone(),
+        result: Ok(Box::new(body)),
+    });
+    let Some(Command::Respond { id, line: resp }) = e.poll() else {
+        panic!("Computed must answer the waiter");
+    };
+    assert_eq!(id, 1);
+    assert!(
+        resp.contains(r#""ok": true"#) || resp.contains(r#""ok":true"#),
+        "{resp}"
+    );
+    assert!(resp.contains(r#""cached":false"#) || resp.contains(r#""cached": false"#));
+    assert_eq!(e.cached_plans(), 1);
+    assert_eq!(e.in_flight(), 0);
+    // Same request again → a hit, answered immediately, no Compute.
+    e.handle(line(2, REQ_A));
+    let Some(Command::Respond { id, line: hit }) = e.poll() else {
+        panic!("a warm request must respond directly");
+    };
+    assert_eq!(id, 2);
+    assert!(hit.contains(r#""cached":true"#) || hit.contains(r#""cached": true"#));
+    assert!(e.poll().is_none());
+    let s = e.stats();
+    assert_eq!((s.requests, s.hits, s.misses, s.dp_runs), (2, 1, 1, 1));
+}
+
+#[test]
+fn single_flight_coalesces_concurrent_identical_misses() {
+    let mut e = engine(8);
+    // N identical requests arrive before any result: one DP execution.
+    for id in 1..=5 {
+        e.handle(line(id, REQ_A));
+    }
+    let Some(Command::Compute { key, request }) = e.poll() else {
+        panic!("first miss emits Compute");
+    };
+    assert!(
+        e.poll().is_none(),
+        "followers must coalesce, not emit further Computes"
+    );
+    let body = compute_plan(&request, &PlanOptions::default()).unwrap();
+    e.handle(Input::Computed {
+        key,
+        result: Ok(Box::new(body)),
+    });
+    // Every waiter answered, in arrival order, with identical plan bytes.
+    let mut answered = Vec::new();
+    let mut lines = Vec::new();
+    while let Some(Command::Respond { id, line }) = e.poll() {
+        answered.push(id);
+        lines.push(line);
+    }
+    assert_eq!(answered, vec![1, 2, 3, 4, 5]);
+    assert!(lines.windows(2).all(|w| w[0] == w[1]));
+    let s = e.stats();
+    assert_eq!(s.misses, 1, "one miss");
+    assert_eq!(s.coalesced, 4, "four followers");
+    assert_eq!(s.dp_runs, 1, "the DP ran once for 5 concurrent requests");
+}
+
+#[test]
+fn distinct_keys_do_not_coalesce() {
+    let mut e = engine(8);
+    e.handle(line(1, REQ_A));
+    e.handle(line(2, REQ_B));
+    let mut computes = 0;
+    while let Some(cmd) = e.poll() {
+        if let Command::Compute { key, request } = cmd {
+            computes += 1;
+            let body = compute_plan(&request, &PlanOptions::default()).unwrap();
+            e.handle(Input::Computed {
+                key,
+                result: Ok(Box::new(body)),
+            });
+        }
+    }
+    assert_eq!(computes, 2);
+    assert_eq!(e.stats().coalesced, 0);
+}
+
+#[test]
+fn failed_computation_answers_every_waiter_with_an_error() {
+    let mut e = engine(8);
+    e.handle(line(1, REQ_A));
+    e.handle(line(2, REQ_A));
+    let Some(Command::Compute { key, .. }) = e.poll() else {
+        panic!("miss emits Compute");
+    };
+    e.handle(Input::Computed {
+        key,
+        result: Err("the machine caught fire".to_string()),
+    });
+    let mut errors = 0;
+    while let Some(Command::Respond { line, .. }) = e.poll() {
+        assert!(line.contains("the machine caught fire"), "{line}");
+        assert!(line.contains(r#""ok":false"#) || line.contains(r#""ok": false"#));
+        errors += 1;
+    }
+    assert_eq!(errors, 2);
+    assert_eq!(e.stats().errors, 2);
+    assert_eq!(e.cached_plans(), 0, "failures are not cached");
+    // The key is no longer in flight: a retry recomputes.
+    e.handle(line(3, REQ_A));
+    assert!(matches!(e.poll(), Some(Command::Compute { .. })));
+}
+
+#[test]
+fn malformed_lines_are_rejected_inline() {
+    let mut e = engine(8);
+    e.handle(line(1, "not json at all"));
+    e.handle(line(2, r#"{"id": "x9", "topo": "ring:8", "k": 4}"#));
+    let Some(Command::Respond { id, line: l1 }) = e.poll() else {
+        panic!("bad JSON still gets a response");
+    };
+    assert_eq!(id, 1);
+    assert!(l1.contains(r#""ok":false"#) || l1.contains(r#""ok": false"#));
+    let Some(Command::Respond { id, line: l2 }) = e.poll() else {
+        panic!("bad topology still gets a response");
+    };
+    assert_eq!(id, 2);
+    assert!(
+        l2.contains("x9"),
+        "the id echo survives validation errors: {l2}"
+    );
+    assert_eq!(e.stats().errors, 2);
+    assert_eq!(
+        e.stats().requests,
+        0,
+        "rejected lines are not plan requests"
+    );
+}
+
+#[test]
+fn same_stream_replays_byte_identical_including_evictions() {
+    // A stream that cycles 3 distinct keys through a capacity-2 cache:
+    // hits, misses, and evictions all occur, and two fresh engines agree
+    // byte for byte.
+    let stream: Vec<&str> = vec![
+        REQ_A,
+        REQ_B,
+        REQ_A,
+        REQ_C, // C evicts B (A was refreshed)
+        REQ_B, // miss again (evicts …), deterministic victim
+        REQ_A,
+        REQ_C,
+        r#"{"stats": true}"#,
+    ];
+    let run = || {
+        let mut e = engine(2);
+        let mut out = Vec::new();
+        for (i, text) in stream.iter().enumerate() {
+            for (id, line) in step_blocking(&mut e, i as u64 + 1, text, &PlanOptions::default()) {
+                out.push(format!("{id}:{line}"));
+            }
+        }
+        (out, e.stats())
+    };
+    let (out1, stats1) = run();
+    let (out2, stats2) = run();
+    assert_eq!(out1, out2, "replay is byte-identical");
+    assert_eq!(stats1, stats2, "and so are the counters");
+    assert_eq!(out1.len(), stream.len(), "every line answered exactly once");
+    assert!(
+        stats1.evictions > 0,
+        "the stream actually exercised eviction"
+    );
+    assert!(stats1.hits > 0, "the stream actually exercised hits");
+    // The stats line is the last response and reflects the counters.
+    let last = out1.last().unwrap();
+    assert!(last.contains(r#""evictions""#), "{last}");
+}
+
+#[test]
+fn stray_completion_is_ignored() {
+    let mut e = engine(4);
+    e.handle(Input::Computed {
+        key: "plan|mesh:4x4|opt-arch|b512|m0,5|auto".to_string(),
+        result: Err("nobody asked".to_string()),
+    });
+    assert!(e.poll().is_none());
+    assert_eq!(e.stats().errors, 0);
+}
+
+#[test]
+fn thousand_request_stream_is_deterministic() {
+    // The acceptance-criteria stream, at engine level: 1000 requests over
+    // a few dozen distinct keys, replayed twice, byte-identical.
+    let mk = |i: usize| {
+        let topo = if i.is_multiple_of(3) {
+            "mesh:8x8"
+        } else {
+            "bmin:64"
+        };
+        let k = 3 + (i % 5);
+        let seed = i % 7;
+        let bytes = 256 << (i % 3);
+        format!(r#"{{"id": {i}, "topo": "{topo}", "k": {k}, "seed": {seed}, "bytes": {bytes}}}"#)
+    };
+    let run = || {
+        let mut e = engine(256);
+        let mut out: Vec<String> = Vec::new();
+        for i in 0..1000 {
+            for (_, line) in step_blocking(&mut e, i as u64, &mk(i), &PlanOptions::default()) {
+                out.push(line);
+            }
+        }
+        (out, e.stats())
+    };
+    let (out1, stats1) = run();
+    let (out2, _) = run();
+    assert_eq!(out1.len(), 1000);
+    assert_eq!(out1, out2);
+    assert_eq!(stats1.requests, 1000);
+    assert_eq!(
+        stats1.hits + stats1.misses,
+        1000,
+        "every request either hit or missed (no coalescing in a blocking shell)"
+    );
+    assert!(
+        stats1.hits >= 850,
+        "the stream is cache-friendly: {stats1:?}"
+    );
+    assert_eq!(stats1.dp_runs, stats1.misses);
+}

@@ -383,6 +383,79 @@ impl TelemetrySnapshot {
         s
     }
 
+    /// Parse a snapshot back from its [`Self::to_json`] text.
+    ///
+    /// Help strings are not part of the JSON exposition, so they come back
+    /// empty; everything else round-trips exactly
+    /// (`from_json(s.to_json()).to_json() == s.to_json()`).
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        let v: Value = serde_json::from_str(text).map_err(|e| format!("snapshot JSON: {e}"))?;
+        let top = v
+            .as_object()
+            .ok_or_else(|| "snapshot must be a JSON object".to_string())?;
+        let section = |name: &str| -> Result<&[(String, Value)], String> {
+            match top.iter().find(|(k, _)| k == name) {
+                None => Ok(&[]),
+                Some((_, v)) => v
+                    .as_object()
+                    .ok_or_else(|| format!("snapshot '{name}' must be an object")),
+            }
+        };
+        let mut snap = TelemetrySnapshot::new();
+        for (name, v) in section("counters")? {
+            let n = v
+                .as_u64()
+                .ok_or_else(|| format!("counter '{name}' must be a non-negative integer"))?;
+            snap.counter(name, "", n);
+        }
+        for (name, v) in section("gauges")? {
+            if let Some(n) = v.as_u64() {
+                snap.gauge(name, "", n);
+            } else if let Some(f) = v.as_f64() {
+                snap.gauge_f64(name, "", f);
+            } else {
+                return Err(format!("gauge '{name}' must be a number"));
+            }
+        }
+        for (name, v) in section("histograms")? {
+            let h = Histogram::from_value(v).map_err(|e| format!("histogram '{name}': {e}"))?;
+            snap.histogram(name, "", &h);
+        }
+        Ok(snap)
+    }
+
+    /// A deterministic plain-text rendering (sorted by metric name), the
+    /// shared exposition `optmc inspect --format text` uses for service
+    /// counters and engine vitals alike.
+    pub fn render_text(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let width = self.metrics.iter().map(|m| m.name.len()).max().unwrap_or(0);
+        for m in self.sorted() {
+            match &m.value {
+                MetricValue::Counter(v) | MetricValue::Gauge(v) => {
+                    let _ = writeln!(out, "  {:width$}  {v}", m.name);
+                }
+                MetricValue::GaugeF(v) => {
+                    let _ = writeln!(out, "  {:width$}  {v:.3}", m.name);
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(
+                        out,
+                        "  {:width$}  count={} mean={:.1} p50={} p95={} max={}",
+                        m.name,
+                        h.count,
+                        h.mean(),
+                        h.p50().unwrap_or(0),
+                        h.p95().unwrap_or(0),
+                        h.max
+                    );
+                }
+            }
+        }
+        out
+    }
+
     /// The Prometheus text exposition format (`# HELP` / `# TYPE` / value
     /// lines, histograms as cumulative `_bucket{le=..}` series).
     pub fn to_prometheus(&self) -> String {
@@ -504,6 +577,38 @@ mod tests {
         assert!(text.contains("lat_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("lat_sum 6"));
         assert!(text.contains("lat_count 2"));
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_json() {
+        let mut s = TelemetrySnapshot::new();
+        s.counter("plansvc_hits_total", "Cache hits", 12);
+        s.gauge("plansvc_cached_plans", "Plans held", 4);
+        s.gauge_f64("plansvc_hit_ratio", "Hit ratio", 0.75);
+        s.histogram(
+            "plansvc_lat",
+            "Latency",
+            &Histogram::from_samples([1, 8, 64]),
+        );
+        let text = s.to_json();
+        let back = TelemetrySnapshot::from_json(&text).unwrap();
+        assert_eq!(back.to_json(), text, "byte-stable round trip");
+        assert_eq!(back.get("plansvc_hits_total"), Some(12));
+        assert!(TelemetrySnapshot::from_json("[]").is_err());
+        assert!(TelemetrySnapshot::from_json("{\"counters\": {\"x\": -1}}").is_err());
+    }
+
+    #[test]
+    fn render_text_lists_every_metric() {
+        let mut s = TelemetrySnapshot::new();
+        s.counter("b_total", "b", 2);
+        s.counter("a_total", "a", 1);
+        s.histogram("lat", "Latency", &Histogram::from_samples([2, 2, 2]));
+        let text = s.render_text();
+        assert!(text.contains("a_total"));
+        assert!(text.find("a_total").unwrap() < text.find("b_total").unwrap());
+        assert!(text.contains("count=3"));
+        assert!(text.contains("max=2"));
     }
 
     #[test]

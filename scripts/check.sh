@@ -86,6 +86,37 @@ cargo test -q -p flitsim --test zero_alloc
 echo "==> bench_sim --check BENCH_sim.json (sentinels exact, throughput >= 0.75x, counters obs >= 0.95x null)"
 cargo run --release -q -p optmc-bench --bin bench_sim -- --check BENCH_sim.json
 
+# Planning-service smoke: a scripted request batch served twice must answer
+# byte-identically (replay determinism through the full stdin/stdout shell),
+# with the repeats answered from the plan cache.
+echo "==> optmc serve answers a scripted batch deterministically"
+cat > "$SMOKE_DIR/serve_batch.jsonl" <<'EOF'
+{"id": 1, "topo": "mesh:8x8", "k": 8, "seed": 1, "bytes": 2048}
+{"id": 2, "topo": "mesh:8x8", "k": 8, "seed": 1, "bytes": 2048}
+{"id": 3, "topo": "bmin:64", "alg": "u-arch", "k": 6, "seed": 2, "bytes": 1024}
+{"id": 4, "topo": "mesh:8x8", "k": 8, "seed": 1, "bytes": 2048}
+{"id": 5, "stats": true}
+EOF
+cargo run --release -q -p optmc-cli --bin optmc -- \
+    serve --quiet --telemetry-out "$SMOKE_DIR/plansvc_telem.json" \
+    < "$SMOKE_DIR/serve_batch.jsonl" > "$SMOKE_DIR/serve_a.jsonl"
+cargo run --release -q -p optmc-cli --bin optmc -- \
+    serve --quiet < "$SMOKE_DIR/serve_batch.jsonl" > "$SMOKE_DIR/serve_b.jsonl"
+cmp "$SMOKE_DIR/serve_a.jsonl" "$SMOKE_DIR/serve_b.jsonl" \
+    || { echo "optmc serve responses are not replay-deterministic" >&2; exit 1; }
+grep -F '"hits":2' "$SMOKE_DIR/serve_a.jsonl" >/dev/null \
+    || { echo "optmc serve did not answer the repeats from the plan cache" >&2; exit 1; }
+test -s "$SMOKE_DIR/plansvc_telem.json" \
+    || { echo "optmc serve --telemetry-out wrote nothing" >&2; exit 1; }
+
+# Plan-path perf + determinism: re-run every workload in the committed
+# BENCH_plan.json.  The sentinels (request/hit/miss/DP/eviction counts and
+# the response-byte fingerprint) must match exactly; overall throughput must
+# stay within 25% of the committed figure; and warm cache hits must stay at
+# least 10x faster than cold misses.
+echo "==> bench_plan --check BENCH_plan.json (sentinels exact, throughput >= 0.75x, hit speedup >= 10x)"
+cargo run --release -q -p optmc-bench --bin bench_plan -- --check BENCH_plan.json
+
 # Figure determinism gate: the committed paper figures must regenerate
 # byte-identical from a clean build.
 echo "==> figure regeneration is byte-identical (fig2, fig3)"
