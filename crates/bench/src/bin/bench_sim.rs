@@ -1,8 +1,11 @@
 //! Engine-vitals benchmark: run the paper's figure workloads plus
 //! large-scale stress configurations (32x32 mesh, 1024-node BMIN, a 64-way
-//! staggered concurrent multicast) with the observability layer's
-//! [`flitsim::RunMeta`] instrumentation and record events processed, peak
-//! heap, wall-time, and events/sec per workload.
+//! staggered concurrent multicast, a 128x128 mesh, a 4096-node BMIN) with
+//! the observability layer's [`flitsim::RunMeta`] instrumentation and
+//! record events processed, peak heap, wall-time, and events/sec per
+//! workload.  The large workloads run twice — sequentially and under the
+//! sharded engine (`<id>_sh<N>` records, default 4 shards, `--shards N`) —
+//! so the two execution strategies are reported separately.
 //!
 //! Writes `results/bench_sim.json` plus the repo-root `BENCH_sim.json`
 //! (records + totals + seed), so regressions in simulator throughput show up
@@ -10,7 +13,7 @@
 //!
 //! ```text
 //! cargo run --release -p optmc-bench --bin bench_sim \
-//!     [--runs 8] [--seed 1997]
+//!     [--runs 8] [--seed 1997] [--shards 4]
 //! cargo run --release -p optmc-bench --bin bench_sim -- --check BENCH_sim.json
 //! ```
 //!
@@ -18,7 +21,11 @@
 //! recorded run count and the file's seed), requires the deterministic
 //! sentinels (`events_scheduled`, `peak_heap_events`, `mean_latency`) to
 //! match **exactly**, and fails if overall throughput drops below 75% of the
-//! committed figure.  Nothing is written in check mode.
+//! committed figure.  Sharded records must additionally agree **exactly**
+//! with their sequential base on every merged deterministic sentinel, and —
+//! on machines with enough cores — clear the wall-clock speedup floor
+//! (1.5x at 4 shards on the 128x128 mesh).  Nothing is written in check
+//! mode.
 
 use std::process::ExitCode;
 
@@ -26,7 +33,8 @@ use flitsim::SimConfig;
 use optmc::Algorithm;
 use optmc_bench::{
     arg_value, bench_concurrent, bench_observed, bench_table, bench_workload, compare_bench,
-    observer_overhead_failures, parse_bench_file, write_bench_sim, SimBenchRecord,
+    observer_overhead_failures, parse_bench_file, shard_identity_failures, shard_speedup_failures,
+    shard_suffix, write_bench_sim, SimBenchRecord,
 };
 use topo::{Bmin, Mesh, Topology, UpPolicy};
 
@@ -41,15 +49,28 @@ const MIN_THROUGHPUT_RATIO: f64 = 0.75;
 /// adds per event; 5% is the agreed overhead budget.
 const MIN_OBS_RATIO: f64 = 0.95;
 
+/// Default shard count for the sharded benchmark variants.
+const DEFAULT_SHARDS: usize = 4;
+
+/// Wall-clock speedup floor for the 4-shard 128x128-mesh workload, enforced
+/// by `--check` when the machine has at least `shards` cores.
+const MIN_SHARD_SPEEDUP: f64 = 1.5;
+
 /// Run every benchmark workload.  `runs_for(workload_id, default)` decides
 /// the per-workload run count: generation passes the defaults through,
 /// `--check` substitutes each committed record's count so event totals are
 /// comparable.
-fn run_all(seed: u64, runs_for: &dyn Fn(&str, usize) -> usize) -> Vec<SimBenchRecord> {
+fn run_all(
+    seed: u64,
+    shards: usize,
+    runs_for: &dyn Fn(&str, usize) -> usize,
+) -> Vec<SimBenchRecord> {
     let mesh = Mesh::new(&[16, 16]);
     let bmin = Bmin::new(7, UpPolicy::Straight);
     let big_mesh = Mesh::new(&[32, 32]);
     let big_bmin = Bmin::new(10, UpPolicy::Straight);
+    let huge_mesh = Mesh::new(&[128, 128]);
+    let huge_bmin = Bmin::new(12, UpPolicy::Straight);
     let cfg = SimConfig::paragon_like();
 
     // (id, detail, topology, k, bytes, default runs).  The big configs
@@ -143,6 +164,118 @@ fn run_all(seed: u64, runs_for: &dyn Fn(&str, usize) -> usize) -> Vec<SimBenchRe
         runs_for(id, 3),
         seed,
     ));
+
+    // Huge single-multicast stress workloads (OptArch only — the point is
+    // engine scale, not the algorithm comparison the paper set covers).
+    let huge: [(&str, &str, &dyn Topology, usize, u64, usize); 2] = [
+        (
+            "big_mesh_128x128",
+            "128x128 mesh, 128 nodes, 16 KB",
+            &huge_mesh,
+            128,
+            16 * 1024,
+            1,
+        ),
+        (
+            "big_bmin_4096",
+            "4096-node BMIN, 96 nodes, 4 KB",
+            &huge_bmin,
+            96,
+            4096,
+            1,
+        ),
+    ];
+    for (id, detail, topo, k, bytes, default_runs) in huge {
+        records.push(bench_workload(
+            id,
+            detail,
+            topo,
+            &cfg,
+            Algorithm::OptArch,
+            k,
+            bytes,
+            runs_for(id, default_runs),
+            seed,
+        ));
+    }
+
+    // Sharded twins of the large workloads: same placements, same seed,
+    // shards > 1.  Results are bit-identical to the sequential records (the
+    // check enforces it); the separate `_sh<N>` ids keep the two execution
+    // strategies' throughput reported side by side.  The fallback counter
+    // guard makes silent sequential fallback a loud failure instead of a
+    // vacuous comparison.
+    let mut sh_cfg = cfg.clone();
+    sh_cfg.shards = shards;
+    let fallbacks_before = flitsim::metrics::SHARD_FALLBACKS.get();
+    let sharded: [(&str, &str, &dyn Topology, usize, u64, usize); 4] = [
+        (
+            "big_mesh_32x32",
+            "32x32 mesh, 64 nodes, 16 KB",
+            &big_mesh,
+            64,
+            16 * 1024,
+            3,
+        ),
+        (
+            "big_bmin_1024",
+            "1024-node BMIN, 64 nodes, 4 KB",
+            &big_bmin,
+            64,
+            4096,
+            3,
+        ),
+        (
+            "big_mesh_128x128",
+            "128x128 mesh, 128 nodes, 16 KB",
+            &huge_mesh,
+            128,
+            16 * 1024,
+            1,
+        ),
+        (
+            "big_bmin_4096",
+            "4096-node BMIN, 96 nodes, 4 KB",
+            &huge_bmin,
+            96,
+            4096,
+            1,
+        ),
+    ];
+    for (base, detail, topo, k, bytes, default_runs) in sharded {
+        let id = format!("{base}_sh{shards}");
+        let runs = runs_for(&id, default_runs);
+        records.push(bench_workload(
+            &id,
+            detail,
+            topo,
+            &sh_cfg,
+            Algorithm::OptArch,
+            k,
+            bytes,
+            runs,
+            seed,
+        ));
+    }
+    let id = format!("concurrent_64way_sh{shards}");
+    records.push(bench_concurrent(
+        &id,
+        "32x32 mesh, 64 x 16-node multicasts, 4 KB, 2000-cycle stagger",
+        &big_mesh,
+        &sh_cfg,
+        Algorithm::OptArch,
+        64,
+        16,
+        4096,
+        2000,
+        runs_for(&id, 3),
+        seed,
+    ));
+    assert_eq!(
+        flitsim::metrics::SHARD_FALLBACKS.get(),
+        fallbacks_before,
+        "a sharded benchmark workload silently fell back to the sequential engine"
+    );
     records
 }
 
@@ -161,7 +294,14 @@ fn check(path: &str) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    let fresh = run_all(committed.seed, &|id, default| {
+    // Re-run with the shard count the committed records were generated at
+    // (parsed from their `_sh<N>` ids), so the fresh ids line up.
+    let shards = committed
+        .records
+        .iter()
+        .find_map(|r| shard_suffix(&r.workload).map(|(_, n)| n))
+        .unwrap_or(DEFAULT_SHARDS);
+    let fresh = run_all(committed.seed, shards, &|id, default| {
         committed
             .records
             .iter()
@@ -170,6 +310,19 @@ fn check(path: &str) -> ExitCode {
     });
     let mut failures = compare_bench(&committed, &fresh, MIN_THROUGHPUT_RATIO);
     failures.extend(observer_overhead_failures(&fresh, MIN_OBS_RATIO));
+    failures.extend(shard_identity_failures(&fresh));
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    if cores >= shards {
+        failures.extend(shard_speedup_failures(
+            &fresh,
+            &[(format!("big_mesh_128x128_sh{shards}"), MIN_SHARD_SPEEDUP)],
+        ));
+    } else {
+        println!(
+            "bench check: shard speedup floor NOT enforced — {cores} core(s) available, \
+             {shards} shards need at least {shards} (sharded-vs-sequential identity still checked)"
+        );
+    }
     print!("{}", bench_table(&fresh));
     if failures.is_empty() {
         println!(
@@ -193,8 +346,13 @@ fn main() -> ExitCode {
     }
     let runs: Option<usize> = arg_value(&args, "--runs").map(|v| v.parse().expect("--runs"));
     let seed: u64 = arg_value(&args, "--seed").map_or(1997, |v| v.parse().expect("--seed"));
+    let shards: usize = arg_value(&args, "--shards").map_or(DEFAULT_SHARDS, |v| {
+        let n = v.parse().expect("--shards");
+        assert!(n >= 2, "--shards must be at least 2");
+        n
+    });
 
-    let records = run_all(seed, &|_, default| runs.unwrap_or(default));
+    let records = run_all(seed, shards, &|_, default| runs.unwrap_or(default));
     print!("{}", bench_table(&records));
     match write_bench_sim(&records, seed) {
         Ok((detail, root)) => {

@@ -579,6 +579,98 @@ pub fn observer_overhead_failures(fresh: &[SimBenchRecord], min_ratio: f64) -> V
     failures
 }
 
+/// Split a sharded workload id (`<base>_sh<k>`) into its base id and shard
+/// count; `None` for sequential ids.
+pub fn shard_suffix(id: &str) -> Option<(&str, usize)> {
+    let at = id.rfind("_sh")?;
+    let count: usize = id[at + 3..].parse().ok()?;
+    (count >= 2).then(|| (&id[..at], count))
+}
+
+/// Bit-identity between every sharded record (`<base>_sh<k>`) and its
+/// sequential base: the deterministic sentinels that survive merging —
+/// `events_processed`, `events_scheduled`, `mean_latency` — must match
+/// **exactly** within one fresh run.  (`peak_heap_events` is exempt: a
+/// sharded run keeps several smaller per-shard queues, so its high-water
+/// mark is genuinely different.)  Any mismatch means the sharded engine
+/// diverged from the sequential one.
+pub fn shard_identity_failures(fresh: &[SimBenchRecord]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for sharded in fresh {
+        let Some((base_id, _)) = shard_suffix(&sharded.workload) else {
+            continue;
+        };
+        let Some(base) = fresh
+            .iter()
+            .find(|r| r.workload == base_id && r.algorithm == sharded.algorithm)
+        else {
+            failures.push(format!(
+                "{}: sequential base record '{base_id}' missing",
+                sharded.workload
+            ));
+            continue;
+        };
+        if sharded.events_processed != base.events_processed
+            || sharded.events_scheduled != base.events_scheduled
+        {
+            failures.push(format!(
+                "{} [{}]: event totals ({}, {}) != sequential ({}, {}) — sharded run diverged",
+                sharded.workload,
+                sharded.algorithm,
+                sharded.events_processed,
+                sharded.events_scheduled,
+                base.events_processed,
+                base.events_scheduled,
+            ));
+        }
+        if sharded.mean_latency.to_bits() != base.mean_latency.to_bits() {
+            failures.push(format!(
+                "{} [{}]: mean_latency {} != sequential {} — sharded run diverged",
+                sharded.workload, sharded.algorithm, sharded.mean_latency, base.mean_latency,
+            ));
+        }
+    }
+    failures
+}
+
+/// Enforce wall-clock speedup floors for sharded records: for each
+/// `(sharded_id, min_speedup)`, the sharded record's throughput must be at
+/// least `min_speedup` × its sequential base's.  Only meaningful on a
+/// machine with at least as many cores as shards — the caller gates on
+/// `std::thread::available_parallelism()`.
+pub fn shard_speedup_failures(fresh: &[SimBenchRecord], floors: &[(String, f64)]) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (id, min_speedup) in floors {
+        let Some((base_id, _)) = shard_suffix(id) else {
+            failures.push(format!("{id}: not a sharded workload id"));
+            continue;
+        };
+        let Some(sharded) = fresh.iter().find(|r| &r.workload == id) else {
+            failures.push(format!("{id}: sharded record missing from fresh run"));
+            continue;
+        };
+        let Some(base) = fresh
+            .iter()
+            .find(|r| r.workload == base_id && r.algorithm == sharded.algorithm)
+        else {
+            failures.push(format!("{id}: sequential base '{base_id}' missing"));
+            continue;
+        };
+        if base.events_per_sec <= 0.0 {
+            continue;
+        }
+        let speedup = sharded.events_per_sec / base.events_per_sec;
+        if speedup < *min_speedup {
+            failures.push(format!(
+                "{id}: {speedup:.2}x speedup over '{base_id}' below the {min_speedup:.2}x floor \
+                 ({:.0} vs {:.0} events/sec)",
+                sharded.events_per_sec, base.events_per_sec,
+            ));
+        }
+    }
+    failures
+}
+
 /// Minimal `--flag value` argument lookup.
 pub fn arg_value(args: &[String], flag: &str) -> Option<String> {
     args.iter()

@@ -54,6 +54,11 @@ pub struct CampaignSpec {
     pub ks: Vec<usize>,
     /// Message sizes in bytes.
     pub sizes: Vec<u64>,
+    /// Shards per cell simulation (default 1 = sequential).  Sharded runs
+    /// are bit-identical to sequential ones, so this is purely an
+    /// execution hint — it does not enter cell keys, and stores written
+    /// with different shard counts interoperate.
+    pub shards: usize,
     /// Optional per-cell wall-clock budget in milliseconds.
     pub budget_ms: Option<u64>,
     /// Optional figure mapping for the aggregation pass.
@@ -164,6 +169,7 @@ impl Deserialize for CampaignSpec {
             })?,
             ks: list_field(fields, "ks", as_usize)?,
             sizes: list_field(fields, "sizes", as_u64)?,
+            shards: u64_field(fields, "shards", 1)? as usize,
             budget_ms: match opt_field(fields, "budget_ms") {
                 None | Some(Value::Null) => None,
                 Some(v) => Some(
@@ -204,6 +210,9 @@ impl CampaignSpec {
         if self.trials == 0 {
             return Err("trials must be at least 1".into());
         }
+        if self.shards == 0 {
+            return Err("shards must be at least 1".into());
+        }
         for t in &self.topos {
             let topo = parse_topology(t)?;
             let n = topo.graph().n_nodes();
@@ -233,6 +242,11 @@ pub struct Cell {
     pub trials: usize,
     /// Campaign base seed.
     pub seed: u64,
+    /// Shards for the cell's simulations.  An execution hint only —
+    /// sharded results are bit-identical to sequential, so this field is
+    /// deliberately **excluded** from [`Cell::key`]: a resumed campaign
+    /// reuses cells recorded at any shard count.
+    pub shards: usize,
 }
 
 impl Cell {
@@ -267,6 +281,7 @@ pub fn expand(spec: &CampaignSpec) -> Vec<Cell> {
                         bytes,
                         trials: spec.trials,
                         seed: spec.seed,
+                        shards: spec.shards,
                     });
                 }
             }

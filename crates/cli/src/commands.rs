@@ -449,6 +449,10 @@ fn build_cfg(a: &Args) -> Result<SimConfig, CliError> {
     let mut cfg = SimConfig::paragon_like();
     cfg.addr_bytes = a.num("addr-bytes", cfg.addr_bytes)?;
     cfg.buffer_flits = a.num("buffer-flits", cfg.buffer_flits)?;
+    cfg.shards = a.num("shards", cfg.shards)?;
+    if cfg.shards == 0 {
+        return Err(err("--shards must be at least 1"));
+    }
     if a.has("no-adaptive") {
         cfg.adaptive = false;
     }
@@ -484,7 +488,24 @@ fn cmd_run(a: &Args) -> Result<String, CliError> {
         ..RunOptions::default()
     };
     let parts = random_placement(n, k, seed);
+    let sharded_before = flitsim::metrics::SHARDED_RUNS.get();
     let out = run_multicast_opts(topo.as_ref(), &cfg, alg, &parts, parts[0], bytes, &opts);
+
+    // `--fingerprint`: print the canonical SimResult JSON and nothing else
+    // — the substrate of the sequential-vs-sharded differential gate in
+    // scripts/check.sh.  A sharded invocation that silently fell back to
+    // the sequential engine would make that comparison vacuous, so it is
+    // an error here.
+    if a.has("fingerprint") {
+        if cfg.shards > 1 && flitsim::metrics::SHARDED_RUNS.get() == sharded_before {
+            return Err(err(format!(
+                "--shards {} requested but the sharded engine did not engage \
+                 (workload below the conservative-window floor?)",
+                cfg.shards
+            )));
+        }
+        return Ok(format!("{}\n", out.sim.fingerprint()));
+    }
 
     let chain = alg.chain(topo.as_ref(), &parts, parts[0]);
     let static_conflicts = check_schedule(topo.as_ref(), &chain, &out.schedule).len();

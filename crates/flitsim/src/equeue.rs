@@ -1,15 +1,22 @@
 //! The engine's event queue — a calendar (bucket-ring) queue with a heap
-//! fallback, order-identical to the `BinaryHeap<(Time, prio, seq)>` it
-//! replaced.
+//! fallback, popping in ascending `(t, ord)` order.
 //!
 //! # Ordering contract
 //!
-//! Events pop in ascending `(t, prio, seq)` order, where `seq` is the
-//! global push counter: same-time releases (prio 0) before same-time head
-//! movements (prio 1), FIFO within a priority class.  This is the exact
-//! order of the previous `BinaryHeap<Reverse<(Time, u8, u64, EventKey)>>`,
-//! so simulation results are bit-identical — the unit tests below pin the
-//! equivalence against a reference heap under randomized workloads.
+//! Events pop in ascending `(t, ord)` order, where `ord` is an **intrinsic**
+//! ordering key built by the engine from the event's priority class, kind,
+//! and the identity of the entity it drives (channel id, node id, or the
+//! worm's birth rank).  Intrinsic means *execution-order independent*: the
+//! key of an event never depends on how many other events were scheduled
+//! before it, only on what the event is.  That property is what lets the
+//! sharded engine (`crate::shard`) merge per-shard event streams and still
+//! pop in exactly the order the sequential engine would — a push-counter
+//! tie-break (the queue's previous contract) cannot be reproduced across
+//! concurrently executing shards, an intrinsic key can.
+//!
+//! The engine guarantees `(t, ord)` pairs are unique: at one instant a
+//! channel has at most one pending release, a node one pending kick, and a
+//! worm one pending event of each kind (see `Engine::ord_of`).
 //!
 //! # Structure
 //!
@@ -47,21 +54,20 @@ pub(crate) const ENTRY_BYTES: usize = std::mem::size_of::<Node>();
 #[derive(Clone, Copy)]
 struct Node {
     t: Time,
-    /// `(prio << 62) | seq` — one comparison orders priority then FIFO.
+    /// The intrinsic ordering key (priority, kind, entity rank).
     ord: u64,
     ev: u64,
     next: u32,
 }
 
-/// The calendar queue.  `push` takes `(time, priority, payload)`; `pop`
-/// returns `(time, payload)` in the contract order.
+/// The calendar queue.  `push` takes `(time, ord, payload)`; `pop` returns
+/// `(time, ord, payload)` in ascending `(time, ord)` order.
 pub(crate) struct EventQueue {
     slots: Box<[u32]>,
     occupied: Box<[u64]>,
     cursor: Time,
     nodes: Vec<Node>,
     free: u32,
-    seq: u64,
     len: usize,
     bucketed: usize,
     overflow: BinaryHeap<Reverse<(Time, u64, u64)>>,
@@ -76,7 +82,6 @@ impl EventQueue {
             cursor: 0,
             nodes: Vec::new(),
             free: NIL,
-            seq: 0,
             len: 0,
             bucketed: 0,
             overflow: BinaryHeap::new(),
@@ -88,10 +93,38 @@ impl EventQueue {
         self.len
     }
 
-    pub fn push(&mut self, t: Time, prio: u8, ev: u64) {
-        debug_assert!(prio <= 1, "priorities are 0 (release) or 1");
-        self.seq += 1;
-        let ord = (u64::from(prio) << 62) | self.seq;
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Time and ord of the earliest pending event without popping it.
+    pub fn peek_key(&self) -> Option<(Time, u64)> {
+        if self.len == 0 {
+            return None;
+        }
+        if let Some(&Reverse((t, ord, _))) = self.past.peek() {
+            return Some((t, ord));
+        }
+        if self.bucketed == 0 {
+            let &Reverse((t, ord, _)) = self.overflow.peek().expect("len accounting broke");
+            return Some((t, ord));
+        }
+        let slot = self.next_occupied();
+        let mut cur = self.slots[slot];
+        debug_assert_ne!(cur, NIL);
+        let mut best = (self.nodes[cur as usize].t, self.nodes[cur as usize].ord);
+        cur = self.nodes[cur as usize].next;
+        while cur != NIL {
+            let n = &self.nodes[cur as usize];
+            best = best.min((n.t, n.ord));
+            cur = n.next;
+        }
+        // An overflow entry can never beat a bucketed one (it lies beyond
+        // the ring window), but the past heap was already handled above.
+        Some(best)
+    }
+
+    pub fn push(&mut self, t: Time, ord: u64, ev: u64) {
         self.len += 1;
         if t < self.cursor {
             self.past.push(Reverse((t, ord, ev)));
@@ -102,16 +135,16 @@ impl EventQueue {
         }
     }
 
-    pub fn pop(&mut self) -> Option<(Time, u64)> {
+    pub fn pop(&mut self) -> Option<(Time, u64, u64)> {
         if self.len == 0 {
             return None;
         }
         // Past events are strictly earlier than everything bucketed or
         // overflowed (they were pushed with t < cursor, and the cursor
         // never moves backwards), so they drain first, in heap order.
-        if let Some(Reverse((t, _, ev))) = self.past.pop() {
+        if let Some(Reverse((t, ord, ev))) = self.past.pop() {
             self.len -= 1;
-            return Some((t, ev));
+            return Some((t, ord, ev));
         }
         if self.bucketed == 0 {
             // Everything pending is far-future: jump the window to it.
@@ -120,14 +153,38 @@ impl EventQueue {
             self.migrate();
         }
         let slot = self.next_occupied();
-        let (t, ev) = self.unlink_min(slot);
+        let (t, ord, ev) = self.unlink_min(slot);
         self.bucketed -= 1;
         self.len -= 1;
         if t > self.cursor {
             self.cursor = t;
             self.migrate();
         }
-        Some((t, ev))
+        Some((t, ord, ev))
+    }
+
+    /// Visit every pending event (in no particular order) — the sharded
+    /// engine's earliest-emission-time scan.
+    pub fn for_each(&self, mut f: impl FnMut(Time, u64)) {
+        for &Reverse((t, _, ev)) in self.past.iter().chain(self.overflow.iter()) {
+            f(t, ev);
+        }
+        let mut visited = 0usize;
+        for word in 0..self.occupied.len() {
+            let mut bits = self.occupied[word];
+            while bits != 0 {
+                let slot = (word << 6) + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let mut cur = self.slots[slot];
+                while cur != NIL {
+                    let n = &self.nodes[cur as usize];
+                    f(n.t, n.ev);
+                    visited += 1;
+                    cur = n.next;
+                }
+            }
+        }
+        debug_assert_eq!(visited, self.bucketed);
     }
 
     fn bucket(&mut self, t: Time, ord: u64, ev: u64) {
@@ -189,8 +246,8 @@ impl EventQueue {
 
     /// Unlink and recycle the minimum-(t, ord) node of a slot's list.  All
     /// nodes in one slot share the same `t` (the window is injective per
-    /// slot), so this is the FIFO/priority minimum of one instant.
-    fn unlink_min(&mut self, slot: usize) -> (Time, u64) {
+    /// slot), so this is the kind/rank minimum of one instant.
+    fn unlink_min(&mut self, slot: usize) -> (Time, u64, u64) {
         let head = self.slots[slot];
         debug_assert_ne!(head, NIL);
         let mut best = head;
@@ -215,10 +272,10 @@ impl EventQueue {
         if self.slots[slot] == NIL {
             self.occupied[slot >> 6] &= !(1 << (slot & 63));
         }
-        let (t, ev) = (self.nodes[best as usize].t, self.nodes[best as usize].ev);
+        let n = self.nodes[best as usize];
         self.nodes[best as usize].next = self.free;
         self.free = best;
-        (t, ev)
+        (n.t, n.ord, n.ev)
     }
 }
 
@@ -226,21 +283,19 @@ impl EventQueue {
 mod tests {
     use super::*;
 
-    /// Reference model: the exact heap the engine used before.
+    /// Reference model: a plain heap over the same `(t, ord)` key.
     #[derive(Default)]
     struct RefHeap {
-        heap: BinaryHeap<Reverse<(Time, u8, u64, u64)>>,
-        seq: u64,
+        heap: BinaryHeap<Reverse<(Time, u64, u64)>>,
     }
 
     impl RefHeap {
-        fn push(&mut self, t: Time, prio: u8, ev: u64) {
-            self.seq += 1;
-            self.heap.push(Reverse((t, prio, self.seq, ev)));
+        fn push(&mut self, t: Time, ord: u64, ev: u64) {
+            self.heap.push(Reverse((t, ord, ev)));
         }
 
-        fn pop(&mut self) -> Option<(Time, u64)> {
-            self.heap.pop().map(|Reverse((t, _, _, ev))| (t, ev))
+        fn pop(&mut self) -> Option<(Time, u64, u64)> {
+            self.heap.pop().map(|Reverse(k)| k)
         }
     }
 
@@ -263,8 +318,8 @@ mod tests {
         let mut now: Time = 0;
         let mut pushed = 0usize;
         let mut ev = 0u64;
-        while pushed < pushes || q.len() > 0 {
-            let do_push = pushed < pushes && (q.len() == 0 || !rng.next().is_multiple_of(3));
+        while pushed < pushes || !q.is_empty() {
+            let do_push = pushed < pushes && (q.is_empty() || !rng.next().is_multiple_of(3));
             if do_push {
                 // Mix near-future, far-future (overflow) and, once time has
                 // advanced, past-of-cursor times (the release-clamp case).
@@ -273,16 +328,22 @@ mod tests {
                     1 => now + SLOTS as Time + rng.next() % time_spread,
                     _ => now + rng.next() % 700,
                 };
-                let prio = (rng.next() % 2) as u8;
+                // Unique intrinsic ords, as the engine guarantees: the
+                // counter stands in for a (prio, kind, rank) key.
                 ev += 1;
-                q.push(t, prio, ev);
-                r.push(t, prio, ev);
+                let ord = (rng.next() % 2) << 63 | ev;
+                q.push(t, ord, ev);
+                r.push(t, ord, ev);
                 pushed += 1;
             } else {
+                assert_eq!(
+                    q.peek_key(),
+                    r.heap.peek().map(|&Reverse((t, o, _))| (t, o))
+                );
                 let got = q.pop();
                 let want = r.pop();
                 assert_eq!(got, want, "divergence at seed {seed} after {pushed} pushes");
-                if let Some((t, _)) = got {
+                if let Some((t, _, _)) = got {
                     now = now.max(t);
                 }
             }
@@ -305,16 +366,16 @@ mod tests {
     }
 
     #[test]
-    fn same_time_releases_beat_head_movements() {
+    fn lower_ord_pops_first_at_one_instant() {
         let mut q = EventQueue::new();
-        q.push(10, 1, 100);
-        q.push(10, 0, 200);
-        q.push(10, 1, 101);
-        q.push(10, 0, 201);
-        assert_eq!(q.pop(), Some((10, 200)));
-        assert_eq!(q.pop(), Some((10, 201)));
-        assert_eq!(q.pop(), Some((10, 100)));
-        assert_eq!(q.pop(), Some((10, 101)));
+        q.push(10, 1 << 63 | 7, 100);
+        q.push(10, 3, 200);
+        q.push(10, 1 << 63 | 2, 101);
+        q.push(10, 9, 201);
+        assert_eq!(q.pop(), Some((10, 3, 200)));
+        assert_eq!(q.pop(), Some((10, 9, 201)));
+        assert_eq!(q.pop(), Some((10, 1 << 63 | 2, 101)));
+        assert_eq!(q.pop(), Some((10, 1 << 63 | 7, 100)));
         assert_eq!(q.pop(), None);
     }
 
@@ -322,13 +383,28 @@ mod tests {
     fn past_events_pop_before_bucketed_ones() {
         let mut q = EventQueue::new();
         q.push(1000, 1, 1);
-        assert_eq!(q.pop(), Some((1000, 1)));
+        assert_eq!(q.pop(), Some((1000, 1, 1)));
         // Cursor is now 1000; a clamp-style earlier event must still come
         // out before anything later, at its own (unclamped) time.
-        q.push(400, 0, 2);
-        q.push(1001, 1, 3);
-        assert_eq!(q.pop(), Some((400, 2)));
-        assert_eq!(q.pop(), Some((1001, 3)));
+        q.push(400, 2, 2);
+        q.push(1001, 3, 3);
+        assert_eq!(q.peek_key(), Some((400, 2)));
+        assert_eq!(q.pop(), Some((400, 2, 2)));
+        assert_eq!(q.pop(), Some((1001, 3, 3)));
+    }
+
+    #[test]
+    fn for_each_visits_every_pending_event() {
+        let mut q = EventQueue::new();
+        q.push(1000, 1, 1);
+        assert_eq!(q.pop(), Some((1000, 1, 1))); // cursor at 1000
+        q.push(5, 2, 2); // past heap
+        q.push(1200, 3, 3); // bucketed
+        q.push(1_000_000, 4, 4); // overflow heap
+        let mut seen: Vec<(Time, u64)> = Vec::new();
+        q.for_each(|t, ev| seen.push((t, ev)));
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(5, 2), (1200, 3), (1_000_000, 4)]);
     }
 
     #[test]
@@ -336,7 +412,7 @@ mod tests {
         let mut q = EventQueue::new();
         for round in 0..100u64 {
             for i in 0..8 {
-                q.push(round * 10 + i, 1, i);
+                q.push(round * 10 + i, i, i);
             }
             for _ in 0..8 {
                 q.pop().unwrap();

@@ -42,6 +42,36 @@ counter!(
     "flitsim_channel_busy_cycles_total",
     "Busy channel-cycles across all runs"
 );
+counter!(
+    pub SHARDED_RUNS,
+    "flitsim_sharded_runs_total",
+    "Runs executed by the sharded engine"
+);
+counter!(
+    pub SHARD_FALLBACKS,
+    "flitsim_shard_fallbacks_total",
+    "Runs that requested shards but fell back to the sequential engine"
+);
+counter!(
+    pub SHARD_ROUNDS,
+    "flitsim_shard_rounds_total",
+    "Conservative time windows executed across all sharded runs"
+);
+counter!(
+    pub SHARD_MESSAGES,
+    "flitsim_shard_messages_total",
+    "Cross-shard handoff messages (migrations + remote releases)"
+);
+counter!(
+    pub SHARD_BUSY_NS,
+    "flitsim_shard_busy_ns_total",
+    "Wall time shard workers spent processing events (per-shard utilization numerator)"
+);
+counter!(
+    pub SHARD_STALL_NS,
+    "flitsim_shard_barrier_stall_ns_total",
+    "Wall time shard workers spent waiting at window barriers"
+);
 
 /// Snapshot the cumulative process-wide engine counters.
 pub fn process_snapshot() -> TelemetrySnapshot {
@@ -52,6 +82,12 @@ pub fn process_snapshot() -> TelemetrySnapshot {
     s.record(&MESSAGES);
     s.record(&BLOCKED_CYCLES);
     s.record(&CHANNEL_BUSY_CYCLES);
+    s.record(&SHARDED_RUNS);
+    s.record(&SHARD_FALLBACKS);
+    s.record(&SHARD_ROUNDS);
+    s.record(&SHARD_MESSAGES);
+    s.record(&SHARD_BUSY_NS);
+    s.record(&SHARD_STALL_NS);
     s
 }
 

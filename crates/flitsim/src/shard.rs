@@ -1,0 +1,471 @@
+//! Deterministic sharded execution of the flit engine (DESIGN.md §15).
+//!
+//! The topology is split by [`topo::Partition`]; each shard runs a full
+//! [`Engine`](crate::Engine) over its sub-topology and the shards advance
+//! in *conservative time windows*: every round, each shard publishes a
+//! lower bound on when its pending work could next affect another shard
+//! (its **earliest emission time**), the global minimum of those bounds
+//! becomes the window horizon, and every shard processes exactly the
+//! events strictly before the horizon.  Cross-shard effects — worm
+//! migrations and remote channel releases — are buffered per destination
+//! and delivered at the barrier, so they always arrive before any event
+//! at their timestamp is processed.  Because every event carries an
+//! intrinsic `(time, ord)` key (see `Engine::ord_of`) that is unique and
+//! independent of scheduling history, the merged execution pops events in
+//! exactly the sequential engine's order, and every simulation output is
+//! bit-identical to a one-shard run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier, Mutex};
+use std::time::Instant;
+
+use pcm::Time;
+use topo::{ChannelId, NetworkGraph, NodeId, Partition};
+
+use crate::config::SimConfig;
+use crate::engine::Engine;
+use crate::obs::{EventCounts, RunMeta, TraceSink};
+use crate::program::ShardProgram;
+use crate::stats::{ChannelTelemetry, MessageRecord, SimResult};
+
+/// Seed for the topology partitioner: the partition — like everything else
+/// about a run — must be a pure function of the configuration.
+const PARTITION_SEED: u64 = 1997;
+
+/// Immutable, partition-derived data shared by every shard of one run.
+pub(crate) struct ShardPlan {
+    /// Shard count.
+    pub n_shards: usize,
+    /// Owner shard per channel (arbitration happens there).
+    pub chan_shard: Vec<u32>,
+    /// Shard per router.
+    pub router_shard: Vec<u32>,
+    /// Shard per node (where its sends issue and receives complete).
+    pub node_shard: Vec<u32>,
+    /// Per node: lower bound on the delay between an event at the node
+    /// (kick / worm start) and its first possible cross-shard emission —
+    /// `router_delay ×` (channel hops to the nearest boundary).
+    pub node_eps: Vec<Time>,
+    /// Per router: `router_delay ×` (channel hops from the router to the
+    /// nearest crossing channel, inclusive); `Time::MAX` when no boundary
+    /// is reachable.
+    pub router_eps: Vec<Time>,
+    /// Condition C floor: worms shorter than this can release channels at
+    /// non-future times, which the conservative windows cannot order.
+    pub min_flits: u64,
+    /// Lower bound of `t_send` over all message sizes.
+    pub ts0: Time,
+    /// Lower bound of `t_recv` over all message sizes.
+    pub tr0: Time,
+    /// One hop of head latency — the cross-shard lookahead unit.
+    pub rd: Time,
+}
+
+/// A worm in flight between shards: the head just acquired a channel into
+/// a router owned by the destination shard.
+pub(crate) struct WormWire<P> {
+    pub src: NodeId,
+    pub dest: NodeId,
+    pub bytes: u64,
+    pub flits: u64,
+    pub payload: Option<P>,
+    pub path: Vec<ChannelId>,
+    pub release_ptr: usize,
+    pub initiated: Time,
+    pub injected: Time,
+    pub blocked: Time,
+    pub rank: u64,
+}
+
+/// A cross-shard handoff, timestamped with the event time it carries.
+pub(crate) enum OutMsg<P> {
+    /// The worm continues climbing in the destination shard at `t`.
+    Migrate { t: Time, worm: WormWire<P> },
+    /// Release `chan` (owned by the destination shard) at `t`; the owner
+    /// applies its own `acquired_at + 1` floor, exactly as the sequential
+    /// engine does when scheduling the release locally.
+    Release { t: Time, chan: u32 },
+}
+
+/// Per-engine sharding state: identity, the shared plan, and the
+/// per-destination outboxes filled during a window.
+pub(crate) struct ShardCtx<P> {
+    pub id: u32,
+    pub plan: Arc<ShardPlan>,
+    pub outbox: Vec<Vec<OutMsg<P>>>,
+}
+
+/// What one shard's engine hands back after its last window.
+pub(crate) struct ShardPartial {
+    pub finish: Time,
+    /// `(completed, worm rank, record)` in local pop order — sorted by
+    /// `(completed, rank)`, which is exactly the sequential delivery order
+    /// restricted to this shard.
+    pub messages: Vec<(Time, u64, MessageRecord)>,
+    pub blocked_cycles: Time,
+    pub blocked_events: u64,
+    pub channel_busy: Time,
+    pub chan_busy: Vec<Time>,
+    pub chan_blocked: Vec<Time>,
+    pub chan_acquires: Vec<u64>,
+    pub counts: Option<EventCounts>,
+    pub events_processed: u64,
+    pub events_scheduled: u64,
+    pub peak_heap: usize,
+    pub peak_heap_bytes: u64,
+}
+
+/// Build the shared plan for `k` shards over `g`.
+pub(crate) fn build_plan(
+    g: &NetworkGraph,
+    cfg: &SimConfig,
+    k: usize,
+    max_path: usize,
+) -> ShardPlan {
+    let part = Partition::build(g, k, PARTITION_SEED);
+    let dist = part.crossing_distance(g);
+    let rd = cfg.router_delay;
+    let router_eps: Vec<Time> = dist
+        .iter()
+        .map(|&d| {
+            if d == u32::MAX {
+                Time::MAX
+            } else {
+                rd.saturating_mul(Time::from(d))
+            }
+        })
+        .collect();
+    let node_eps: Vec<Time> = (0..g.n_nodes())
+        .map(|n| {
+            // First emission after a send issues at this node: acquiring a
+            // crossing injection channel emits at `t + rd`; otherwise the
+            // head must walk from the injection router to the boundary.
+            g.injections(NodeId(n as u32))
+                .iter()
+                .map(|&c| {
+                    if part.channel_crosses(c) {
+                        rd
+                    } else {
+                        let r = g.dst_router(c).expect("injection leads to a router");
+                        rd.saturating_add(router_eps[r.idx()])
+                    }
+                })
+                .min()
+                .expect("every node has an injection port")
+        })
+        .collect();
+    let eval0 = |f: &pcm::LinearFn| if f.slope < 0.0 { 0 } else { f.eval(0) };
+    ShardPlan {
+        n_shards: k,
+        chan_shard: (0..g.n_channels())
+            .map(|c| part.channel_shard(ChannelId(c as u32)) as u32)
+            .collect(),
+        router_shard: (0..g.n_routers())
+            .map(|r| part.router_shard(topo::RouterId(r as u32)) as u32)
+            .collect(),
+        node_shard: (0..g.n_nodes())
+            .map(|n| part.node_shard(NodeId(n as u32)) as u32)
+            .collect(),
+        node_eps,
+        router_eps,
+        min_flits: cfg
+            .buffer_flits
+            .max(1)
+            .saturating_mul(max_path as u64 - 1)
+            .saturating_add(1),
+        ts0: eval0(&cfg.software.t_send),
+        tr0: eval0(&cfg.software.t_recv),
+        rd,
+    }
+}
+
+/// Round-synchronization state shared by all shard threads.
+struct Shared<P> {
+    barrier: Barrier,
+    /// Per-shard earliest emission time, republished every round.
+    eits: Vec<AtomicU64>,
+    /// Per-shard pending-event count (termination detection).
+    pendings: Vec<AtomicU64>,
+    /// `mailboxes[src][dst]`: handoffs published by `src` for `dst` this
+    /// round.  Each cell has exactly one writer (src) and one reader
+    /// (dst), on opposite sides of a barrier.
+    mailboxes: Vec<Vec<Mutex<Vec<OutMsg<P>>>>>,
+}
+
+/// Wall-clock telemetry one shard thread collected.
+struct ShardTelem {
+    busy_ns: u64,
+    stall_ns: u64,
+    msgs_sent: u64,
+    rounds: u64,
+}
+
+/// Run `proto`'s simulation across `plan.n_shards` worker threads.
+/// Callers guarantee the gates in `Engine::try_shard_plan` passed.
+pub(crate) fn run_sharded<'t, Prog>(
+    proto: Engine<'t, Prog>,
+    plan: Arc<ShardPlan>,
+) -> (Prog, SimResult)
+where
+    Prog: ShardProgram,
+    Prog::Payload: Send,
+{
+    let wall_start = Instant::now();
+    let k = plan.n_shards;
+    let (topo, cfg, mut program, starts, counters) = proto.into_sharded_parts();
+
+    // Distribute the initial sends to their nodes' home shards.
+    let mut shard_starts: Vec<Vec<_>> = (0..k).map(|_| Vec::new()).collect();
+    for (node, at, sends) in starts {
+        shard_starts[plan.node_shard[node.idx()] as usize].push((node, at, sends));
+    }
+    let forks: Vec<Prog> = (0..k).map(|_| program.fork()).collect();
+
+    let shared: Shared<Prog::Payload> = Shared {
+        barrier: Barrier::new(k),
+        eits: (0..k).map(|_| AtomicU64::new(0)).collect(),
+        pendings: (0..k).map(|_| AtomicU64::new(0)).collect(),
+        mailboxes: (0..k)
+            .map(|_| (0..k).map(|_| Mutex::new(Vec::new())).collect())
+            .collect(),
+    };
+
+    let outcomes: Vec<(Prog, ShardPartial, ShardTelem)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = forks
+            .into_iter()
+            .zip(shard_starts)
+            .enumerate()
+            .map(|(id, (fork, starts))| {
+                let cfg = cfg.clone();
+                let plan = Arc::clone(&plan);
+                let shared = &shared;
+                scope.spawn(move || {
+                    shard_thread(id, topo, cfg, fork, starts, counters, plan, shared)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard thread panicked"))
+            .collect()
+    });
+
+    // Merge, in shard order so every reduction is deterministic.
+    let mut partials = Vec::with_capacity(k);
+    let mut busy_ns = 0u64;
+    let mut stall_ns = 0u64;
+    let mut msgs = 0u64;
+    let mut rounds = 0u64;
+    for (fork, partial, telem) in outcomes {
+        program.absorb(fork);
+        busy_ns += telem.busy_ns;
+        stall_ns += telem.stall_ns;
+        msgs += telem.msgs_sent;
+        rounds = rounds.max(telem.rounds);
+        partials.push(partial);
+    }
+
+    // Deliveries interleave by `(completed, worm rank)` — the sequential
+    // pop order of `RecvDone` events (equal times tie-break on the worm's
+    // intrinsic rank, which is what `ord_of` encodes).
+    let mut tagged: Vec<(Time, u64, MessageRecord)> = partials
+        .iter_mut()
+        .flat_map(|p| p.messages.drain(..))
+        .collect();
+    tagged.sort_by_key(|&(t, rank, _)| (t, rank));
+    let messages: Vec<MessageRecord> = tagged.into_iter().map(|(_, _, m)| m).collect();
+
+    let n_channels = partials[0].chan_busy.len();
+    let mut channels = vec![
+        ChannelTelemetry {
+            busy: 0,
+            blocked: 0,
+            acquires: 0,
+        };
+        n_channels
+    ];
+    for p in &partials {
+        for (i, c) in channels.iter_mut().enumerate() {
+            c.busy += p.chan_busy[i];
+            c.blocked += p.chan_blocked[i];
+            c.acquires += p.chan_acquires[i];
+        }
+    }
+
+    let counts = partials
+        .iter()
+        .filter_map(|p| p.counts)
+        .fold(None::<EventCounts>, |acc, c| {
+            let mut sum = acc.unwrap_or_default();
+            sum.acquires += c.acquires;
+            sum.releases += c.releases;
+            sum.inject_starts += c.inject_starts;
+            sum.drain_starts += c.drain_starts;
+            sum.recv_dones += c.recv_dones;
+            sum.blocked += c.blocked;
+            sum.cpu_busy += c.cpu_busy;
+            sum.cpu_idle += c.cpu_idle;
+            sum.anomalies += c.anomalies;
+            Some(sum)
+        });
+
+    let events_processed: u64 = partials.iter().map(|p| p.events_processed).sum();
+    let events_scheduled: u64 = partials.iter().map(|p| p.events_scheduled).sum();
+    let wall_ns = wall_start.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+    let meta = RunMeta {
+        events_processed,
+        events_scheduled,
+        // Shard-local high-water marks: the max is the largest any one
+        // queue grew, *not* what a sequential queue would have held.
+        peak_heap_events: partials.iter().map(|p| p.peak_heap).max().unwrap_or(0),
+        peak_heap_bytes: partials
+            .iter()
+            .map(|p| p.peak_heap_bytes)
+            .max()
+            .unwrap_or(0),
+        trace_events: 0,
+        trace_dropped: 0,
+        wall_ns,
+        events_per_sec: if wall_ns == 0 {
+            0.0
+        } else {
+            events_processed as f64 * 1e9 / wall_ns as f64
+        },
+    };
+
+    let result = SimResult {
+        finish: partials.iter().map(|p| p.finish).max().unwrap_or(0),
+        blocked_cycles: partials.iter().map(|p| p.blocked_cycles).sum(),
+        blocked_events: partials.iter().map(|p| p.blocked_events).sum(),
+        channel_busy_cycles: partials.iter().map(|p| p.channel_busy).sum(),
+        messages,
+        channels,
+        counts,
+        trace: Vec::new(),
+        truncated: false,
+        meta,
+    };
+
+    crate::metrics::RUNS.inc();
+    crate::metrics::EVENTS_PROCESSED.add(events_processed);
+    crate::metrics::EVENTS_SCHEDULED.add(events_scheduled);
+    crate::metrics::MESSAGES.add(result.messages.len() as u64);
+    crate::metrics::BLOCKED_CYCLES.add(result.blocked_cycles);
+    crate::metrics::CHANNEL_BUSY_CYCLES.add(result.channel_busy_cycles);
+    crate::metrics::SHARDED_RUNS.inc();
+    crate::metrics::SHARD_ROUNDS.add(rounds);
+    crate::metrics::SHARD_MESSAGES.add(msgs);
+    crate::metrics::SHARD_BUSY_NS.add(busy_ns);
+    crate::metrics::SHARD_STALL_NS.add(stall_ns);
+
+    (program, result)
+}
+
+fn wait(shared_barrier: &Barrier, stall_ns: &mut u64) {
+    let t0 = Instant::now();
+    shared_barrier.wait();
+    *stall_ns += t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+}
+
+#[allow(clippy::too_many_arguments)]
+fn shard_thread<Prog>(
+    id: usize,
+    topo: &dyn topo::Topology,
+    cfg: SimConfig,
+    program: Prog,
+    starts: Vec<crate::engine::StartRec<Prog::Payload>>,
+    counters: bool,
+    plan: Arc<ShardPlan>,
+    shared: &Shared<Prog::Payload>,
+) -> (Prog, ShardPartial, ShardTelem)
+where
+    Prog: ShardProgram,
+    Prog::Payload: Send,
+{
+    let k = plan.n_shards;
+    let mut eng = Engine::new(topo, cfg, program);
+    eng.set_observer(if counters {
+        TraceSink::counters()
+    } else {
+        TraceSink::Null
+    });
+    for (node, at, sends) in starts {
+        eng.start(node, at, sends);
+    }
+    eng.set_shard(ShardCtx {
+        id: id as u32,
+        plan,
+        outbox: (0..k).map(|_| Vec::new()).collect(),
+    });
+    eng.drain_starts();
+
+    let mut telem = ShardTelem {
+        busy_ns: 0,
+        stall_ns: 0,
+        msgs_sent: 0,
+        rounds: 0,
+    };
+    loop {
+        // Publish this shard's earliest possible cross-shard emission and
+        // its pending-event count, then meet the others.
+        shared.eits[id].store(eng.earliest_emission(), Ordering::SeqCst);
+        shared.pendings[id].store(eng.pending_events() as u64, Ordering::SeqCst);
+        wait(&shared.barrier, &mut telem.stall_ns);
+
+        // Everyone reads the same published values, so every shard takes
+        // the same branch — termination needs no extra coordination.
+        let pending: u64 = shared
+            .pendings
+            .iter()
+            .map(|p| p.load(Ordering::SeqCst))
+            .sum();
+        if pending == 0 {
+            break;
+        }
+        let horizon = shared
+            .eits
+            .iter()
+            .map(|e| e.load(Ordering::SeqCst))
+            .min()
+            .expect("at least one shard");
+        telem.rounds += 1;
+
+        // Process every event strictly before the horizon.  No shard can
+        // emit anything timestamped before it, so the window is safe.
+        let t0 = Instant::now();
+        eng.run_window(horizon);
+        telem.busy_ns += t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+
+        // Publish this window's handoffs (single writer per cell) …
+        for dst in 0..k {
+            if dst == id {
+                continue;
+            }
+            let out = eng.outbox_mut(dst);
+            if !out.is_empty() {
+                telem.msgs_sent += out.len() as u64;
+                shared.mailboxes[id][dst]
+                    .lock()
+                    .expect("mailbox poisoned")
+                    .append(out);
+            }
+        }
+        wait(&shared.barrier, &mut telem.stall_ns);
+
+        // … and absorb everyone else's (single reader per cell).  All
+        // handoffs are timestamped at or after the horizon, so inserting
+        // them *after* the window preserves global pop order.
+        for src in 0..k {
+            if src == id {
+                continue;
+            }
+            let mut slot = shared.mailboxes[src][id].lock().expect("mailbox poisoned");
+            for msg in slot.drain(..) {
+                eng.deliver(msg);
+            }
+        }
+    }
+
+    let (program, partial) = eng.finish_partial();
+    (program, partial, telem)
+}

@@ -116,4 +116,19 @@ impl SimResult {
     pub fn delivered_to(&self, dest: NodeId) -> Option<&MessageRecord> {
         self.messages.iter().find(|m| m.dest == dest)
     }
+
+    /// Canonical JSON for reproducibility comparisons: the full result —
+    /// every message, every channel total, every deterministic meta count —
+    /// with the wall-clock figures (non-deterministic) and the heap
+    /// high-water marks (an execution-strategy detail: a sharded run keeps
+    /// several smaller queues) zeroed.  A sharded run is correct iff its
+    /// fingerprint is byte-identical to the sequential run's.
+    pub fn fingerprint(&self) -> String {
+        let mut canon = self.clone();
+        canon.meta.peak_heap_events = 0;
+        canon.meta.peak_heap_bytes = 0;
+        canon.meta.wall_ns = 0;
+        canon.meta.events_per_sec = 0.0;
+        serde_json::to_string(&canon).expect("SimResult serializes")
+    }
 }

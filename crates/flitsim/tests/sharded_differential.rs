@@ -1,0 +1,199 @@
+//! Differential testing of the sharded engine: for every topology family,
+//! across many seeds and shard counts, the sharded run's canonical result
+//! fingerprint must be **byte-identical** to the sequential run's.
+//!
+//! The workloads deliberately mix staggered start times, repeated senders,
+//! hot destinations (consumption-port contention) and relay cascades
+//! (program-generated sends), because those are the paths where a
+//! conservative-window bug would show up as a reordered acquisition.
+
+use flitsim::program::{RelayProgram, SinkProgram};
+use flitsim::{Engine, SendReq, SimConfig};
+use topo::{Bmin, Mesh, NodeId, Omega, Topology, Torus, UpPolicy};
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A seeded workload of point-to-point sends: `(src, start_at, dest, bytes)`.
+/// Sizes stay >= 512 B so condition C holds on every topology under test
+/// (the sharded path engages instead of falling back).
+fn workload(n_nodes: u32, seed: u64, sends: usize) -> Vec<(u32, u64, u32, u64)> {
+    let mut s = seed.wrapping_mul(0x5851_f42d_4c95_7f2d) ^ 0x1997;
+    (0..sends)
+        .map(|_| {
+            let src = (splitmix(&mut s) % u64::from(n_nodes)) as u32;
+            let mut dst = (splitmix(&mut s) % u64::from(n_nodes)) as u32;
+            if dst == src {
+                dst = (dst + 1) % n_nodes;
+            }
+            let at = splitmix(&mut s) % 5_000;
+            let bytes = 512 + splitmix(&mut s) % 7_500;
+            (src, at, dst, bytes)
+        })
+        .collect()
+}
+
+fn run_p2p(topo: &dyn Topology, shards: usize, wl: &[(u32, u64, u32, u64)]) -> String {
+    let mut cfg = SimConfig::paragon_like();
+    cfg.shards = shards;
+    let mut e = Engine::new(topo, cfg, SinkProgram);
+    for &(src, at, dst, bytes) in wl {
+        e.start(NodeId(src), at, vec![SendReq::to(NodeId(dst), bytes, ())]);
+    }
+    e.run_auto().1.fingerprint()
+}
+
+fn topologies() -> Vec<(&'static str, Box<dyn Topology>)> {
+    vec![
+        ("mesh-8x8", Box::new(Mesh::new(&[8, 8]))),
+        ("torus-8x8", Box::new(Torus::new(&[8, 8]))),
+        ("bmin-64", Box::new(Bmin::new(6, UpPolicy::Straight))),
+        ("omega-64", Box::new(Omega::new(6))),
+    ]
+}
+
+/// The core gate: 20 seeds x 4 topologies x shard counts {2, 4, 8}, every
+/// fingerprint byte-identical to sequential, and zero fallbacks (the runs
+/// really exercised the sharded path).
+#[test]
+fn sharded_matches_sequential_across_topologies_and_seeds() {
+    let fallbacks_before = flitsim::metrics::SHARD_FALLBACKS.get();
+    let sharded_before = flitsim::metrics::SHARDED_RUNS.get();
+    let mut sharded_runs = 0u64;
+    for (name, topo) in topologies() {
+        for seed in 0..20u64 {
+            let wl = workload(topo.graph().n_nodes() as u32, seed, 40);
+            let sequential = run_p2p(topo.as_ref(), 1, &wl);
+            for shards in [2usize, 4, 8] {
+                let sharded = run_p2p(topo.as_ref(), shards, &wl);
+                assert_eq!(
+                    sequential, sharded,
+                    "{name} seed {seed}: {shards}-shard run diverged from sequential"
+                );
+                sharded_runs += 1;
+            }
+        }
+    }
+    assert_eq!(
+        flitsim::metrics::SHARD_FALLBACKS.get(),
+        fallbacks_before,
+        "differential runs must engage the sharded engine, not fall back"
+    );
+    assert!(flitsim::metrics::SHARDED_RUNS.get() >= sharded_before + sharded_runs);
+}
+
+/// Relay cascades: program-generated sends (`on_receive` issuing new worms
+/// mid-run) must also merge bit-identically — they exercise the
+/// RecvDone -> kick -> fresh-worm chain the window bounds reason about.
+#[test]
+fn sharded_matches_sequential_with_program_cascades() {
+    for (name, topo) in topologies() {
+        let n = topo.graph().n_nodes() as u32;
+        let ring: Vec<NodeId> = (0..n).step_by(3).map(NodeId).collect();
+        let run = |shards: usize| {
+            let mut cfg = SimConfig::paragon_like();
+            cfg.shards = shards;
+            let prog = RelayProgram {
+                ring: ring.clone(),
+                bytes: 2048,
+            };
+            let mut e = Engine::new(topo.as_ref(), cfg, prog);
+            // Two interleaved relay cascades plus background traffic.
+            e.start(ring[0], 0, vec![SendReq::to(ring[1], 2048, 6u32)]);
+            e.start(ring[2], 700, vec![SendReq::to(ring[3], 2048, 5u32)]);
+            e.start(NodeId(1), 100, vec![SendReq::to(NodeId(n - 2), 4096, 0u32)]);
+            e.run_auto().1.fingerprint()
+        };
+        let sequential = run(1);
+        for shards in [2usize, 4, 8] {
+            assert_eq!(sequential, run(shards), "{name}: relay cascade diverged");
+        }
+    }
+}
+
+/// Concurrent hot-spot traffic: many senders, one destination — the
+/// consumption channel serialises everything, so release wakeup order (the
+/// subtlest merge invariant) decides every completion time.
+#[test]
+fn sharded_matches_sequential_under_hotspot_contention() {
+    for (name, topo) in topologies() {
+        let n = topo.graph().n_nodes() as u32;
+        let hot = n / 2;
+        let run = |shards: usize| {
+            let mut cfg = SimConfig::paragon_like();
+            cfg.shards = shards;
+            let mut e = Engine::new(topo.as_ref(), cfg, SinkProgram);
+            for src in 0..n {
+                if src != hot {
+                    let at = u64::from(src % 7) * 150;
+                    e.start(NodeId(src), at, vec![SendReq::to(NodeId(hot), 1024, ())]);
+                }
+            }
+            e.run_auto().1.fingerprint()
+        };
+        let sequential = run(1);
+        for shards in [2usize, 4, 8] {
+            assert_eq!(sequential, run(shards), "{name}: hotspot run diverged");
+        }
+    }
+}
+
+/// Deeper buffers change the release schedule (worms compress); the window
+/// bounds must stay conservative for them too.
+#[test]
+fn sharded_matches_sequential_with_deep_buffers() {
+    let mesh = Mesh::new(&[8, 8]);
+    for buf in [2u64, 8] {
+        for seed in 100..105u64 {
+            let wl = workload(64, seed, 30);
+            let run = |shards: usize| {
+                let mut cfg = SimConfig::paragon_like();
+                cfg.buffer_flits = buf;
+                // Deeper buffers raise the condition C floor; keep worms long.
+                cfg.shards = shards;
+                let mut e = Engine::new(&mesh, cfg, SinkProgram);
+                for &(src, at, dst, bytes) in &wl {
+                    e.start(
+                        NodeId(src),
+                        at,
+                        vec![SendReq::to(NodeId(dst), bytes * buf, ())],
+                    );
+                }
+                e.run_auto().1.fingerprint()
+            };
+            let sequential = run(1);
+            for shards in [2usize, 4] {
+                assert_eq!(sequential, run(shards), "buf {buf} seed {seed} diverged");
+            }
+        }
+    }
+}
+
+/// The counters observer must survive sharding with identical tallies
+/// (per-kind sums are associative across shards).
+#[test]
+fn sharded_counters_observer_matches() {
+    let mesh = Mesh::new(&[8, 8]);
+    let wl = workload(64, 7, 40);
+    let run = |shards: usize| {
+        let mut cfg = SimConfig::paragon_like();
+        cfg.shards = shards;
+        let mut e = Engine::new(&mesh, cfg, SinkProgram);
+        e.set_observer(flitsim::TraceSink::counters());
+        for &(src, at, dst, bytes) in &wl {
+            e.start(NodeId(src), at, vec![SendReq::to(NodeId(dst), bytes, ())]);
+        }
+        e.run_auto().1
+    };
+    let sequential = run(1);
+    let sharded = run(4);
+    assert_eq!(sequential.fingerprint(), sharded.fingerprint());
+    let (a, b) = (sequential.counts.unwrap(), sharded.counts.unwrap());
+    assert_eq!(a, b, "per-kind event tallies must merge exactly");
+    assert!(a.acquires > 0);
+}

@@ -1,0 +1,518 @@
+//! Deterministic topology partitioning for the sharded simulation engine.
+//!
+//! A [`Partition`] assigns every router — and, derived from that, every
+//! channel and node — to one of `n_shards` shards.  The assignment is a
+//! pure function of the graph, the shard count, and a seed: the same
+//! inputs always yield the same partition, which the sharded engine needs
+//! for reproducible runs (DESIGN.md §15).
+//!
+//! Ownership rules:
+//!
+//! * a **router** belongs to the shard the partitioner assigned it;
+//! * a **node** belongs to the shard of the router behind its consumption
+//!   ports — that is where worms drain and receives are processed.  (On
+//!   meshes, tori and BMINs a node's injection and consumption ports share
+//!   one router; on unidirectional Omega networks they do not, and the
+//!   consumption side wins);
+//! * a **channel** belongs to the shard of its *source*: the source
+//!   router's shard for router→router and consumption channels, the
+//!   owning node's shard for injection channels.  All wormhole
+//!   arbitration for a channel (candidate scan, acquire, waiter list) is
+//!   therefore local to one shard.
+//!
+//! A channel *crosses* when the router it feeds lives in a different
+//! shard than the channel's owner: router→router channels between shards,
+//! and (Omega only) injection channels whose stage-0 router is remote
+//! from the node's consumption-side home.  Consumption channels never
+//! cross.  The partitioner greedily grows balanced regions from
+//! farthest-point seeds and then runs a few boundary-refinement passes to
+//! shrink the edge cut.
+
+use crate::graph::{ChannelId, Endpoint, NetworkGraph, NodeId, RouterId};
+use std::collections::VecDeque;
+
+/// An assignment of routers, channels and nodes to shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    n_shards: usize,
+    shard_of_router: Vec<u32>,
+    shard_of_channel: Vec<u32>,
+    shard_of_node: Vec<u32>,
+    /// Router→router channels whose src and dst routers are in different
+    /// shards, in channel-id order.
+    crossing: Vec<ChannelId>,
+}
+
+impl Partition {
+    /// Partition `g` into `n_shards` shards, deterministically in
+    /// `(g, n_shards, seed)`.
+    ///
+    /// # Panics
+    /// If `n_shards` is zero or exceeds the number of routers, or if some
+    /// node's ports attach to routers the partitioner placed in different
+    /// shards (no standard topology does this).
+    pub fn build(g: &NetworkGraph, n_shards: usize, seed: u64) -> Self {
+        let nr = g.n_routers();
+        assert!(n_shards >= 1, "need at least one shard");
+        assert!(
+            n_shards <= nr,
+            "cannot split {nr} routers into {n_shards} shards"
+        );
+
+        let adj = router_adjacency(g);
+        let shard_of_router = if n_shards == 1 {
+            vec![0u32; nr]
+        } else {
+            let mut assign = grow_regions(&adj, nr, n_shards, seed);
+            refine(&adj, &mut assign, n_shards);
+            assign
+        };
+
+        // Nodes: the shard of the router behind their consumption ports.
+        let shard_of_node: Vec<u32> = (0..g.n_nodes())
+            .map(|n| {
+                let node = NodeId(n as u32);
+                let home = match g.channel(g.consumption(node)).src {
+                    Endpoint::Router(r) => r,
+                    Endpoint::Node(_) => unreachable!("consumption channels start at a router"),
+                };
+                let s = shard_of_router[home.idx()];
+                for &c in g.consumptions(node) {
+                    if let Endpoint::Router(r) = g.channel(c).src {
+                        assert_eq!(
+                            shard_of_router[r.idx()],
+                            s,
+                            "node {node:?} consumes from routers in different shards"
+                        );
+                    }
+                }
+                s
+            })
+            .collect();
+
+        // Channels: owned by their source side.  A channel crosses when
+        // the router it feeds lives in a different shard than its owner.
+        let mut shard_of_channel = vec![0u32; g.n_channels()];
+        let mut crossing = Vec::new();
+        for (i, ch) in g.channels().iter().enumerate() {
+            let owner = match ch.src {
+                Endpoint::Router(s) => shard_of_router[s.idx()],
+                Endpoint::Node(n) => shard_of_node[n.idx()],
+            };
+            shard_of_channel[i] = owner;
+            if let Endpoint::Router(d) = ch.dst {
+                if owner != shard_of_router[d.idx()] {
+                    crossing.push(ChannelId(i as u32));
+                }
+            }
+        }
+
+        Self {
+            n_shards,
+            shard_of_router,
+            shard_of_channel,
+            shard_of_node,
+            crossing,
+        }
+    }
+
+    /// Number of shards.
+    pub fn n_shards(&self) -> usize {
+        self.n_shards
+    }
+
+    /// Shard owning router `r`.
+    pub fn router_shard(&self, r: RouterId) -> usize {
+        self.shard_of_router[r.idx()] as usize
+    }
+
+    /// Shard owning channel `c` (its source router's shard).
+    pub fn channel_shard(&self, c: ChannelId) -> usize {
+        self.shard_of_channel[c.idx()] as usize
+    }
+
+    /// Shard owning node `n`.
+    pub fn node_shard(&self, n: NodeId) -> usize {
+        self.shard_of_node[n.idx()] as usize
+    }
+
+    /// Channels that cross a shard boundary (owner shard differs from the
+    /// fed router's shard), in id order.
+    pub fn crossing_channels(&self) -> &[ChannelId] {
+        &self.crossing
+    }
+
+    /// Does channel `c` cross a shard boundary?
+    pub fn channel_crosses(&self, c: ChannelId) -> bool {
+        self.crossing.binary_search(&c).is_ok()
+    }
+
+    /// Size of the edge cut (number of crossing channels).
+    pub fn cut(&self) -> usize {
+        self.crossing.len()
+    }
+
+    /// The minimum latency over all crossing channels, per the caller's
+    /// latency function — the conservative-window lookahead of DESIGN.md
+    /// §15.  `None` when no channel crosses (single shard or disconnected
+    /// regions), in which case shards never interact.
+    pub fn min_cross_latency<L, T>(&self, latency: L) -> Option<T>
+    where
+        L: Fn(ChannelId) -> T,
+        T: Ord,
+    {
+        self.crossing.iter().map(|&c| latency(c)).min()
+    }
+
+    /// For every router, the minimum number of channel traversals before a
+    /// worm advancing out of that router can first occupy a crossing
+    /// channel: `1` if some outgoing channel crosses, `1 + min(next)`
+    /// otherwise, `u32::MAX` if no boundary is reachable.  The sharded
+    /// engine multiplies this by the per-hop latency to lower-bound when
+    /// local work can next affect another shard.
+    pub fn crossing_distance(&self, g: &NetworkGraph) -> Vec<u32> {
+        let nr = g.n_routers();
+        // Reverse router adjacency, so we can BFS backward from boundaries.
+        let mut radj: Vec<Vec<u32>> = vec![Vec::new(); nr];
+        let mut dist = vec![u32::MAX; nr];
+        let mut queue = VecDeque::new();
+        for ch in g.channels() {
+            if let (Endpoint::Router(s), Endpoint::Router(d)) = (ch.src, ch.dst) {
+                radj[d.idx()].push(s.idx() as u32);
+                if self.shard_of_router[s.idx()] != self.shard_of_router[d.idx()]
+                    && dist[s.idx()] == u32::MAX
+                {
+                    dist[s.idx()] = 1;
+                    queue.push_back(s.idx());
+                }
+            }
+        }
+        while let Some(r) = queue.pop_front() {
+            let next = dist[r] + 1;
+            for &p in &radj[r] {
+                if dist[p as usize] == u32::MAX {
+                    dist[p as usize] = next;
+                    queue.push_back(p as usize);
+                }
+            }
+        }
+        dist
+    }
+}
+
+/// Undirected router adjacency (neighbors sorted, deduplicated).
+fn router_adjacency(g: &NetworkGraph) -> Vec<Vec<u32>> {
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); g.n_routers()];
+    for ch in g.channels() {
+        if let (Endpoint::Router(s), Endpoint::Router(d)) = (ch.src, ch.dst) {
+            adj[s.idx()].push(d.idx() as u32);
+            adj[d.idx()].push(s.idx() as u32);
+        }
+    }
+    for nb in &mut adj {
+        nb.sort_unstable();
+        nb.dedup();
+    }
+    adj
+}
+
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Pick `k` seed routers (first at random from `seed`, the rest by
+/// farthest-point sampling) and grow balanced BFS regions around them.
+fn grow_regions(adj: &[Vec<u32>], nr: usize, k: usize, seed: u64) -> Vec<u32> {
+    let mut rng = seed;
+    let first = (splitmix(&mut rng) % nr as u64) as usize;
+    let mut seeds = vec![first];
+    let mut dist = vec![u32::MAX; nr];
+    let mut queue = VecDeque::new();
+    while seeds.len() < k {
+        // Multi-source BFS distance from the chosen seed set; the next
+        // seed is the router farthest from all of them (smallest id on
+        // ties — deterministic).
+        dist.iter_mut().for_each(|d| *d = u32::MAX);
+        queue.clear();
+        for &s in &seeds {
+            dist[s] = 0;
+            queue.push_back(s);
+        }
+        while let Some(r) = queue.pop_front() {
+            for &nb in &adj[r] {
+                if dist[nb as usize] == u32::MAX {
+                    dist[nb as usize] = dist[r] + 1;
+                    queue.push_back(nb as usize);
+                }
+            }
+        }
+        let far = (0..nr)
+            .filter(|&r| !seeds.contains(&r))
+            .max_by_key(|&r| (dist[r], std::cmp::Reverse(r)))
+            .expect("k <= n_routers leaves an unseeded router");
+        seeds.push(far);
+    }
+
+    let mut assign = vec![u32::MAX; nr];
+    let mut frontiers: Vec<VecDeque<usize>> = vec![VecDeque::new(); k];
+    let mut sizes = vec![0usize; k];
+    let mut assigned = 0usize;
+    for (s, &r) in seeds.iter().enumerate() {
+        assign[r] = s as u32;
+        sizes[s] += 1;
+        assigned += 1;
+        frontiers[s].extend(adj[r].iter().map(|&nb| nb as usize));
+    }
+    let mut next_unassigned = 0usize;
+    while assigned < nr {
+        // Grow the currently smallest shard (smallest id on ties).
+        let s = (0..k).min_by_key(|&s| (sizes[s], s)).expect("k >= 1");
+        let mut claimed = None;
+        while let Some(r) = frontiers[s].pop_front() {
+            if assign[r] == u32::MAX {
+                claimed = Some(r);
+                break;
+            }
+        }
+        let r = claimed.unwrap_or_else(|| {
+            // Frontier exhausted (disconnected graph or fully enclosed
+            // region): claim the smallest-id unassigned router.
+            while assign[next_unassigned] != u32::MAX {
+                next_unassigned += 1;
+            }
+            next_unassigned
+        });
+        assign[r] = s as u32;
+        sizes[s] += 1;
+        assigned += 1;
+        frontiers[s].extend(adj[r].iter().map(|&nb| nb as usize));
+    }
+    assign
+}
+
+/// A few deterministic boundary-refinement passes: move a router to a
+/// neighboring shard when that strictly reduces the cut and keeps every
+/// shard above three quarters of its fair share.
+fn refine(adj: &[Vec<u32>], assign: &mut [u32], k: usize) {
+    let nr = assign.len();
+    let lo = std::cmp::max(1, nr / k - nr / (k * 4));
+    let mut sizes = vec![0usize; k];
+    for &s in assign.iter() {
+        sizes[s as usize] += 1;
+    }
+    let mut gain = vec![0i64; k];
+    for _pass in 0..3 {
+        let mut moved = false;
+        for r in 0..nr {
+            let cur = assign[r] as usize;
+            if sizes[cur] <= lo {
+                continue;
+            }
+            gain.iter_mut().for_each(|g| *g = 0);
+            for &nb in &adj[r] {
+                gain[assign[nb as usize] as usize] += 1;
+            }
+            let here = gain[cur];
+            // Best strictly-improving destination, smallest shard id wins
+            // ties so the scan order can't depend on map iteration.
+            let best = (0..k)
+                .filter(|&s| s != cur && gain[s] > here)
+                .max_by_key(|&s| (gain[s], std::cmp::Reverse(s)));
+            if let Some(dst) = best {
+                assign[r] = dst as u32;
+                sizes[cur] -= 1;
+                sizes[dst] += 1;
+                moved = true;
+            }
+        }
+        if !moved {
+            break;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Bmin, Mesh, Omega, Topology, Torus, UpPolicy};
+
+    fn all_graphs() -> Vec<(String, NetworkGraph)> {
+        let topos: Vec<Box<dyn Topology>> = vec![
+            Box::new(Mesh::new(&[8, 8])),
+            Box::new(Torus::new(&[6, 6])),
+            Box::new(Bmin::new(6, UpPolicy::Straight)),
+            Box::new(Omega::new(6)),
+        ];
+        topos
+            .into_iter()
+            .map(|t| (t.name(), t.graph().clone()))
+            .collect()
+    }
+
+    #[test]
+    fn deterministic_for_fixed_inputs() {
+        for (name, g) in all_graphs() {
+            for shards in [1, 2, 4, 8] {
+                for seed in [0u64, 1997, u64::MAX] {
+                    let a = Partition::build(&g, shards, seed);
+                    let b = Partition::build(&g, shards, seed);
+                    assert_eq!(a, b, "{name} shards={shards} seed={seed}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_router_assigned_exactly_once_and_balanced() {
+        for (name, g) in all_graphs() {
+            for shards in [2usize, 4, 8] {
+                let p = Partition::build(&g, shards, 1997);
+                let mut sizes = vec![0usize; shards];
+                for r in 0..g.n_routers() {
+                    let s = p.router_shard(RouterId(r as u32));
+                    assert!(s < shards, "{name}: router {r} in out-of-range shard {s}");
+                    sizes[s] += 1;
+                }
+                assert_eq!(sizes.iter().sum::<usize>(), g.n_routers());
+                assert!(
+                    sizes.iter().all(|&s| s > 0),
+                    "{name} shards={shards}: empty shard ({sizes:?})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn channels_follow_src_side_and_nodes_follow_consumption() {
+        for (name, g) in all_graphs() {
+            let p = Partition::build(&g, 4, 7);
+            for n in 0..g.n_nodes() {
+                let node = NodeId(n as u32);
+                let home = match g.channel(g.consumption(node)).src {
+                    Endpoint::Router(r) => r,
+                    Endpoint::Node(_) => unreachable!(),
+                };
+                assert_eq!(p.node_shard(node), p.router_shard(home), "{name} node {n}");
+            }
+            for (i, ch) in g.channels().iter().enumerate() {
+                let c = ChannelId(i as u32);
+                let expect = match ch.src {
+                    Endpoint::Router(r) => p.router_shard(r),
+                    Endpoint::Node(n) => p.node_shard(n),
+                };
+                assert_eq!(p.channel_shard(c), expect, "{name} channel {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_set_is_exact() {
+        for (name, g) in all_graphs() {
+            let p = Partition::build(&g, 4, 3);
+            let mut expect = Vec::new();
+            for (i, ch) in g.channels().iter().enumerate() {
+                let c = ChannelId(i as u32);
+                if let Endpoint::Router(d) = ch.dst {
+                    if p.channel_shard(c) != p.router_shard(d) {
+                        expect.push(c);
+                    }
+                }
+            }
+            assert_eq!(p.crossing_channels(), expect.as_slice(), "{name}");
+            assert_eq!(p.cut(), expect.len(), "{name}");
+            for (i, _) in g.channels().iter().enumerate() {
+                let c = ChannelId(i as u32);
+                assert_eq!(p.channel_crosses(c), expect.contains(&c), "{name} ch {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn lookahead_is_true_minimum_latency() {
+        // Property test: under an arbitrary per-channel latency function,
+        // min_cross_latency equals a brute-force scan over the exact
+        // crossing set.
+        for (name, g) in all_graphs() {
+            for seed in 0..8u64 {
+                let p = Partition::build(&g, 4, seed);
+                let lat = |c: ChannelId| {
+                    let mut s = seed ^ (u64::from(c.0) << 17);
+                    1 + splitmix(&mut s) % 97
+                };
+                let brute = g
+                    .channels()
+                    .iter()
+                    .enumerate()
+                    .filter(|&(i, ch)| match ch.dst {
+                        Endpoint::Router(d) => {
+                            p.channel_shard(ChannelId(i as u32)) != p.router_shard(d)
+                        }
+                        Endpoint::Node(_) => false,
+                    })
+                    .map(|(i, _)| lat(ChannelId(i as u32)))
+                    .min();
+                assert_eq!(p.min_cross_latency(lat), brute, "{name} seed={seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn crossing_distance_is_shortest_hop_count_to_boundary() {
+        for (name, g) in all_graphs() {
+            let p = Partition::build(&g, 4, 11);
+            let dist = p.crossing_distance(&g);
+            // Verify against a per-router forward BFS.
+            let mut adj: Vec<Vec<usize>> = vec![Vec::new(); g.n_routers()];
+            let mut crosses = vec![false; g.n_routers()];
+            for ch in g.channels() {
+                if let (Endpoint::Router(s), Endpoint::Router(d)) = (ch.src, ch.dst) {
+                    adj[s.idx()].push(d.idx());
+                    if p.router_shard(s) != p.router_shard(d) {
+                        crosses[s.idx()] = true;
+                    }
+                }
+            }
+            for r in 0..g.n_routers() {
+                let mut best = u32::MAX;
+                let mut seen = vec![false; g.n_routers()];
+                let mut q = std::collections::VecDeque::from([(r, 1u32)]);
+                seen[r] = true;
+                while let Some((at, hops)) = q.pop_front() {
+                    if crosses[at] {
+                        best = best.min(hops);
+                        continue;
+                    }
+                    for &nb in &adj[at] {
+                        if !seen[nb] {
+                            seen[nb] = true;
+                            q.push_back((nb, hops + 1));
+                        }
+                    }
+                }
+                assert_eq!(dist[r], best, "{name} router {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_shard_owns_everything_and_never_crosses() {
+        let g = Mesh::new(&[4, 4]).graph().clone();
+        let p = Partition::build(&g, 1, 42);
+        assert_eq!(p.cut(), 0);
+        assert_eq!(p.min_cross_latency(|_| 1u64), None);
+        for r in 0..g.n_routers() {
+            assert_eq!(p.router_shard(RouterId(r as u32)), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot split")]
+    fn more_shards_than_routers_panics() {
+        let g = Mesh::new(&[2, 2]).graph().clone();
+        let _ = Partition::build(&g, 5, 0);
+    }
+}

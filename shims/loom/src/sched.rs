@@ -3,12 +3,13 @@
 //! One execution = one seeded schedule.  All model threads are real OS
 //! threads, but a scheduler mutex admits exactly one at a time; the others
 //! park on a condvar.  Each instrumented operation (atomic access, mutex
-//! acquire/release, `yield_now`) is a *schedule point*: the running thread
-//! bumps an operation counter and, if the counter hits one of the
-//! execution's pre-drawn preemption points, control is handed to a
-//! uniformly chosen runnable peer.  Blocking operations (mutex contention,
-//! `join`) always hand control away and are not charged against the
-//! preemption budget.
+//! acquire/release) is a *schedule point*: the running thread bumps an
+//! operation counter and, if the counter hits one of the execution's
+//! pre-drawn preemption points, control is handed to a uniformly chosen
+//! runnable peer.  Blocking operations (mutex contention, `join`,
+//! `yield_now` — loom's contract for the latter is "this thread cannot
+//! progress until a peer runs", which spin-wait loops rely on) always hand
+//! control away and are not charged against the preemption budget.
 
 use std::cell::RefCell;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -146,6 +147,30 @@ impl Scheduler {
             return;
         }
         st.next_preempt += 1;
+        let cands = Self::candidates(&st, me);
+        if cands.is_empty() {
+            return;
+        }
+        let pick = cands[(splitmix(&mut st.rng) % cands.len() as u64) as usize];
+        self.hand_to(&mut st, pick);
+        drop(self.park_until_active(st, me));
+    }
+
+    /// A cooperative yield (`thread::yield_now`): hand control to a
+    /// runnable peer whenever one exists.  Spin-wait loops (barriers)
+    /// depend on the handoff being unconditional — under the bounded
+    /// preemption budget alone a spinner would never let its peer arrive —
+    /// so unlike [`Self::checkpoint`] this is not charged to the budget,
+    /// and unlike [`Self::blocked`] an empty peer set is not treated as a
+    /// deadlock (the spinner's own iteration bound is the detector).
+    pub(crate) fn yielded(&self, me: usize) {
+        let mut st = self.lock();
+        if st.free_run {
+            drop(st);
+            std::thread::yield_now();
+            return;
+        }
+        st.ops += 1;
         let cands = Self::candidates(&st, me);
         if cands.is_empty() {
             return;

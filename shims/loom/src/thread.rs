@@ -75,10 +75,13 @@ where
     }
 }
 
-/// Unforced schedule point; cooperative yield outside a model execution.
+/// Cooperative yield.  Inside a model execution this *always* hands
+/// control to a runnable peer (loom's contract: the caller cannot progress
+/// until someone else runs — the primitive spin-wait loops are built on);
+/// outside one it is a plain OS yield.
 pub fn yield_now() {
     match sched::current() {
-        Some((sched, id)) => sched.checkpoint(id),
+        Some((sched, id)) => sched.yielded(id),
         None => std::thread::yield_now(),
     }
 }
