@@ -1,9 +1,11 @@
 //! Engine-vitals benchmark: run the paper's figure workloads plus
 //! large-scale stress configurations (32x32 mesh, 1024-node BMIN, a 64-way
-//! staggered concurrent multicast, a 128x128 mesh, a 4096-node BMIN) with
-//! the observability layer's [`flitsim::RunMeta`] instrumentation and
-//! record events processed, peak heap, wall-time, and events/sec per
-//! workload.  The large workloads run twice — sequentially and under the
+//! staggered concurrent multicast, a 128x128 mesh, a 4096-node BMIN, a
+//! 256x256 mesh, a 16384-node BMIN) with the observability layer's
+//! [`flitsim::RunMeta`] instrumentation and record events processed, peak
+//! heap, wall-time, events/sec, and — for sharded records — rendezvous
+//! rounds per workload.  The large workloads (and the paper's
+//! small-message mesh workload) run twice — sequentially and under the
 //! sharded engine (`<id>_sh<N>` records, default 4 shards, `--shards N`) —
 //! so the two execution strategies are reported separately.
 //!
@@ -19,22 +21,25 @@
 //!
 //! `--check` re-runs every workload recorded in the committed file (with its
 //! recorded run count and the file's seed), requires the deterministic
-//! sentinels (`events_scheduled`, `peak_heap_events`, `mean_latency`) to
-//! match **exactly**, and fails if overall throughput drops below 75% of the
-//! committed figure.  Sharded records must additionally agree **exactly**
-//! with their sequential base on every merged deterministic sentinel, and —
-//! on machines with enough cores — clear the wall-clock speedup floor
-//! (1.5x at 4 shards on the 128x128 mesh).  Nothing is written in check
-//! mode.
+//! sentinels (`events_scheduled`, `peak_heap_events`, `mean_latency`,
+//! `sim_cycles`, `shard_rounds`) to match **exactly**, and fails if overall
+//! throughput drops below 75% of the committed figure.  Sharded records
+//! must additionally agree **exactly** with their sequential base on every
+//! merged deterministic sentinel, keep their rendezvous rounds per
+//! simulated cycle under the barrier-efficiency ceiling (the
+//! window-coalescing gate; rendezvous stall fractions are printed as
+//! diagnostics but never gated — they are wall-clock), and — on machines
+//! with enough cores — clear the wall-clock speedup floor (1.5x at 4
+//! shards on the 128x128 mesh).  Nothing is written in check mode.
 
 use std::process::ExitCode;
 
 use flitsim::SimConfig;
 use optmc::Algorithm;
 use optmc_bench::{
-    arg_value, bench_concurrent, bench_observed, bench_table, bench_workload, compare_bench,
-    observer_overhead_failures, parse_bench_file, shard_identity_failures, shard_speedup_failures,
-    shard_suffix, write_bench_sim, SimBenchRecord,
+    arg_value, barrier_efficiency_failures, bench_concurrent, bench_observed, bench_table,
+    bench_workload, compare_bench, observer_overhead_failures, parse_bench_file,
+    shard_identity_failures, shard_speedup_failures, shard_suffix, write_bench_sim, SimBenchRecord,
 };
 use topo::{Bmin, Mesh, Topology, UpPolicy};
 
@@ -56,6 +61,18 @@ const DEFAULT_SHARDS: usize = 4;
 /// by `--check` when the machine has at least `shards` cores.
 const MIN_SHARD_SPEEDUP: f64 = 1.5;
 
+/// Barrier-efficiency ceiling: rendezvous rounds per simulated cycle for
+/// every sharded record.  The adaptive protocol coalesces windows whenever
+/// the EIT promises show no cross-shard event below the candidate horizon,
+/// so the measured figure sits far below the one-round-per-lookahead-window
+/// worst case (~1/rd ≈ 0.07 for the paragon-like config).  The worst
+/// committed record (the open-loop 64-way staggered workload) sits at
+/// ~0.031 rounds/cycle; the paper small-message workload at ~0.0135 —
+/// 2.4x fewer synchronization points per cycle than the fixed-window
+/// two-barrier protocol it replaced (0.0328).  Deterministic, hence an
+/// exact gate rather than a noise band.
+const MAX_ROUNDS_PER_SIM_CYCLE: f64 = 0.04;
+
 /// Run every benchmark workload.  `runs_for(workload_id, default)` decides
 /// the per-workload run count: generation passes the defaults through,
 /// `--check` substitutes each committed record's count so event totals are
@@ -71,6 +88,8 @@ fn run_all(
     let big_bmin = Bmin::new(10, UpPolicy::Straight);
     let huge_mesh = Mesh::new(&[128, 128]);
     let huge_bmin = Bmin::new(12, UpPolicy::Straight);
+    let giant_mesh = Mesh::new(&[256, 256]);
+    let giant_bmin = Bmin::new(14, UpPolicy::Straight);
     let cfg = SimConfig::paragon_like();
 
     // (id, detail, topology, k, bytes, default runs).  The big configs
@@ -167,7 +186,7 @@ fn run_all(
 
     // Huge single-multicast stress workloads (OptArch only — the point is
     // engine scale, not the algorithm comparison the paper set covers).
-    let huge: [(&str, &str, &dyn Topology, usize, u64, usize); 2] = [
+    let huge: [(&str, &str, &dyn Topology, usize, u64, usize); 4] = [
         (
             "big_mesh_128x128",
             "128x128 mesh, 128 nodes, 16 KB",
@@ -180,6 +199,22 @@ fn run_all(
             "big_bmin_4096",
             "4096-node BMIN, 96 nodes, 4 KB",
             &huge_bmin,
+            96,
+            4096,
+            1,
+        ),
+        (
+            "big_mesh_256x256",
+            "256x256 mesh, 128 nodes, 16 KB",
+            &giant_mesh,
+            128,
+            16 * 1024,
+            1,
+        ),
+        (
+            "big_bmin_16384",
+            "16384-node BMIN, 96 nodes, 4 KB",
+            &giant_bmin,
             96,
             4096,
             1,
@@ -208,7 +243,18 @@ fn run_all(
     let mut sh_cfg = cfg.clone();
     sh_cfg.shards = shards;
     let fallbacks_before = flitsim::metrics::SHARD_FALLBACKS.get();
-    let sharded: [(&str, &str, &dyn Topology, usize, u64, usize); 4] = [
+    let sharded: [(&str, &str, &dyn Topology, usize, u64, usize); 7] = [
+        // The paper's small-message mesh workload — the configuration the
+        // adaptive window protocol's rounds-per-cycle acceptance figure is
+        // measured on (its sequential base is the fig3 OptArch record).
+        (
+            "fig3_mesh_nodes",
+            "16x16 mesh, 60 nodes, 4 KB",
+            &mesh,
+            60,
+            4096,
+            8,
+        ),
         (
             "big_mesh_32x32",
             "32x32 mesh, 64 nodes, 16 KB",
@@ -237,6 +283,22 @@ fn run_all(
             "big_bmin_4096",
             "4096-node BMIN, 96 nodes, 4 KB",
             &huge_bmin,
+            96,
+            4096,
+            1,
+        ),
+        (
+            "big_mesh_256x256",
+            "256x256 mesh, 128 nodes, 16 KB",
+            &giant_mesh,
+            128,
+            16 * 1024,
+            1,
+        ),
+        (
+            "big_bmin_16384",
+            "16384-node BMIN, 96 nodes, 4 KB",
+            &giant_bmin,
             96,
             4096,
             1,
@@ -311,6 +373,10 @@ fn check(path: &str) -> ExitCode {
     let mut failures = compare_bench(&committed, &fresh, MIN_THROUGHPUT_RATIO);
     failures.extend(observer_overhead_failures(&fresh, MIN_OBS_RATIO));
     failures.extend(shard_identity_failures(&fresh));
+    failures.extend(barrier_efficiency_failures(
+        &fresh,
+        MAX_ROUNDS_PER_SIM_CYCLE,
+    ));
     let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     if cores >= shards {
         failures.extend(shard_speedup_failures(
@@ -319,8 +385,22 @@ fn check(path: &str) -> ExitCode {
         ));
     } else {
         println!(
-            "bench check: shard speedup floor NOT enforced — {cores} core(s) available, \
-             {shards} shards need at least {shards} (sharded-vs-sequential identity still checked)"
+            "bench check: *** SHARD SPEEDUP FLOOR DISARMED *** only {cores} core(s) available \
+             but {shards} shards need {shards} — the >={MIN_SHARD_SPEEDUP}x wall-clock gate did \
+             NOT run on this machine (sharded-vs-sequential identity still checked)"
+        );
+    }
+    // Barrier-efficiency diagnostics: rounds per simulated cycle is the
+    // gated (deterministic) figure; the rendezvous stall fraction is
+    // wall-clock, so it is printed for eyes only.
+    for r in fresh.iter().filter(|r| r.shard_rounds > 0) {
+        println!(
+            "bench check: {:<24} {:>7} rendezvous rounds, {:.6} rounds/sim-cycle \
+             (ceiling {MAX_ROUNDS_PER_SIM_CYCLE}), stall fraction {:.1}% (not gated)",
+            r.workload,
+            r.shard_rounds,
+            r.rounds_per_sim_cycle(),
+            100.0 * r.stall_fraction(shards),
         );
     }
     print!("{}", bench_table(&fresh));

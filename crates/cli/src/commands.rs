@@ -6,10 +6,7 @@ use std::fmt::Write as _;
 use flitsim::SimConfig;
 use mtree::{dot, MulticastTree, Schedule, SplitStrategy};
 use optmc::experiments::{random_placement, run_trials};
-use optmc::{
-    check_schedule, check_schedule_windowed, measure, run_multicast_opts, OccupancyParams,
-    RunOptions,
-};
+use optmc::{check_schedule, check_schedule_windowed, measure, OccupancyParams, RunOptions};
 use pcm::Time;
 
 use crate::args::Args;
@@ -489,18 +486,32 @@ fn cmd_run(a: &Args) -> Result<String, CliError> {
     };
     let parts = random_placement(n, k, seed);
     let sharded_before = flitsim::metrics::SHARDED_RUNS.get();
-    let out = run_multicast_opts(topo.as_ref(), &cfg, alg, &parts, parts[0], bytes, &opts);
+    // `--counters`: attach the counting observer — the one observer arm
+    // the sharded engine accumulates per shard and merges exactly, so the
+    // differential gate can exercise observed sharded runs.
+    let observer = a.has("counters").then(flitsim::TraceSink::counters);
+    let out = optmc::run_multicast_observed(
+        topo.as_ref(),
+        &cfg,
+        alg,
+        &parts,
+        parts[0],
+        bytes,
+        &opts,
+        observer,
+    );
 
     // `--fingerprint`: print the canonical SimResult JSON and nothing else
     // — the substrate of the sequential-vs-sharded differential gate in
     // scripts/check.sh.  A sharded invocation that silently fell back to
     // the sequential engine would make that comparison vacuous, so it is
-    // an error here.
+    // an error here, naming the engine's concrete fallback reason.
     if a.has("fingerprint") {
         if cfg.shards > 1 && flitsim::metrics::SHARDED_RUNS.get() == sharded_before {
+            let reason = flitsim::metrics::last_shard_fallback()
+                .unwrap_or("workload below the conservative-window floor");
             return Err(err(format!(
-                "--shards {} requested but the sharded engine did not engage \
-                 (workload below the conservative-window floor?)",
+                "--shards {} requested but the sharded engine did not engage: {reason}",
                 cfg.shards
             )));
         }

@@ -59,10 +59,13 @@ struct Worm<P> {
     /// event loop interleaved unrelated work — which is what lets the
     /// sharded engine order events identically to the sequential one.
     rank: u64,
-    /// Sharded runs only: true when the worm migrated in from another
-    /// shard, i.e. its path holds channels this shard does not own and its
-    /// drain will emit cross-shard releases.
-    foreign: bool,
+    /// Sharded runs only: bitmask of the shards owning channels this worm
+    /// still holds but this shard does not — nonzero exactly for worms
+    /// that migrated in, whose drain will emit cross-shard releases
+    /// toward exactly these shards.  Shard ids ≥ 64 saturate the whole
+    /// mask (`u64::MAX`, "could release anywhere"), keeping the bound
+    /// conservative without widening the hot struct.
+    foreign_owners: u64,
 }
 
 /// Bits of a worm rank holding the per-node issue counter; the node id
@@ -526,7 +529,7 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
             worm.phase = Phase::Climbing;
             worm.retry_scheduled = false;
             worm.rank = rank;
-            worm.foreign = false;
+            worm.foreign_owners = 0;
             slot
         } else {
             let w = self.worms.len() as u32;
@@ -548,7 +551,7 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
                 retry_scheduled: false,
                 generation: 0,
                 rank,
-                foreign: false,
+                foreign_owners: 0,
             });
             w
         };
@@ -904,72 +907,116 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
         &mut self.shard.as_mut().expect("sharded").outbox[dst]
     }
 
-    /// A lower bound on the earliest timestamp any cross-shard message this
-    /// shard could emit would carry — over all pending events *and every
-    /// local cascade they can trigger within a window*.  The global minimum
-    /// of these bounds is the next window horizon.
-    pub(crate) fn earliest_emission(&self) -> Time {
+    /// Fill `out[j]` with a lower bound on the earliest timestamp any
+    /// cross-shard message this shard could emit *to shard `j`* would
+    /// carry — over all pending events and every local cascade they can
+    /// trigger, considering only work already in this shard's queue
+    /// (consequences of messages other shards publish concurrently are
+    /// bounded by the window fixpoint's relay terms, not here).  The scan
+    /// walks the queue in time-banded order and stops once every reachable
+    /// destination's bound can no longer improve.
+    pub(crate) fn emission_bounds(&self, out: &mut Vec<Time>) {
         let ctx = self.shard.as_deref().expect("sharded");
-        if self.queue.is_empty() {
-            return Time::MAX;
-        }
         let plan = &ctx.plan;
-        let mut eit = Time::MAX;
-        self.queue.for_each(|t, ev| {
-            let eps = match Event::unpack(ev) {
+        out.clear();
+        out.resize(plan.n_shards, Time::MAX);
+        if self.queue.is_empty() || ctx.msg_dests.is_empty() {
+            return;
+        }
+        let dests = &ctx.msg_dests;
+        self.queue.scan_ordered(|t, ev| {
+            match Event::unpack(ev) {
                 // A release's only cross-shard consequence is waking a
-                // blocked worm, whose next acquisition (one `rd` later at
-                // the earliest) may cross a boundary or start a drain.
-                // Worms that block *during* a window are covered by their
-                // own pending event's bound, not this one.
+                // blocked worm, whose next acquisition (at this very
+                // instant) may migrate one `rd` later or start a drain.
+                // Each live waiter is bounded from its own position; stale
+                // entries and worms with a pending retry are covered by
+                // their own events, not this one.
                 Event::Release(c) => {
-                    if self.channels[c as usize].waiters.is_empty() {
-                        Time::MAX
-                    } else {
-                        plan.rd
+                    for &(w, generation) in &self.channels[c as usize].waiters {
+                        let worm = &self.worms[w as usize];
+                        if worm.generation != generation
+                            || worm.phase != Phase::Climbing
+                            || worm.retry_scheduled
+                        {
+                            continue;
+                        }
+                        for &j in dests {
+                            let b = t.saturating_add(self.worm_eps_to(worm, j, plan));
+                            out[j] = out[j].min(b);
+                        }
                     }
                 }
                 // Kick -> t_send -> climb from the node's injection port.
-                Event::NodeKick(n) => plan.ts0.saturating_add(plan.node_eps[n as usize]),
-                Event::WormStart(w) | Event::HeadAdvance(w) => self.worm_eps(w, plan),
+                Event::NodeKick(n) => {
+                    for &j in dests {
+                        let b = t
+                            .saturating_add(plan.ts0)
+                            .saturating_add(plan.node_eps_to[j][n as usize]);
+                        out[j] = out[j].min(b);
+                    }
+                }
+                Event::WormStart(w) | Event::HeadAdvance(w) => {
+                    let worm = &self.worms[w as usize];
+                    for &j in dests {
+                        let b = t.saturating_add(self.worm_eps_to(worm, j, plan));
+                        out[j] = out[j].min(b);
+                    }
+                }
                 // Receive software -> completion -> program sends.
                 Event::RecvSoftware(w) => {
                     let dest = self.worms[w as usize].dest;
-                    plan.tr0
-                        .saturating_add(plan.ts0)
-                        .saturating_add(plan.node_eps[dest.idx()])
+                    for &j in dests {
+                        let b = t
+                            .saturating_add(plan.tr0)
+                            .saturating_add(plan.ts0)
+                            .saturating_add(plan.node_eps_to[j][dest.idx()]);
+                        out[j] = out[j].min(b);
+                    }
                 }
                 Event::RecvDone(w) => {
                     let dest = self.worms[w as usize].dest;
-                    plan.ts0.saturating_add(plan.node_eps[dest.idx()])
+                    for &j in dests {
+                        let b = t
+                            .saturating_add(plan.ts0)
+                            .saturating_add(plan.node_eps_to[j][dest.idx()]);
+                        out[j] = out[j].min(b);
+                    }
                 }
-            };
-            eit = eit.min(t.saturating_add(eps));
+            }
+            // Cutoff for the scan: every bound is `t + eps` with `eps >= 0`,
+            // so once the slot time reaches the worst reachable bound no
+            // later event can lower any of them.
+            dests.iter().map(|&j| out[j]).max().unwrap_or(0)
         });
-        eit
     }
 
-    /// Emission lower bound for a pending head movement of worm `w`,
-    /// relative to the event's timestamp.
-    fn worm_eps(&self, w: u32, plan: &ShardPlan) -> Time {
-        let worm = &self.worms[w as usize];
-        // Hops to the nearest crossing channel from the worm's position:
-        // acquiring the crossing channel emits the migration one `rd` after
-        // the last local hop, so `rd x hops` bounds that path.
+    /// Emission lower bound toward shard `j` for a pending head movement
+    /// of `worm`, relative to the event's timestamp.
+    fn worm_eps_to(&self, worm: &Worm<Prog::Payload>, j: usize, plan: &ShardPlan) -> Time {
+        // Hops to the nearest channel crossing into `j` from the worm's
+        // position: acquiring the crossing channel emits the migration one
+        // `rd` after the last local hop, so `rd x hops` bounds that path.
         let boundary = match worm.path.last() {
-            None => plan.node_eps[worm.src.idx()],
+            None => plan.node_eps_to[j][worm.src.idx()],
             Some(&c) => match self.graph.dst_router(c) {
-                Some(r) => plan.router_eps[r.idx()],
+                Some(r) => plan.router_eps_to[j][r.idx()],
                 // Consumption channel: the worm drained; any pending head
                 // movement is a stale retry that will emit nothing.
                 None => Time::MAX,
             },
         };
-        if worm.foreign {
-            // A migrated-in worm holds channels other shards own; when it
-            // drains, their releases ship back.  The earliest such release
-            // (condition C) is `rd + (flits - min_flits)` after the drain
-            // starts, and the drain can start at this very event.
+        // A migrated-in worm holds channels other shards own; when it
+        // drains, their releases ship back — but only toward the shards in
+        // its owner mask.  The earliest such release (condition C) is
+        // `rd + (flits - min_flits)` after the drain starts, and the drain
+        // can start at this very event.
+        let releases_to_j = if j < 64 {
+            (worm.foreign_owners >> j) & 1 == 1
+        } else {
+            worm.foreign_owners == u64::MAX
+        };
+        if releases_to_j {
             let slack = worm.flits.saturating_sub(plan.min_flits);
             boundary.min(plan.rd.saturating_add(slack))
         } else {
@@ -989,6 +1036,26 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
                 self.insert(t.max(floor), Event::Release(chan));
             }
             OutMsg::Migrate { t, worm: wire } => {
+                // Shards owning channels the worm still holds (everything
+                // acquired before this hop): its drain will emit releases
+                // toward exactly these shards.  Channels this shard owns
+                // release locally and stay out of the mask.
+                let foreign_owners = {
+                    let ctx = self.shard.as_deref().expect("sharded delivery");
+                    let mut mask = 0u64;
+                    for &c in &wire.path[wire.release_ptr..] {
+                        let s = ctx.plan.chan_shard[c.idx()];
+                        if s == ctx.id {
+                            continue;
+                        }
+                        if s >= 64 {
+                            mask = u64::MAX;
+                            break;
+                        }
+                        mask |= 1 << s;
+                    }
+                    mask
+                };
                 let w = if let Some(slot) = self.free_worms.pop() {
                     let worm = &mut self.worms[slot as usize];
                     worm.src = wire.src;
@@ -1007,7 +1074,7 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
                     worm.phase = Phase::Climbing;
                     worm.retry_scheduled = false;
                     worm.rank = wire.rank;
-                    worm.foreign = true;
+                    worm.foreign_owners = foreign_owners;
                     slot
                 } else {
                     let w = self.worms.len() as u32;
@@ -1029,7 +1096,7 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
                         retry_scheduled: false,
                         generation: 0,
                         rank: wire.rank,
-                        foreign: true,
+                        foreign_owners,
                     });
                     w
                 };
@@ -1095,19 +1162,19 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
 
     /// Whether this engine's configuration and workload can run sharded
     /// with bit-identical results; `Err` names the first gate that failed.
-    fn try_shard_plan(&self) -> Result<std::sync::Arc<ShardPlan>, &'static str> {
+    fn try_shard_plan(&self) -> Result<std::sync::Arc<ShardPlan>, ShardFallback> {
         let k = self.cfg.shards;
         if !matches!(self.obs, TraceSink::Null | TraceSink::Counters(_)) {
-            return Err("tracing observers need the sequential engine");
+            return Err(ShardFallback::Observer);
         }
         if k > self.graph.n_routers() {
-            return Err("more shards than routers");
+            return Err(ShardFallback::ShardCount);
         }
         if self.cfg.router_delay == 0 {
-            return Err("zero router delay leaves no cross-shard lookahead");
+            return Err(ShardFallback::ZeroRouterDelay);
         }
         if self.starts.is_empty() {
-            return Err("nothing to simulate");
+            return Err(ShardFallback::EmptyWorkload);
         }
         let plan = crate::shard::build_plan(self.graph, &self.cfg, k, self.max_path);
         let too_short = self
@@ -1116,9 +1183,53 @@ impl<'t, Prog: Program> Engine<'t, Prog> {
             .flat_map(|(_, _, sends)| sends)
             .any(|s| self.cfg.flits(s.bytes) < plan.min_flits);
         if too_short {
-            return Err("worms too short for the release-lookahead bound (condition C)");
+            return Err(ShardFallback::TinyMessage);
         }
         Ok(std::sync::Arc::new(plan))
+    }
+}
+
+/// Why [`Engine::run_auto`] disengaged the sharded engine for a run that
+/// had `shards > 1` configured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardFallback {
+    /// A tracing observer (memory / ring / jsonl / custom) was attached;
+    /// only the `Null` and `Counters` sinks shard.
+    Observer,
+    /// Some worm is shorter than the condition C release-lookahead floor.
+    TinyMessage,
+    /// `router_delay == 0` leaves no cross-shard lookahead.
+    ZeroRouterDelay,
+    /// More shards requested than the topology has routers.
+    ShardCount,
+    /// No initial sends — nothing to simulate.
+    EmptyWorkload,
+}
+
+impl ShardFallback {
+    /// Human-readable reason, surfaced by `optmc run` error messages.
+    pub fn reason(self) -> &'static str {
+        match self {
+            ShardFallback::Observer => "tracing observers need the sequential engine",
+            ShardFallback::TinyMessage => {
+                "worms too short for the release-lookahead bound (condition C)"
+            }
+            ShardFallback::ZeroRouterDelay => "zero router delay leaves no cross-shard lookahead",
+            ShardFallback::ShardCount => "more shards than routers",
+            ShardFallback::EmptyWorkload => "nothing to simulate",
+        }
+    }
+
+    /// The per-reason fallback counter this gate increments.
+    fn counter(self) -> &'static telem::Counter {
+        match self {
+            ShardFallback::Observer => &crate::metrics::SHARD_FALLBACKS_OBSERVER,
+            ShardFallback::TinyMessage => &crate::metrics::SHARD_FALLBACKS_TINY_MESSAGE,
+            ShardFallback::ZeroRouterDelay => &crate::metrics::SHARD_FALLBACKS_ZERO_ROUTER_DELAY,
+            ShardFallback::ShardCount | ShardFallback::EmptyWorkload => {
+                &crate::metrics::SHARD_FALLBACKS_OTHER
+            }
+        }
     }
 }
 
@@ -1135,9 +1246,14 @@ where
             return self.run();
         }
         match self.try_shard_plan() {
-            Ok(plan) => crate::shard::run_sharded(self, plan),
-            Err(_reason) => {
+            Ok(plan) => {
+                crate::metrics::set_last_shard_fallback(None);
+                crate::shard::run_sharded(self, plan)
+            }
+            Err(fallback) => {
                 crate::metrics::SHARD_FALLBACKS.inc();
+                fallback.counter().inc();
+                crate::metrics::set_last_shard_fallback(Some(fallback.reason()));
                 self.run()
             }
         }

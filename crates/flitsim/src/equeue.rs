@@ -163,8 +163,10 @@ impl EventQueue {
         Some((t, ord, ev))
     }
 
-    /// Visit every pending event (in no particular order) — the sharded
-    /// engine's earliest-emission-time scan.
+    /// Visit every pending event (in no particular order) — the
+    /// exhaustive oracle the [`Self::scan_ordered`] tests compare
+    /// against.
+    #[cfg(test)]
     pub fn for_each(&self, mut f: impl FnMut(Time, u64)) {
         for &Reverse((t, _, ev)) in self.past.iter().chain(self.overflow.iter()) {
             f(t, ev);
@@ -185,6 +187,49 @@ impl EventQueue {
             }
         }
         debug_assert_eq!(visited, self.bucketed);
+    }
+
+    /// Visit pending events in time-banded order with early exit — the
+    /// sharded engine's per-destination emission scan.  `f` returns the
+    /// caller's current *cutoff*: a time at or beyond which further events
+    /// cannot change the caller's answer.  That contract is sound only for
+    /// answers monotone in event time (true for `t + eps` lower bounds
+    /// with `eps >= 0`).  Bands, earliest first:
+    ///
+    /// 1. the past heap — every entry precedes the cursor, visited in
+    ///    full (the band is unordered internally);
+    /// 2. the bucketed ring in ascending slot time — the walk stops at
+    ///    the first slot at or beyond the cutoff;
+    /// 3. the overflow heap — every entry is at `cursor + SLOTS` or
+    ///    later, so the whole band is skipped when the cutoff allows,
+    ///    visited in full otherwise.
+    pub fn scan_ordered(&self, mut f: impl FnMut(Time, u64) -> Time) {
+        let mut cutoff = Time::MAX;
+        for &Reverse((t, _, ev)) in &self.past {
+            cutoff = f(t, ev);
+        }
+        let start = (self.cursor as usize) & (SLOTS - 1);
+        let mut remaining = self.bucketed;
+        let mut step = 0usize;
+        while step < SLOTS && remaining > 0 {
+            if self.cursor.saturating_add(step as Time) >= cutoff {
+                return; // every later band is at or past the cutoff too
+            }
+            let slot = (start + step) & (SLOTS - 1);
+            let mut cur = self.slots[slot];
+            while cur != NIL {
+                let n = &self.nodes[cur as usize];
+                cutoff = f(n.t, n.ev);
+                remaining -= 1;
+                cur = n.next;
+            }
+            step += 1;
+        }
+        if !self.overflow.is_empty() && self.cursor.saturating_add(SLOTS as Time) < cutoff {
+            for &Reverse((t, _, ev)) in &self.overflow {
+                f(t, ev); // heap order is arbitrary: no further pruning possible
+            }
+        }
     }
 
     fn bucket(&mut self, t: Time, ord: u64, ev: u64) {
@@ -405,6 +450,54 @@ mod tests {
         q.for_each(|t, ev| seen.push((t, ev)));
         seen.sort_unstable();
         assert_eq!(seen, vec![(5, 2), (1200, 3), (1_000_000, 4)]);
+    }
+
+    #[test]
+    fn scan_ordered_with_open_cutoff_visits_everything() {
+        let mut q = EventQueue::new();
+        q.push(1000, 1, 1);
+        assert_eq!(q.pop(), Some((1000, 1, 1))); // cursor at 1000
+        q.push(5, 2, 2); // past heap
+        q.push(1200, 3, 3); // bucketed
+        q.push(1_000_000, 4, 4); // overflow heap
+        let mut seen: Vec<(Time, u64)> = Vec::new();
+        q.scan_ordered(|t, ev| {
+            seen.push((t, ev));
+            Time::MAX
+        });
+        seen.sort_unstable();
+        assert_eq!(seen, vec![(5, 2), (1200, 3), (1_000_000, 4)]);
+    }
+
+    #[test]
+    fn scan_ordered_min_bound_matches_full_scan() {
+        // Soundness property: for a monotone `min(t + eps)` answer, the
+        // early-exit scan must produce exactly what a full scan does, on
+        // arbitrary past/bucketed/overflow mixes.
+        for seed in 0..12u64 {
+            let mut rng = Lcg(seed.wrapping_mul(0x9e3779b97f4a7c15) | 1);
+            let mut q = EventQueue::new();
+            // Advance the cursor so past-of-cursor pushes are possible.
+            q.push(2000, 0, 0);
+            q.pop();
+            for ev in 1..400u64 {
+                let t = match rng.next() % 10 {
+                    0 => 2000u64.saturating_sub(rng.next() % 500),
+                    1 => 2000 + SLOTS as Time + rng.next() % 100_000,
+                    _ => 2000 + rng.next() % 3000,
+                };
+                q.push(t, ev, ev);
+            }
+            let eps = |ev: u64| (ev.wrapping_mul(2654435761) % 900) as Time;
+            let mut want = Time::MAX;
+            q.for_each(|t, ev| want = want.min(t.saturating_add(eps(ev))));
+            let mut got = Time::MAX;
+            q.scan_ordered(|t, ev| {
+                got = got.min(t.saturating_add(eps(ev)));
+                got
+            });
+            assert_eq!(got, want, "seed {seed}");
+        }
     }
 
     #[test]

@@ -2,21 +2,30 @@
 //!
 //! The topology is split by [`topo::Partition`]; each shard runs a full
 //! [`Engine`](crate::Engine) over its sub-topology and the shards advance
-//! in *conservative time windows*: every round, each shard publishes a
-//! lower bound on when its pending work could next affect another shard
-//! (its **earliest emission time**), the global minimum of those bounds
-//! becomes the window horizon, and every shard processes exactly the
-//! events strictly before the horizon.  Cross-shard effects — worm
-//! migrations and remote channel releases — are buffered per destination
-//! and delivered at the barrier, so they always arrive before any event
-//! at their timestamp is processed.  Because every event carries an
-//! intrinsic `(time, ord)` key (see `Engine::ord_of`) that is unique and
-//! independent of scheduling history, the merged execution pops events in
-//! exactly the sequential engine's order, and every simulation output is
-//! bit-identical to a one-shard run.
+//! in *adaptive conservative windows*: every round, each shard publishes
+//! a vector of **earliest-input-time promises** — per destination shard,
+//! a lower bound on when its remaining work could next message that shard
+//! (Chandy–Misra–Bryant lookahead, piggybacked on the handoff
+//! publication) — plus the earliest timestamp among the handoffs it just
+//! shipped.  After a single sense-reversing rendezvous, every shard reads
+//! the same published matrices and computes the same [`horizon_fixpoint`]
+//! over the partition's shard message graph, so each shard's horizon
+//! reflects its *actual* in-neighbors' promises instead of a global
+//! minimum, and idle boundaries stop throttling the fleet.  When no
+//! cross-shard consequence lies below a candidate horizon the fixpoint
+//! yields a large one, letting a shard advance through many PR 9-sized
+//! windows per rendezvous (window coalescing).  Cross-shard effects —
+//! worm migrations and remote channel releases — are buffered per
+//! destination and delivered after the rendezvous, so they always arrive
+//! before any event at their timestamp is processed.  Because every event
+//! carries an intrinsic `(time, ord)` key (see `Engine::ord_of`) that is
+//! unique and independent of scheduling history, the merged execution
+//! pops events in exactly the sequential engine's order, and every
+//! simulation output — including merged `TraceSink::Counters` tallies —
+//! is bit-identical to a one-shard run.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Barrier, Mutex};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Instant;
 
 use pcm::Time;
@@ -42,14 +51,24 @@ pub(crate) struct ShardPlan {
     pub router_shard: Vec<u32>,
     /// Shard per node (where its sends issue and receives complete).
     pub node_shard: Vec<u32>,
-    /// Per node: lower bound on the delay between an event at the node
-    /// (kick / worm start) and its first possible cross-shard emission —
-    /// `router_delay ×` (channel hops to the nearest boundary).
-    pub node_eps: Vec<Time>,
-    /// Per router: `router_delay ×` (channel hops from the router to the
-    /// nearest crossing channel, inclusive); `Time::MAX` when no boundary
-    /// is reachable.
-    pub router_eps: Vec<Time>,
+    /// `node_eps_to[j][n]`: lower bound on the delay between an event at
+    /// node `n` (kick / worm start) and its first possible emission *to
+    /// shard `j`* — `router_delay ×` (channel hops to the nearest channel
+    /// crossing into `j`); `Time::MAX` when `n`'s shard cannot message
+    /// `j` directly.
+    pub node_eps_to: Vec<Vec<Time>>,
+    /// `router_eps_to[j][r]`: `router_delay ×` (channel hops from router
+    /// `r` to the nearest channel crossing into shard `j`, inclusive,
+    /// staying inside `r`'s shard until that hop); `Time::MAX` when shard
+    /// `j` is not directly reachable from `r`.
+    pub router_eps_to: Vec<Vec<Time>>,
+    /// `msg_graph[i][j]`: can shard `i` put a message in shard `j`'s
+    /// mailbox?  True when a crossing channel leads `i → j` (worm
+    /// migrations, Omega injections) or when `j` reaches `i` through
+    /// crossing channels (a worm draining in `i` may still hold channels
+    /// `j` owns, and their releases ship backward).  The window fixpoint
+    /// relays promises along exactly these edges.
+    pub msg_graph: Vec<Vec<bool>>,
     /// Condition C floor: worms shorter than this can release channels at
     /// non-future times, which the conservative windows cannot order.
     pub min_flits: u64,
@@ -87,12 +106,23 @@ pub(crate) enum OutMsg<P> {
     Release { t: Time, chan: u32 },
 }
 
-/// Per-engine sharding state: identity, the shared plan, and the
-/// per-destination outboxes filled during a window.
+impl<P> OutMsg<P> {
+    /// The event time the handoff carries.
+    fn time(&self) -> Time {
+        match self {
+            OutMsg::Migrate { t, .. } | OutMsg::Release { t, .. } => *t,
+        }
+    }
+}
+
+/// Per-engine sharding state: identity, the shared plan, the
+/// per-destination outboxes filled during a window, and the precomputed
+/// set of shards this one can message at all (its `msg_graph` row).
 pub(crate) struct ShardCtx<P> {
     pub id: u32,
     pub plan: Arc<ShardPlan>,
     pub outbox: Vec<Vec<OutMsg<P>>>,
+    pub msg_dests: Vec<usize>,
 }
 
 /// What one shard's engine hands back after its last window.
@@ -123,35 +153,60 @@ pub(crate) fn build_plan(
     max_path: usize,
 ) -> ShardPlan {
     let part = Partition::build(g, k, PARTITION_SEED);
-    let dist = part.crossing_distance(g);
+    let dist_to = part.crossing_distance_to(g);
     let rd = cfg.router_delay;
-    let router_eps: Vec<Time> = dist
+    let router_eps_to: Vec<Vec<Time>> = dist_to
         .iter()
-        .map(|&d| {
-            if d == u32::MAX {
-                Time::MAX
-            } else {
-                rd.saturating_mul(Time::from(d))
-            }
-        })
-        .collect();
-    let node_eps: Vec<Time> = (0..g.n_nodes())
-        .map(|n| {
-            // First emission after a send issues at this node: acquiring a
-            // crossing injection channel emits at `t + rd`; otherwise the
-            // head must walk from the injection router to the boundary.
-            g.injections(NodeId(n as u32))
-                .iter()
-                .map(|&c| {
-                    if part.channel_crosses(c) {
-                        rd
+        .map(|dist| {
+            dist.iter()
+                .map(|&d| {
+                    if d == u32::MAX {
+                        Time::MAX
                     } else {
-                        let r = g.dst_router(c).expect("injection leads to a router");
-                        rd.saturating_add(router_eps[r.idx()])
+                        rd.saturating_mul(Time::from(d))
                     }
                 })
-                .min()
-                .expect("every node has an injection port")
+                .collect()
+        })
+        .collect();
+    let node_eps_to: Vec<Vec<Time>> = (0..k)
+        .map(|j| {
+            (0..g.n_nodes())
+                .map(|n| {
+                    // First emission toward shard `j` after a send issues at
+                    // this node: acquiring an injection channel crossing into
+                    // `j` emits at `t + rd`; a local injection makes the head
+                    // walk from the injection router to a `j` boundary.  A
+                    // crossing injection into some *other* shard migrates the
+                    // worm there — its later progress toward `j` is that
+                    // shard's to promise (the fixpoint relays it).
+                    g.injections(NodeId(n as u32))
+                        .iter()
+                        .map(|&c| {
+                            let r = g.dst_router(c).expect("injection leads to a router");
+                            if part.channel_crosses(c) {
+                                if part.router_shard(r) == j {
+                                    rd
+                                } else {
+                                    Time::MAX
+                                }
+                            } else {
+                                rd.saturating_add(router_eps_to[j][r.idx()])
+                            }
+                        })
+                        .min()
+                        .expect("every node has an injection port")
+                })
+                .collect()
+        })
+        .collect();
+    let adj = part.shard_adjacency(g);
+    let reach = part.shard_reachability(g);
+    let msg_graph: Vec<Vec<bool>> = (0..k)
+        .map(|i| {
+            (0..k)
+                .map(|j| i != j && (adj[i][j] || reach[j][i]))
+                .collect()
         })
         .collect();
     let eval0 = |f: &pcm::LinearFn| if f.slope < 0.0 { 0 } else { f.eval(0) };
@@ -166,8 +221,9 @@ pub(crate) fn build_plan(
         node_shard: (0..g.n_nodes())
             .map(|n| part.node_shard(NodeId(n as u32)) as u32)
             .collect(),
-        node_eps,
-        router_eps,
+        node_eps_to,
+        router_eps_to,
+        msg_graph,
         min_flits: cfg
             .buffer_flits
             .max(1)
@@ -179,17 +235,154 @@ pub(crate) fn build_plan(
     }
 }
 
+/// Bounded spin before a waiting shard starts yielding its timeslice.
+const RENDEZVOUS_SPIN: u32 = 4096;
+
+/// A sense-reversing rendezvous — the single synchronization point of a
+/// window round (PR 9's protocol paid two `std::sync::Barrier` crossings
+/// per round).  Shard threads cross rendezvous in lockstep, so the
+/// caller's round number *is* the sense: arrivals for round `r` bump the
+/// parity-`r` count, the last of them publishes `generation = r + 1`, and
+/// everyone else spins (bounded, then yields) until the generation
+/// reaches `r + 1`.  Two races make the naive single-count design wrong
+/// and force this shape: an early round-`r+1` arrival that loaded the old
+/// generation would be released by round `r`'s flip, and its increment
+/// could be wiped by round `r`'s `count` reset.  Parity counts separate
+/// the rounds' arrivals (a cell is reused in round `r + 2`, safely behind
+/// rendezvous `r + 1`), and comparing the *monotone* generation against
+/// the caller's round releases exactly the right waiters.  Sequentially
+/// consistent orderings make publication simple: every store before
+/// `wait(r)` on any thread is visible after `wait(r)` on all threads.
+struct Rendezvous {
+    parties: usize,
+    counts: [AtomicUsize; 2],
+    generation: AtomicU64,
+}
+
+impl Rendezvous {
+    fn new(parties: usize) -> Self {
+        Self {
+            parties,
+            counts: [AtomicUsize::new(0), AtomicUsize::new(0)],
+            generation: AtomicU64::new(0),
+        }
+    }
+
+    /// Block until all parties have called `wait` with this `round`.
+    /// Rounds must be consecutive and agreed (they are: every shard takes
+    /// the same termination branch from the same board).
+    fn wait(&self, round: u64) {
+        let count = &self.counts[(round & 1) as usize];
+        if count.fetch_add(1, Ordering::SeqCst) + 1 == self.parties {
+            // Reset for reuse in round `round + 2` (whose arrivals are
+            // fenced behind rendezvous `round + 1`), then release.
+            count.store(0, Ordering::SeqCst);
+            self.generation.store(round + 1, Ordering::SeqCst);
+        } else {
+            let mut spins = 0u32;
+            while self.generation.load(Ordering::SeqCst) <= round {
+                spins = spins.saturating_add(1);
+                if spins >= RENDEZVOUS_SPIN {
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+}
+
+/// One round's published matrices.  With a single rendezvous per round a
+/// fast shard reaches its *next* publication while slow shards still read
+/// the current one, so the boards are double-buffered by round parity:
+/// round `r` publishes to and reads from `boards[r % 2]`, which is next
+/// written in round `r + 2` — and that publication sits behind rendezvous
+/// `r + 1`, which no shard passes before every shard finished its round-
+/// `r` reads.  Every shard therefore reads the same values and takes the
+/// same termination/horizon decisions, with one sync point per round.
+struct Board {
+    /// `eits[i][j]`: shard `i`'s promise toward shard `j` — a lower bound
+    /// on every message `i`'s *current queue* can still send `j`.
+    eits: Vec<Vec<AtomicU64>>,
+    /// `outmins[i][j]`: the earliest timestamp among the handoffs `i`
+    /// published for `j` *this round* (`Time::MAX` when none).  These are
+    /// the fixpoint's in-flight source terms: promises are computed
+    /// before absorbing the concurrent round's deliveries, so their
+    /// consequences are bounded through these instead.
+    outmins: Vec<Vec<AtomicU64>>,
+    /// Per-shard pending-event count (termination detection).  Handoffs
+    /// published this round count as the sender's until absorbed.
+    pendings: Vec<AtomicU64>,
+}
+
+impl Board {
+    fn new(k: usize) -> Self {
+        Self {
+            eits: (0..k)
+                .map(|_| (0..k).map(|_| AtomicU64::new(Time::MAX)).collect())
+                .collect(),
+            outmins: (0..k)
+                .map(|_| (0..k).map(|_| AtomicU64::new(Time::MAX)).collect())
+                .collect(),
+            pendings: (0..k).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+}
+
 /// Round-synchronization state shared by all shard threads.
 struct Shared<P> {
-    barrier: Barrier,
-    /// Per-shard earliest emission time, republished every round.
-    eits: Vec<AtomicU64>,
-    /// Per-shard pending-event count (termination detection).
-    pendings: Vec<AtomicU64>,
-    /// `mailboxes[src][dst]`: handoffs published by `src` for `dst` this
-    /// round.  Each cell has exactly one writer (src) and one reader
-    /// (dst), on opposite sides of a barrier.
+    rendezvous: Rendezvous,
+    /// Double-buffered publication boards, indexed by round parity.
+    boards: [Board; 2],
+    /// `mailboxes[src][dst]`: handoffs published by `src` for `dst`.
+    /// Each cell has exactly one writer (src) and one reader (dst); a
+    /// fast sender may append its next round's handoffs before the
+    /// receiver drained the current ones — harmless, because handoffs are
+    /// conservative (timestamped at or after the receiver's horizon) and
+    /// the receiver's queue orders purely by the intrinsic `(t, ord)`
+    /// key, so early insertion cannot change pop order.
     mailboxes: Vec<Vec<Mutex<Vec<OutMsg<P>>>>>,
+}
+
+/// One round's horizon fixpoint, computed identically by every shard from
+/// the same published matrices.  `l[i][j]` is shard `i`'s queue-local
+/// promise toward `j`; `inbound[i]` is the earliest handoff published *to*
+/// `i` this round; edges of `msg_graph` relay consequences at `+rd` per
+/// hop (a delivered message at `t` cannot cause an emission before
+/// `t + rd` — one head hop, and condition C keeps drain releases at least
+/// that far out).  The result `a[j]` lower-bounds every message `j` can
+/// still receive that is not already in its mailbox, so `j` may process
+/// everything strictly below `a[j]`.
+fn horizon_fixpoint(
+    l: &[Vec<Time>],
+    inbound: &[Time],
+    msg_graph: &[Vec<bool>],
+    rd: Time,
+    a: &mut [Time],
+) {
+    let k = l.len();
+    for j in 0..k {
+        a[j] = (0..k).map(|i| l[i][j]).min().unwrap_or(Time::MAX);
+    }
+    // Bellman–Ford over the shard message graph: relay paths have at most
+    // k-1 edges, so k passes always reach the (unique) greatest fixpoint.
+    for _ in 0..k {
+        let mut changed = false;
+        for i in 0..k {
+            let source = a[i].min(inbound[i]);
+            if source == Time::MAX {
+                continue;
+            }
+            let relayed = source.saturating_add(rd);
+            for j in 0..k {
+                if msg_graph[i][j] && relayed < a[j] {
+                    a[j] = relayed;
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
 }
 
 /// Wall-clock telemetry one shard thread collected.
@@ -222,9 +415,8 @@ where
     let forks: Vec<Prog> = (0..k).map(|_| program.fork()).collect();
 
     let shared: Shared<Prog::Payload> = Shared {
-        barrier: Barrier::new(k),
-        eits: (0..k).map(|_| AtomicU64::new(0)).collect(),
-        pendings: (0..k).map(|_| AtomicU64::new(0)).collect(),
+        rendezvous: Rendezvous::new(k),
+        boards: [Board::new(k), Board::new(k)],
         mailboxes: (0..k)
             .map(|_| (0..k).map(|_| Mutex::new(Vec::new())).collect())
             .collect(),
@@ -361,9 +553,9 @@ where
     (program, result)
 }
 
-fn wait(shared_barrier: &Barrier, stall_ns: &mut u64) {
+fn wait(rendezvous: &Rendezvous, round: u64, stall_ns: &mut u64) {
     let t0 = Instant::now();
-    shared_barrier.wait();
+    rendezvous.wait(round);
     *stall_ns += t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
 }
 
@@ -392,10 +584,14 @@ where
     for (node, at, sends) in starts {
         eng.start(node, at, sends);
     }
+    let msg_dests: Vec<usize> = (0..k)
+        .filter(|&j| j != id && plan.msg_graph[id][j])
+        .collect();
     eng.set_shard(ShardCtx {
         id: id as u32,
-        plan,
+        plan: Arc::clone(&plan),
         outbox: (0..k).map(|_| Vec::new()).collect(),
+        msg_dests,
     });
     eng.drain_starts();
 
@@ -405,16 +601,62 @@ where
         msgs_sent: 0,
         rounds: 0,
     };
+    // Round scratch, allocated once: this shard's promise row, everyone's
+    // published matrices, and the fixpoint output.
+    let mut promises: Vec<Time> = Vec::with_capacity(k);
+    let mut l = vec![vec![Time::MAX; k]; k];
+    let mut inbound = vec![Time::MAX; k];
+    let mut horizons = vec![Time::MAX; k];
+    let mut horizon: Time = 0;
+    let mut round: u64 = 0;
     loop {
-        // Publish this shard's earliest possible cross-shard emission and
-        // its pending-event count, then meet the others.
-        shared.eits[id].store(eng.earliest_emission(), Ordering::SeqCst);
-        shared.pendings[id].store(eng.pending_events() as u64, Ordering::SeqCst);
-        wait(&shared.barrier, &mut telem.stall_ns);
+        // Process every event strictly before the horizon (the first
+        // round's horizon is 0: publish-only).  No shard can send us
+        // anything below it — that is exactly what the fixpoint proved.
+        let t0 = Instant::now();
+        eng.run_window(horizon);
+        telem.busy_ns += t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
+
+        // This round's publication board (see [`Board`] for why parity).
+        let board = &shared.boards[(round & 1) as usize];
+
+        // Publish this window's handoffs (single writer per cell) and the
+        // earliest timestamp shipped per destination — the fixpoint's
+        // in-flight source terms.
+        let mut published = 0u64;
+        for dst in 0..k {
+            if dst == id {
+                continue;
+            }
+            let out = eng.outbox_mut(dst);
+            let outmin = out.iter().map(OutMsg::time).min().unwrap_or(Time::MAX);
+            board.outmins[id][dst].store(outmin, Ordering::SeqCst);
+            if !out.is_empty() {
+                published += out.len() as u64;
+                shared.mailboxes[id][dst]
+                    .lock()
+                    .expect("mailbox poisoned")
+                    .append(out);
+            }
+        }
+        telem.msgs_sent += published;
+
+        // Publish the per-destination promises of what is left in the
+        // queue, and the pending count (handoffs shipped this round stay
+        // on the sender's tally until their receiver absorbs them).
+        eng.emission_bounds(&mut promises);
+        for (j, &p) in promises.iter().enumerate() {
+            board.eits[id][j].store(p, Ordering::SeqCst);
+        }
+        board.pendings[id].store(eng.pending_events() as u64 + published, Ordering::SeqCst);
+
+        // The round's single synchronization point.
+        wait(&shared.rendezvous, round, &mut telem.stall_ns);
+        round += 1;
 
         // Everyone reads the same published values, so every shard takes
         // the same branch — termination needs no extra coordination.
-        let pending: u64 = shared
+        let pending: u64 = board
             .pendings
             .iter()
             .map(|p| p.load(Ordering::SeqCst))
@@ -422,39 +664,26 @@ where
         if pending == 0 {
             break;
         }
-        let horizon = shared
-            .eits
-            .iter()
-            .map(|e| e.load(Ordering::SeqCst))
-            .min()
-            .expect("at least one shard");
         telem.rounds += 1;
 
-        // Process every event strictly before the horizon.  No shard can
-        // emit anything timestamped before it, so the window is safe.
-        let t0 = Instant::now();
-        eng.run_window(horizon);
-        telem.busy_ns += t0.elapsed().as_nanos().min(u64::MAX as u128) as u64;
-
-        // Publish this window's handoffs (single writer per cell) …
-        for dst in 0..k {
-            if dst == id {
-                continue;
+        // Same inputs, same fixpoint, same horizons on every shard.  The
+        // horizon is monotone: earlier rounds already proved nothing can
+        // arrive below the previous one.
+        for i in 0..k {
+            for (cell, eit) in l[i].iter_mut().zip(&board.eits[i]) {
+                *cell = eit.load(Ordering::SeqCst);
             }
-            let out = eng.outbox_mut(dst);
-            if !out.is_empty() {
-                telem.msgs_sent += out.len() as u64;
-                shared.mailboxes[id][dst]
-                    .lock()
-                    .expect("mailbox poisoned")
-                    .append(out);
-            }
+            inbound[i] = (0..k)
+                .map(|s| board.outmins[s][i].load(Ordering::SeqCst))
+                .min()
+                .expect("at least one shard");
         }
-        wait(&shared.barrier, &mut telem.stall_ns);
+        horizon_fixpoint(&l, &inbound, &plan.msg_graph, plan.rd, &mut horizons);
+        horizon = horizon.max(horizons[id]);
 
-        // … and absorb everyone else's (single reader per cell).  All
-        // handoffs are timestamped at or after the horizon, so inserting
-        // them *after* the window preserves global pop order.
+        // Absorb this round's handoffs (single reader per cell).  All are
+        // timestamped at or after the previous horizon, so inserting them
+        // after the window preserves global pop order.
         for src in 0..k {
             if src == id {
                 continue;

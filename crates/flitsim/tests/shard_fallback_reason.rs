@@ -1,0 +1,75 @@
+//! Fallback attribution: when a shard-eligible run disengages the sharded
+//! engine, the *reason* must land in the per-reason counter and in the
+//! process-wide last-fallback slot that `optmc run --fingerprint`
+//! surfaces.
+//!
+//! This lives in its own test binary on purpose: `last_shard_fallback` is
+//! process-global state that every sharded `run_auto` rewrites, so the
+//! assertions below are only deterministic when nothing else in the
+//! process is sharding concurrently.
+
+use flitsim::engine::ShardFallback;
+use flitsim::program::SinkProgram;
+use flitsim::{Engine, SendReq, SimConfig};
+use topo::{Mesh, NodeId};
+
+fn run_with(mutate: impl FnOnce(&mut SimConfig), bytes: u64) -> flitsim::SimResult {
+    let mesh = Mesh::new(&[8, 8]);
+    let mut cfg = SimConfig::paragon_like();
+    cfg.shards = 4;
+    mutate(&mut cfg);
+    let mut e = Engine::new(&mesh, cfg, SinkProgram);
+    e.start(NodeId(0), 0, vec![SendReq::to(NodeId(63), bytes, ())]);
+    e.start(NodeId(9), 40, vec![SendReq::to(NodeId(20), bytes, ())]);
+    e.run_auto().1
+}
+
+#[test]
+fn fallbacks_are_attributed_per_reason_and_surfaced() {
+    // A tracing observer needs the sequential engine's global pop order.
+    let observer_before = flitsim::metrics::SHARD_FALLBACKS_OBSERVER.get();
+    let total_before = flitsim::metrics::SHARD_FALLBACKS.get();
+    let r = run_with(|cfg| cfg.trace = true, 4096);
+    assert!(!r.trace.is_empty(), "the traced run must actually trace");
+    assert_eq!(
+        flitsim::metrics::SHARD_FALLBACKS_OBSERVER.get(),
+        observer_before + 1
+    );
+    assert_eq!(
+        flitsim::metrics::last_shard_fallback(),
+        Some(ShardFallback::Observer.reason()),
+    );
+
+    // Worms below the condition C floor can release at non-future times.
+    let tiny_before = flitsim::metrics::SHARD_FALLBACKS_TINY_MESSAGE.get();
+    let _ = run_with(|_| {}, 16);
+    assert_eq!(
+        flitsim::metrics::SHARD_FALLBACKS_TINY_MESSAGE.get(),
+        tiny_before + 1
+    );
+    assert_eq!(
+        flitsim::metrics::last_shard_fallback(),
+        Some(ShardFallback::TinyMessage.reason()),
+    );
+
+    // Zero router delay leaves no cross-shard lookahead at all.
+    let zero_before = flitsim::metrics::SHARD_FALLBACKS_ZERO_ROUTER_DELAY.get();
+    let _ = run_with(|cfg| cfg.router_delay = 0, 4096);
+    assert_eq!(
+        flitsim::metrics::SHARD_FALLBACKS_ZERO_ROUTER_DELAY.get(),
+        zero_before + 1
+    );
+    assert_eq!(
+        flitsim::metrics::last_shard_fallback(),
+        Some(ShardFallback::ZeroRouterDelay.reason()),
+    );
+
+    // Every fallback above also bumped the roll-up counter.
+    assert_eq!(flitsim::metrics::SHARD_FALLBACKS.get(), total_before + 3);
+
+    // A run that does shard clears the reason.
+    let sharded_before = flitsim::metrics::SHARDED_RUNS.get();
+    let _ = run_with(|_| {}, 4096);
+    assert_eq!(flitsim::metrics::SHARDED_RUNS.get(), sharded_before + 1);
+    assert_eq!(flitsim::metrics::last_shard_fallback(), None);
+}

@@ -174,26 +174,53 @@ fn sharded_matches_sequential_with_deep_buffers() {
     }
 }
 
-/// The counters observer must survive sharding with identical tallies
-/// (per-kind sums are associative across shards).
+/// The counters observer must survive sharding with identical tallies on
+/// every topology family and across seeds (per-kind sums are associative
+/// across shards, and the per-shard accumulators merge deterministically).
+/// The fallback counters pin that these runs really sharded: `Counters`
+/// is the one observer arm that must *not* disengage the sharded engine.
 #[test]
-fn sharded_counters_observer_matches() {
-    let mesh = Mesh::new(&[8, 8]);
-    let wl = workload(64, 7, 40);
-    let run = |shards: usize| {
-        let mut cfg = SimConfig::paragon_like();
-        cfg.shards = shards;
-        let mut e = Engine::new(&mesh, cfg, SinkProgram);
-        e.set_observer(flitsim::TraceSink::counters());
-        for &(src, at, dst, bytes) in &wl {
-            e.start(NodeId(src), at, vec![SendReq::to(NodeId(dst), bytes, ())]);
+fn sharded_counters_observer_matches_across_topologies_and_seeds() {
+    let observer_fallbacks_before = flitsim::metrics::SHARD_FALLBACKS_OBSERVER.get();
+    let fallbacks_before = flitsim::metrics::SHARD_FALLBACKS.get();
+    for (name, topo) in topologies() {
+        for seed in [7u64, 23, 91] {
+            let wl = workload(topo.graph().n_nodes() as u32, seed, 40);
+            let run = |shards: usize| {
+                let mut cfg = SimConfig::paragon_like();
+                cfg.shards = shards;
+                let mut e = Engine::new(topo.as_ref(), cfg, SinkProgram);
+                e.set_observer(flitsim::TraceSink::counters());
+                for &(src, at, dst, bytes) in &wl {
+                    e.start(NodeId(src), at, vec![SendReq::to(NodeId(dst), bytes, ())]);
+                }
+                e.run_auto().1
+            };
+            let sequential = run(1);
+            for shards in [2usize, 4] {
+                let sharded = run(shards);
+                assert_eq!(
+                    sequential.fingerprint(),
+                    sharded.fingerprint(),
+                    "{name} seed {seed}: observed {shards}-shard run diverged"
+                );
+                let (a, b) = (sequential.counts.unwrap(), sharded.counts.unwrap());
+                assert_eq!(
+                    a, b,
+                    "{name} seed {seed}: per-kind event tallies must merge exactly"
+                );
+                assert!(a.acquires > 0);
+            }
         }
-        e.run_auto().1
-    };
-    let sequential = run(1);
-    let sharded = run(4);
-    assert_eq!(sequential.fingerprint(), sharded.fingerprint());
-    let (a, b) = (sequential.counts.unwrap(), sharded.counts.unwrap());
-    assert_eq!(a, b, "per-kind event tallies must merge exactly");
-    assert!(a.acquires > 0);
+    }
+    assert_eq!(
+        flitsim::metrics::SHARD_FALLBACKS_OBSERVER.get(),
+        observer_fallbacks_before,
+        "the Counters observer must shard, not fall back to sequential"
+    );
+    assert_eq!(
+        flitsim::metrics::SHARD_FALLBACKS.get(),
+        fallbacks_before,
+        "observed differential runs must engage the sharded engine"
+    );
 }

@@ -15,6 +15,11 @@ use topo::{Mesh, NodeId, Topology};
 #[global_allocator]
 static COUNTER: allocmeter::Counting = allocmeter::Counting;
 
+/// The allocation counter is process-global, so the two tests below must not
+/// measure concurrently — a sibling's engine warm-up would bleed into the
+/// probe window.  Each test holds this for its whole body.
+static MEASURE: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 /// Run a single p2p message down a 64-node line and return
 /// `(events_processed, allocations during Engine::run)`.
 fn run_line_p2p(m: &Mesh, dst: u32) -> (u64, u64) {
@@ -40,6 +45,9 @@ fn run_line_p2p_observed(m: &Mesh, dst: u32, counters: bool) -> (u64, u64) {
 
 #[test]
 fn event_processing_does_not_allocate_per_event() {
+    let _serial = MEASURE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let m = Mesh::new(&[64]);
     // Build the route table outside the measured window — it is a one-time,
     // per-topology cost shared by every engine over this instance.
@@ -74,6 +82,9 @@ fn counters_observer_and_telem_flush_do_not_allocate_per_event() {
     // `telem` statics add ZERO steady-state allocations — the allocation
     // profile under `TraceSink::counters()` is identical in shape to the
     // unobserved engine's.
+    let _serial = MEASURE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
     let m = Mesh::new(&[64]);
     let _ = m.route_table();
 

@@ -171,32 +171,99 @@ impl Partition {
     /// engine multiplies this by the per-hop latency to lower-bound when
     /// local work can next affect another shard.
     pub fn crossing_distance(&self, g: &NetworkGraph) -> Vec<u32> {
+        let per_dest = self.crossing_distance_to(g);
+        (0..g.n_routers())
+            .map(|r| per_dest.iter().map(|d| d[r]).min().unwrap_or(u32::MAX))
+            .collect()
+    }
+
+    /// Per-destination-shard refinement of [`crossing_distance`]:
+    /// `dist[j][r]` is the minimum number of channel traversals before a
+    /// worm advancing out of router `r` can first occupy a channel that
+    /// crosses *into* shard `j`, walking only channels internal to `r`'s
+    /// own shard until that final crossing hop (a worm that leaves its
+    /// shard earlier migrates there instead — that emission is charged to
+    /// the intermediate shard, and the window protocol's relay terms cover
+    /// the rest of the journey).  `u32::MAX` when shard `j` cannot be
+    /// reached that way.  Taking the minimum over `j` recovers the global
+    /// [`crossing_distance`], because a shortest path to *any* boundary
+    /// never crosses an intermediate boundary.
+    pub fn crossing_distance_to(&self, g: &NetworkGraph) -> Vec<Vec<u32>> {
         let nr = g.n_routers();
-        // Reverse router adjacency, so we can BFS backward from boundaries.
+        // Reverse adjacency restricted to intra-shard router→router
+        // channels: predecessors reach the seed without crossing early.
         let mut radj: Vec<Vec<u32>> = vec![Vec::new(); nr];
-        let mut dist = vec![u32::MAX; nr];
-        let mut queue = VecDeque::new();
         for ch in g.channels() {
             if let (Endpoint::Router(s), Endpoint::Router(d)) = (ch.src, ch.dst) {
-                radj[d.idx()].push(s.idx() as u32);
-                if self.shard_of_router[s.idx()] != self.shard_of_router[d.idx()]
-                    && dist[s.idx()] == u32::MAX
-                {
-                    dist[s.idx()] = 1;
-                    queue.push_back(s.idx());
+                if self.shard_of_router[s.idx()] == self.shard_of_router[d.idx()] {
+                    radj[d.idx()].push(s.idx() as u32);
                 }
             }
         }
-        while let Some(r) = queue.pop_front() {
-            let next = dist[r] + 1;
-            for &p in &radj[r] {
-                if dist[p as usize] == u32::MAX {
-                    dist[p as usize] = next;
-                    queue.push_back(p as usize);
+        let mut out = Vec::with_capacity(self.n_shards);
+        let mut queue = VecDeque::new();
+        for j in 0..self.n_shards as u32 {
+            let mut dist = vec![u32::MAX; nr];
+            queue.clear();
+            for &c in &self.crossing {
+                let ch = g.channel(c);
+                if let (Endpoint::Router(s), Endpoint::Router(d)) = (ch.src, ch.dst) {
+                    if self.shard_of_router[d.idx()] == j && dist[s.idx()] == u32::MAX {
+                        dist[s.idx()] = 1;
+                        queue.push_back(s.idx());
+                    }
+                }
+            }
+            while let Some(r) = queue.pop_front() {
+                let next = dist[r] + 1;
+                for &p in &radj[r] {
+                    if dist[p as usize] == u32::MAX {
+                        dist[p as usize] = next;
+                        queue.push_back(p as usize);
+                    }
+                }
+            }
+            out.push(dist);
+        }
+        out
+    }
+
+    /// Direct shard-to-shard message adjacency: `adj[i][j]` is true when
+    /// some crossing channel owned by shard `i` feeds a router in shard
+    /// `j` — the only way a worm migration (or an Omega injection) can
+    /// carry work from `i` to `j` in one hop.  `adj[i][i]` is never set.
+    pub fn shard_adjacency(&self, g: &NetworkGraph) -> Vec<Vec<bool>> {
+        let k = self.n_shards;
+        let mut adj = vec![vec![false; k]; k];
+        for &c in &self.crossing {
+            if let Endpoint::Router(d) = g.channel(c).dst {
+                let owner = self.shard_of_channel[c.idx()] as usize;
+                adj[owner][self.shard_of_router[d.idx()] as usize] = true;
+            }
+        }
+        adj
+    }
+
+    /// Transitive closure (one or more hops) of [`shard_adjacency`]:
+    /// `reach[i][j]` is true when a worm can migrate from shard `i` to
+    /// shard `j` through any chain of crossing channels.  The sharded
+    /// engine uses the *reverse* direction for releases: a worm draining
+    /// in `j` may still hold channels in every shard `i` with
+    /// `reach[i][j]`, and their releases ship backward.
+    pub fn shard_reachability(&self, g: &NetworkGraph) -> Vec<Vec<bool>> {
+        let k = self.n_shards;
+        let mut reach = self.shard_adjacency(g);
+        for via in 0..k {
+            let via_row = reach[via].clone();
+            for row in &mut reach {
+                if row[via] {
+                    for (cell, &through) in row.iter_mut().zip(&via_row) {
+                        *cell |= through;
+                    }
                 }
             }
         }
-        dist
+        reach
     }
 }
 
@@ -494,6 +561,84 @@ mod tests {
                     }
                 }
                 assert_eq!(dist[r], best, "{name} router {r}");
+            }
+        }
+    }
+
+    #[test]
+    fn per_destination_distance_matches_restricted_bfs_oracle() {
+        // `crossing_distance_to[j][r]` must equal a forward BFS from `r`
+        // that walks only channels internal to `r`'s shard and stops on
+        // the first channel crossing into shard `j`.
+        for (name, g) in all_graphs() {
+            for shards in [2usize, 4] {
+                let p = Partition::build(&g, shards, 11);
+                let dist = p.crossing_distance_to(&g);
+                let mut adj: Vec<Vec<(usize, usize)>> = vec![Vec::new(); g.n_routers()];
+                for ch in g.channels() {
+                    if let (Endpoint::Router(s), Endpoint::Router(d)) = (ch.src, ch.dst) {
+                        adj[s.idx()].push((d.idx(), p.router_shard(d)));
+                    }
+                }
+                for r in 0..g.n_routers() {
+                    let home = p.router_shard(RouterId(r as u32));
+                    for (j, dist_j) in dist.iter().enumerate() {
+                        let mut best = u32::MAX;
+                        let mut seen = vec![false; g.n_routers()];
+                        let mut q = std::collections::VecDeque::from([(r, 1u32)]);
+                        seen[r] = true;
+                        while let Some((at, hops)) = q.pop_front() {
+                            for &(nb, nb_shard) in &adj[at] {
+                                if nb_shard == j && home != j {
+                                    best = best.min(hops);
+                                } else if nb_shard == home && !seen[nb] {
+                                    seen[nb] = true;
+                                    q.push_back((nb, hops + 1));
+                                }
+                            }
+                        }
+                        assert_eq!(
+                            dist_j[r], best,
+                            "{name} shards={shards} router {r} -> shard {j}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn shard_adjacency_and_reachability_are_exact() {
+        for (name, g) in all_graphs() {
+            for shards in [2usize, 4, 8] {
+                let p = Partition::build(&g, shards, 1997);
+                let adj = p.shard_adjacency(&g);
+                // Oracle adjacency: scan every channel directly.
+                let mut expect = vec![vec![false; shards]; shards];
+                for (i, ch) in g.channels().iter().enumerate() {
+                    if let Endpoint::Router(d) = ch.dst {
+                        let owner = p.channel_shard(ChannelId(i as u32));
+                        let dst = p.router_shard(d);
+                        if owner != dst {
+                            expect[owner][dst] = true;
+                        }
+                    }
+                }
+                assert_eq!(adj, expect, "{name} shards={shards}");
+
+                // Oracle closure: DFS over the oracle adjacency.
+                let reach = p.shard_reachability(&g);
+                for i in 0..shards {
+                    let mut seen = vec![false; shards];
+                    let mut stack: Vec<usize> = (0..shards).filter(|&j| expect[i][j]).collect();
+                    while let Some(j) = stack.pop() {
+                        if !seen[j] {
+                            seen[j] = true;
+                            stack.extend((0..shards).filter(|&n| expect[j][n]));
+                        }
+                    }
+                    assert_eq!(reach[i], seen, "{name} shards={shards} from {i}");
+                }
             }
         }
     }

@@ -78,20 +78,26 @@ cargo test -q -p flitsim --test zero_alloc
 
 # Perf + determinism smoke: re-run every workload recorded in the committed
 # BENCH_sim.json (same runs, same seed).  The deterministic sentinels
-# (events_scheduled, peak_heap_events, mean_latency) must match exactly —
-# any drift means simulation results changed — and overall throughput must
-# stay within 25% of the committed baseline.
-# The check also enforces the observer-overhead budget: the counters-only
-# sink must stay within 5% of NullObserver throughput (obs_* record pair).
-echo "==> bench_sim --check BENCH_sim.json (sentinels exact, throughput >= 0.75x, counters obs >= 0.95x null)"
+# (events_scheduled, peak_heap_events, mean_latency, sim_cycles,
+# shard_rounds) must match exactly — any drift means simulation results or
+# the adaptive window schedule changed — and overall throughput must stay
+# within 25% of the committed baseline.  The check also enforces the
+# observer-overhead budget (counters sink within 5% of NullObserver) and
+# the barrier-efficiency ceiling: every sharded record's rendezvous rounds
+# per simulated cycle stays under the window-coalescing gate, with the
+# (wall-clock, ungated) rendezvous stall fraction printed alongside.
+echo "==> bench_sim --check BENCH_sim.json (sentinels exact, throughput >= 0.75x, counters obs >= 0.95x null, barrier efficiency)"
 cargo run --release -q -p optmc-bench --bin bench_sim -- --check BENCH_sim.json
 
 # Sharded-engine differential gate: one workload per topology family, run
 # sequentially and under 4 shards; the canonical SimResult JSON must be
 # byte-identical (the sharded engine's core contract).  `--fingerprint`
 # with `--shards` fails by itself if the sharded engine silently fell back,
-# so a vacuous pass is impossible.
-echo "==> sharded engine differential (4 shards, fingerprints byte-identical per topology)"
+# so a vacuous pass is impossible.  The second leg repeats the comparison
+# under the counters observer (`--counters`): counting observation must
+# shard — per-shard tallies merge deterministically — and must not perturb
+# the merged result.
+echo "==> sharded engine differential (4 shards, fingerprints byte-identical per topology, plain + counters observer)"
 for topo in mesh:16x16 torus:8x8 bmin:128 omega:64; do
     cargo run --release -q -p optmc-cli --bin optmc -- \
         run --topo "$topo" --alg opt-arch --nodes 12 --bytes 4096 --seed 1997 \
@@ -101,7 +107,15 @@ for topo in mesh:16x16 torus:8x8 bmin:128 omega:64; do
         --shards 4 --fingerprint > "$SMOKE_DIR/fp_sh4.json"
     cmp "$SMOKE_DIR/fp_seq.json" "$SMOKE_DIR/fp_sh4.json" \
         || { echo "sharded run diverged from sequential on $topo" >&2; exit 1; }
-    echo "    $topo: identical"
+    cargo run --release -q -p optmc-cli --bin optmc -- \
+        run --topo "$topo" --alg opt-arch --nodes 12 --bytes 4096 --seed 1997 \
+        --counters --fingerprint > "$SMOKE_DIR/fp_seq_cnt.json"
+    cargo run --release -q -p optmc-cli --bin optmc -- \
+        run --topo "$topo" --alg opt-arch --nodes 12 --bytes 4096 --seed 1997 \
+        --shards 4 --counters --fingerprint > "$SMOKE_DIR/fp_sh4_cnt.json"
+    cmp "$SMOKE_DIR/fp_seq_cnt.json" "$SMOKE_DIR/fp_sh4_cnt.json" \
+        || { echo "sharded counters-observed run diverged from sequential on $topo" >&2; exit 1; }
+    echo "    $topo: identical (plain + counters)"
 done
 
 # Planning-service smoke: a scripted request batch served twice must answer
